@@ -1,0 +1,58 @@
+// Ablation (design-choice study, not a paper figure): sensitivity of ChASE
+// to the extra search directions nex.
+//
+// The paper fixes nex at 10-40% of nev throughout (Table 1, Section 4.5).
+// This bench shows why: too few extra directions leave the damped-interval
+// edge unresolved (mu_ne estimates poorly, convergence stalls); too many
+// waste MatVecs filtering columns that are discarded. The sweet spot sits
+// around nex/nev ~ 1/4 - 1/3 for the suite spectra.
+#include <complex>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/sequential.hpp"
+#include "gen/suite.hpp"
+#include "perf/report.hpp"
+
+int main() {
+  using namespace chase;
+  using T = std::complex<double>;
+
+  std::printf("Ablation: MatVecs vs nex/nev (sequential runs of the scaled "
+              "suite problems)\n");
+  bench::print_rule(84);
+  std::printf("%-12s %6s | %8s %8s %8s %8s %8s\n", "problem", "nev",
+              "nex=8%", "nex=16%", "nex=33%", "nex=50%", "nex=100%");
+  bench::print_rule(84);
+
+  perf::CsvWriter csv("ablation_nex.csv");
+  csv.header({"problem", "nev", "nex", "converged", "iters", "matvecs"});
+
+  const double fractions[] = {0.08, 0.16, 0.33, 0.5, 1.0};
+  const auto& suite = bench::quick_mode() ? gen::table1_suite_small()
+                                          : gen::table1_suite_medium();
+  for (std::size_t pi : {std::size_t(1), std::size_t(4)}) {  // AuAg + In2O3
+    const auto& p = suite[pi];
+    auto h = gen::suite_matrix<T>(p);
+    std::printf("%-12s %6lld |", p.name.c_str(), (long long)p.nev);
+    for (double frac : fractions) {
+      core::ChaseConfig cfg;
+      cfg.nev = p.nev;
+      cfg.nex = std::max<la::Index>(la::Index(double(p.nev) * frac), 2);
+      cfg.tol = 1e-9;
+      auto r = core::solve_sequential<T>(h.cview(), cfg);
+      csv.row(p.name, p.nev, cfg.nex, r.converged ? 1 : 0, r.iterations,
+              r.matvecs);
+      if (r.converged) {
+        std::printf(" %8ld", r.matvecs);
+      } else {
+        std::printf(" %7s*", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  bench::print_rule(84);
+  std::printf("(* = no convergence within the iteration cap; MatVec counts "
+              "include the filter only.)\n");
+  return 0;
+}

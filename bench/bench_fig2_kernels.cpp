@@ -1,0 +1,129 @@
+// Figure 2 — weak-scaling kernel profile: computation / communication /
+// host-device movement inside Filter, QR, Rayleigh-Ritz and Residuals for
+// ChASE(LMS), ChASE(STD) and ChASE(NCCL).
+//
+// Setup as in Section 4.4: nodes 1 -> 64, N = 30k -> 240k (30k per sqrt of
+// the node count), nev = 2250, nex = 750, a single iteration with fixed
+// degree 20. STD/NCCL run 4 ranks per node (1 GPU each, rank grid
+// 2sqrt(nodes) x 2sqrt(nodes)); LMS runs 1 rank per node with 4 GPUs.
+// The costs come from the analytic replay of the real event stream priced on
+// the A100/HDR machine model (the replay is validated event-for-event
+// against real runs in tests/model). Claims to check:
+//   * STD removes most of LMS's communication; NCCL removes all movement;
+//   * LMS communication grows with the node count, NCCL stays flat;
+//   * at 64 nodes, per-kernel speedups in the ballpark of the paper's
+//     LMS->STD 1.6/22/10/8 and LMS->NCCL 3.8/1149/23/33.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "model/chase_model.hpp"
+#include "perf/report.hpp"
+
+namespace {
+
+using namespace chase;
+using model::ChaseModelSetup;
+using model::Scheme;
+using perf::Backend;
+using perf::Region;
+
+struct Variant {
+  const char* name;
+  Scheme scheme;
+  Backend backend;
+};
+
+const Variant kVariants[] = {
+    {"LMS", Scheme::kLms, Backend::kStdGpu},
+    {"STD", Scheme::kNew, Backend::kStdGpu},
+    {"NCCL", Scheme::kNew, Backend::kNcclGpu},
+};
+
+perf::KernelCosts run_variant(const perf::MachineModel& m, int nodes,
+                              la::Index n_size, const Variant& v) {
+  ChaseModelSetup s;
+  s.n = n_size;
+  s.nev = 2250;
+  s.nex = 750;
+  // The Uniform artificial matrices of the weak-scaling experiments are
+  // real symmetric (LAPACK-style D conjugated by a real orthogonal factor).
+  s.complex_scalar = false;
+  s.scalar_bytes = 8;
+  s.scheme = v.scheme;
+  s.backend = v.backend;
+  if (v.scheme == Scheme::kLms) {
+    const int k = int(std::lround(std::sqrt(double(nodes))));
+    s.nprow = s.npcol = k;
+    s.gpus_per_rank = 4;
+  } else {
+    const int k = 2 * int(std::lround(std::sqrt(double(nodes))));
+    s.nprow = s.npcol = k;
+    s.gpus_per_rank = 1;
+  }
+  auto it = model::uniform_iteration(
+      s.subspace(), 20,
+      v.scheme == Scheme::kLms ? qr::QrVariant::kHouseholder
+                               : qr::QrVariant::kCholQr2);
+  perf::Tracker t;
+  model::replay_iteration(s, it, t);
+  t.flush();
+  perf::MachineModel adjusted = m;
+  adjusted.gemm_flops *= s.gpus_per_rank;
+  return perf::price_tracker(adjusted, s.backend, t);
+}
+
+}  // namespace
+
+int main() {
+  perf::MachineModel m;
+  const Region kRegions[] = {Region::kFilter, Region::kQr,
+                             Region::kRayleighRitz, Region::kResidual};
+  const char* kRegionNames[] = {"Filter", "QR", "RR", "Resid"};
+
+  std::printf("Figure 2: kernel cost decomposition, weak scaling "
+              "(modeled A100/HDR cluster, 1 iteration, deg 20, ne=3000)\n");
+  std::printf("columns: compute / communication / movement in seconds\n\n");
+
+  perf::CsvWriter csv("fig2_kernels.csv");
+  csv.header({"nodes", "N", "variant", "kernel", "compute_s", "comm_s",
+              "movement_s"});
+  perf::KernelCosts at64[3];
+  for (int nodes : {1, 4, 16, 64}) {
+    const la::Index n_size =
+        30000 * la::Index(std::lround(std::sqrt(double(nodes))));
+    std::printf("nodes=%-3d  N=%-7lld\n", nodes, (long long)n_size);
+    std::printf("  %-6s", "");
+    for (const char* rn : kRegionNames) std::printf(" | %-26s", rn);
+    std::printf("\n");
+    bench::print_rule(122);
+    for (int vi = 0; vi < 3; ++vi) {
+      auto costs = run_variant(m, nodes, n_size, kVariants[vi]);
+      if (nodes == 64) at64[vi] = costs;
+      std::printf("  %-6s", kVariants[vi].name);
+      for (Region r : kRegions) {
+        const auto& c = costs[std::size_t(int(r))];
+        std::printf(" | %7.3f %8.4f %8.4f ", c.compute, c.comm, c.movement);
+        csv.row(nodes, n_size, kVariants[vi].name,
+                std::string(perf::region_name(r)), c.compute, c.comm,
+                c.movement);
+      }
+      std::printf("\n");
+    }
+    bench::print_rule(122);
+  }
+
+  std::printf("\nPer-kernel total-time speedups over LMS at 64 nodes "
+              "(paper: STD 1.6/22/10/8, NCCL 3.8/1149/23/33):\n");
+  for (int vi = 1; vi < 3; ++vi) {
+    std::printf("  %-5s", kVariants[vi].name);
+    for (Region r : kRegions) {
+      const double lms = at64[0][std::size_t(int(r))].total();
+      const double v = at64[vi][std::size_t(int(r))].total();
+      std::printf("  %s %.1fx", kRegionNames[int(r) - int(Region::kFilter)],
+                  v > 0 ? lms / v : 0.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

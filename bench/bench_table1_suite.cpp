@@ -1,0 +1,54 @@
+// Table 1 — the test-matrix suite.
+//
+// Prints the scaled synthetic analogues of the paper's DFT/BSE problems and
+// verifies each generated matrix against its prescribed spectrum (lowest
+// nev+nex eigenvalues via the direct solver), so the downstream experiments
+// run on validated inputs.
+#include <complex>
+#include <cstdio>
+
+#include "baseline/direct.hpp"
+#include "bench/bench_common.hpp"
+#include "gen/suite.hpp"
+
+int main() {
+  using namespace chase;
+  using T = std::complex<double>;
+
+  std::printf("Table 1: DFT/BSE test suite (scaled synthetic analogues)\n");
+  std::printf("Paper problem -> this repro; spectra mimic the source "
+              "application (see DESIGN.md)\n");
+  bench::print_rule(96);
+  std::printf("%-12s %9s %6s %5s | %6s %5s %5s %-9s %-10s %s\n", "Name",
+              "paper N", "p.nev", "p.nex", "N", "nev", "nex", "Source",
+              "Type", "spectrum check");
+  bench::print_rule(96);
+
+  const auto& suite = bench::quick_mode() ? gen::table1_suite_small()
+                                          : gen::table1_suite_medium();
+  for (const auto& p : suite) {
+    auto eigs = gen::suite_spectrum<double>(p);
+    auto h = gen::hermitian_with_spectrum<T>(eigs, p.seed + 1);
+
+    // Validate the generator: the direct solver must recover the prescribed
+    // lowest nev+nex eigenvalues.
+    auto direct = baseline::solve_lowest<T>(h.cview(), p.nev + p.nex, 1);
+    double max_err = 0;
+    for (la::Index j = 0; j < p.nev + p.nex; ++j) {
+      max_err = std::max(max_err,
+                         std::abs(direct.eigenvalues[std::size_t(j)] -
+                                  eigs[std::size_t(j)]));
+    }
+    std::printf("%-12s %9lld %6lld %5lld | %6lld %5lld %5lld %-9s %-10s "
+                "max|dev|=%.1e %s\n",
+                p.name.c_str(), (long long)p.paper_n, (long long)p.paper_nev,
+                (long long)p.paper_nex, (long long)p.n, (long long)p.nev,
+                (long long)p.nex, p.source.c_str(),
+                p.kind == gen::SpectrumKind::kDft ? "Hermitian" : "Hermitian",
+                max_err, max_err < 1e-8 ? "OK" : "FAIL");
+  }
+  bench::print_rule(96);
+  std::printf("All matrices are dense complex Hermitian, built as Q^H D Q "
+              "with prescribed D (Section 4.1).\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Table 2 — ChASE(NCCL) with HHQR vs with CholeskyQR (auto-selected) on the
+// Table 1 suite, 4 JUWELS-Booster nodes (4x4 rank grid).
+//
+// Two layers, matching the repository's general method:
+//   1. REAL runs of the scaled analogues on a 2x2 grid verify the paper's
+//      numerical claim: the QR variant does not change the convergence
+//      history (identical MatVecs and iterations), because every variant
+//      returns an orthonormal basis of the same filtered subspace.
+//   2. The measured iteration history is replayed at the paper's problem
+//      sizes through the validated event-stream model and priced on the
+//      A100/HDR machine description — producing the Table 2 columns
+//      (MatVecs, Iters, All (s), QR (s)) at the paper's scale, where the
+//      BLAS-2-bound Householder panels lose badly to CholeskyQR's
+//      GEMM-class SYRK/TRSM (most dramatically for the >= 1000-eigenpair
+//      problems, TiO2 and AuAg).
+#include <complex>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "gen/suite.hpp"
+#include "model/chase_model.hpp"
+
+namespace {
+
+using namespace chase;
+using T = std::complex<double>;
+
+std::vector<model::MeasuredIteration> to_history(
+    const std::vector<core::IterationStats>& stats, bool force_hhqr) {
+  std::vector<model::MeasuredIteration> out;
+  for (const auto& s : stats) {
+    model::MeasuredIteration m;
+    m.locked_before = s.locked_before;
+    m.degrees = s.degrees;
+    m.qr = force_hhqr ? qr::QrVariant::kHouseholder : s.qr_variant;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  perf::MachineModel machine;
+
+  std::printf("Table 2: ChASE(NCCL) with HHQR vs CholeskyQR\n");
+  std::printf("convergence measured on the scaled analogues (2x2 grid, this "
+              "host); times replayed at the\npaper's sizes on the modeled "
+              "4-node A100 cluster (16 GPUs, 4x4 grid)\n");
+  bench::print_rule(92);
+  std::printf("%-12s %-10s %10s %6s %9s %9s   %s\n", "Type", "QR Impl.",
+              "MatVecs", "Iters", "All (s)", "QR (s)", "(paper All/QR)");
+  bench::print_rule(92);
+
+  const auto& suite = bench::quick_mode() ? gen::table1_suite_small()
+                                          : gen::table1_suite_medium();
+  const double paper_all[6][2] = {{1.49, 0.43},  {24.68, 10.92}, {167.39, 8.80},
+                                  {9.81, 7.64},  {23.83, 20.16}, {14.11, 10.92}};
+  const double paper_qr[6][2] = {{1.05, 0.03},  {22.71, 0.20}, {157.02, 0.48},
+                                 {2.26, 0.13},  {3.92, 0.22},  {3.38, 0.20}};
+
+  int row = 0;
+  for (const auto& p : suite) {
+    auto h = gen::suite_matrix<T>(p);
+    core::ChaseConfig cfg;
+    cfg.nev = p.nev;
+    cfg.nex = p.nex;
+    cfg.tol = 1e-10;
+
+    // --- real runs: verify identical convergence across QR variants ---
+    core::ChaseResult<T> results[2];
+    for (int variant = 0; variant < 2; ++variant) {
+      cfg.qr.force_householder = (variant == 0);
+      auto run = bench::run_distributed<T>(h.cview(), 2, cfg,
+                                           perf::Backend::kNcclGpu);
+      results[variant] = std::move(run.result);
+    }
+    const bool identical =
+        results[0].matvecs == results[1].matvecs &&
+        results[0].iterations == results[1].iterations;
+
+    // --- replay at the paper's scale ---
+    for (int variant = 0; variant < 2; ++variant) {
+      model::ChaseModelSetup s;
+      s.n = p.paper_n;
+      s.nev = p.paper_nev;
+      s.nex = p.paper_nex;
+      s.nprow = s.npcol = 4;  // 4 nodes x 4 GPUs
+      s.backend = perf::Backend::kNcclGpu;
+      auto history = model::rescale_history(
+          to_history(results[variant].stats, variant == 0), cfg.subspace(),
+          s.subspace());
+      long matvecs = 0;
+      for (const auto& it : history) {
+        for (int d : it.degrees) matvecs += d;
+      }
+      auto costs = model::model_chase(machine, s, history);
+      const double all_s = perf::sum_costs(costs).total();
+      const double qr_s =
+          costs[std::size_t(int(perf::Region::kQr))].total();
+      std::printf("%-12s %-10s %10ld %6d %9.2f %9.3f   (%.2f / %.2f)%s\n",
+                  variant == 0 ? p.name.c_str() : "",
+                  variant == 0 ? "HHQR" : "CholeskyQR", matvecs,
+                  results[variant].iterations, all_s, qr_s,
+                  paper_all[row][variant], paper_qr[row][variant],
+                  results[variant].converged ? "" : "  (real run: not conv.)");
+    }
+    std::printf("%-12s real-run convergence identical across variants: %s "
+                "(%ld MatVecs, %d iters measured)\n",
+                "", identical ? "yes" : "NO", results[1].matvecs,
+                results[1].iterations);
+    bench::print_rule(92);
+    ++row;
+  }
+  std::printf("Expected (paper): same convergence for both variants; "
+              "CholeskyQR removes nearly the entire\nQR cost (e.g. TiO2: "
+              "157 s -> 0.5 s), with the largest total gains at large nev.\n");
+  return 0;
+}

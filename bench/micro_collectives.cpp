@@ -1,0 +1,52 @@
+// Ablation: collective cost models across communicator sizes and payloads.
+//
+// Prints the modeled MPI-tree vs NCCL-ring costs that drive Figures 2/3:
+// the power-of-two dips of the tree allreduce, the staging penalty of the
+// STD path, and where NCCL's ring overtakes host-staged MPI. (This is a
+// model study, not a wall-clock benchmark: the in-process transport of the
+// SPMD runtime has no wire to measure.)
+#include <cstdio>
+
+#include "perf/cost_model.hpp"
+#include "perf/machine.hpp"
+
+int main() {
+  using namespace chase::perf;
+  MachineModel m;
+
+  std::printf("Collective cost models (A100/HDR machine description)\n\n");
+
+  std::printf("allreduce of 64 MiB payload vs communicator size "
+              "(the Fig. 3a power-of-two dips):\n");
+  std::printf("%8s %14s %14s %16s\n", "ranks", "MPI tree (ms)",
+              "NCCL ring (ms)", "STD = MPI+staging");
+  const std::size_t big = std::size_t(64) << 20;
+  for (int p : {2, 3, 4, 8, 12, 16, 24, 32, 48, 64, 60, 120}) {
+    const double mpi = m.mpi_allreduce_seconds(big, p) * 1e3;
+    const double nccl = m.nccl_allreduce_seconds(big, p) * 1e3;
+    const double std_total = mpi + 2 * m.memcpy_seconds(big) * 1e3;
+    std::printf("%8d %14.2f %14.2f %16.2f\n", p, mpi, nccl, std_total);
+  }
+
+  std::printf("\nallreduce crossover vs payload at 16 ranks:\n");
+  std::printf("%12s %14s %14s %10s\n", "bytes", "MPI+staging", "NCCL ring",
+              "winner");
+  for (std::size_t bytes = 1 << 10; bytes <= (std::size_t(256) << 20);
+       bytes <<= 4) {
+    const double std_total = m.mpi_allreduce_seconds(bytes, 16) +
+                             2 * m.memcpy_seconds(bytes);
+    const double nccl = m.nccl_allreduce_seconds(bytes, 16);
+    std::printf("%12zu %14.6f %14.6f %10s\n", bytes, std_total, nccl,
+                nccl < std_total ? "NCCL" : "MPI");
+  }
+
+  std::printf("\nbroadcast (the C2 -> B2 redistribution) of 32 MiB:\n");
+  std::printf("%8s %14s %14s\n", "ranks", "MPI tree (ms)", "NCCL ring (ms)");
+  const std::size_t mid = std::size_t(32) << 20;
+  for (int p : {2, 4, 8, 16, 32, 60}) {
+    std::printf("%8d %14.2f %14.2f\n", p,
+                m.mpi_broadcast_seconds(mid, p) * 1e3,
+                m.nccl_broadcast_seconds(mid, p) * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: Chebyshev filter cost vs degree and active-column count — the
+// MatVec economics the per-vector degree optimization trades on.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "core/filter.hpp"
+#include "gen/spectrum.hpp"
+
+namespace {
+
+using namespace chase;
+using la::Index;
+
+void BM_Filter(benchmark::State& state) {
+  using T = double;
+  const Index n = 768;
+  const Index ncols = state.range(0);
+  const int degree = int(state.range(1));
+
+  auto h_full = gen::uniform_matrix<T>(n, -1.0, 1.0, 5);
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  dist::DistHermitianMatrix<T> h(grid, dist::IndexMap::block(n, 1),
+                                 dist::IndexMap::block(n, 1));
+  h.fill_from_global(h_full.cview());
+
+  la::Matrix<T> c(n, ncols), b(n, ncols);
+  Rng rng(6);
+  for (Index j = 0; j < ncols; ++j) {
+    for (Index i = 0; i < n; ++i) c(i, j) = rng.gaussian<T>();
+  }
+  std::vector<int> degs(std::size_t(ncols), degree);
+
+  long matvecs = 0;
+  for (auto _ : state) {
+    matvecs += core::chebyshev_filter(h, c.view(), b.view(), degs, 0.5, 0.45,
+                                      -0.99);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["MatVec/s"] =
+      benchmark::Counter(double(matvecs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Filter)->Args({16, 10})->Args({16, 20})->Args({64, 20})->Args(
+    {64, 36});
+
+/// Mixed-degree filtering: the shrinking-suffix optimization vs filtering
+/// everything at the maximal degree.
+void BM_FilterMixedDegrees(benchmark::State& state) {
+  using T = double;
+  const Index n = 768, ncols = 64;
+  const bool uniform = state.range(0) != 0;
+
+  auto h_full = gen::uniform_matrix<T>(n, -1.0, 1.0, 7);
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  dist::DistHermitianMatrix<T> h(grid, dist::IndexMap::block(n, 1),
+                                 dist::IndexMap::block(n, 1));
+  h.fill_from_global(h_full.cview());
+
+  la::Matrix<T> c(n, ncols), b(n, ncols);
+  Rng rng(8);
+  for (Index j = 0; j < ncols; ++j) {
+    for (Index i = 0; i < n; ++i) c(i, j) = rng.gaussian<T>();
+  }
+  std::vector<int> degs(static_cast<std::size_t>(ncols));
+  for (Index j = 0; j < ncols; ++j) {
+    degs[std::size_t(j)] = uniform ? 36 : 4 + 2 * int(j / 2);
+  }
+  std::sort(degs.begin(), degs.end());
+
+  long matvecs = 0;
+  for (auto _ : state) {
+    matvecs += core::chebyshev_filter(h, c.view(), b.view(), degs, 0.5, 0.45,
+                                      -0.99);
+  }
+  state.counters["MatVec/s"] =
+      benchmark::Counter(double(matvecs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FilterMixedDegrees)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Ablation: the QR variants of Algorithm 4 across condition numbers.
+//
+// Sweeps kappa(X) over the selector's decision regions and measures each
+// variant's runtime and the orthogonality it achieves — the data behind the
+// thresholds (20, u^{-1/2}) of the selection heuristic.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "common/rng.hpp"
+#include "la/norms.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+#include "qr/cholqr.hpp"
+#include "qr/tsqr.hpp"
+
+namespace {
+
+using namespace chase;
+using la::Index;
+
+/// Tall matrix with condition number ~10^log_kappa.
+template <typename T>
+la::Matrix<T> conditioned(Index m, Index n, double log_kappa,
+                          std::uint64_t seed) {
+  using R = RealType<T>;
+  Rng rng(seed);
+  la::Matrix<T> q1(m, n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < m; ++i) q1(i, j) = rng.gaussian<T>();
+  }
+  la::householder_orthonormalize(q1.view());
+  for (Index j = 0; j < n; ++j) {
+    const R sigma = R(std::pow(10.0, -log_kappa * double(j) / double(n - 1)));
+    la::scal(m, T(sigma), q1.col(j));
+  }
+  // Mix columns with a small random rotation so the conditioning is not
+  // axis-aligned.
+  la::Matrix<T> q2(n, n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) q2(i, j) = rng.gaussian<T>();
+  }
+  la::householder_orthonormalize(q2.view());
+  la::Matrix<T> x(m, n);
+  la::gemm(T(1), la::Op::kNoTrans, q1.cview(), la::Op::kConjTrans, q2.cview(),
+           T(0), x.view());
+  return x;
+}
+
+enum Variant { kChol1, kChol2, kShifted, kHouseholder, kTsqr };
+
+void BM_QrVariant(benchmark::State& state) {
+  using T = std::complex<double>;
+  const Index m = 4096, n = 128;
+  const int variant = int(state.range(0));
+  const double log_kappa = double(state.range(1));
+  auto x0 = conditioned<T>(m, n, log_kappa, 11);
+
+  double orth = 0;
+  int failures = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto x = la::clone(x0.cview());
+    state.ResumeTiming();
+    int info = 0;
+    switch (variant) {
+      case kChol1:
+        info = qr::cholqr(x.view(), nullptr, 1);
+        break;
+      case kChol2:
+        info = qr::cholqr(x.view(), nullptr, 2);
+        break;
+      case kShifted:
+        info = qr::shifted_cholqr_step(x.view(), nullptr, m);
+        if (info == 0) info = qr::cholqr(x.view(), nullptr, 2);
+        break;
+      case kHouseholder:
+        la::householder_orthonormalize(x.view());
+        break;
+      case kTsqr: {
+        comm::Communicator self;
+        qr::tsqr(x.view(), self);
+        break;
+      }
+    }
+    state.PauseTiming();
+    if (info != 0) {
+      ++failures;
+    } else {
+      orth = double(la::orthogonality_error(x.cview()));
+    }
+    state.ResumeTiming();
+  }
+  state.counters["orth_err"] = orth;
+  state.counters["potrf_failures"] = failures;
+}
+
+void register_all() {
+  static const char* names[] = {"CholQR1", "CholQR2", "sCholQR2", "HHQR", "TSQR"};
+  for (int v = 0; v <= kTsqr; ++v) {
+    for (int lk : {1, 4, 7, 10}) {
+      const std::string name =
+          std::string("QR/") + names[v] + "/kappa=1e" + std::to_string(lk);
+      benchmark::RegisterBenchmark(name.c_str(), BM_QrVariant)->Args({v, lk});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// DFT self-consistency loop: sequences of correlated eigenproblems.
+//
+// ChASE's original motivation (Section 1): in Density Functional Theory the
+// Hamiltonian is rebuilt every self-consistency step from the previous
+// density, so consecutive eigenproblems are strongly correlated — and an
+// iterative solver can be fed the previous step's eigenvectors as the
+// initial subspace, cutting the MatVec count dramatically.
+//
+// This example simulates such a sequence: H_k = H_0 + epsilon_k * P with a
+// shrinking Hermitian perturbation (the paper's reference [5] shows real
+// DFT sequences behave this way) and compares cold starts (random subspace
+// every step) against warm starts (previous eigenvectors seed the subspace).
+#include <complex>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/sequence.hpp"
+#include "core/sequential.hpp"
+#include "gen/spectrum.hpp"
+
+namespace {
+
+using namespace chase;
+using T = std::complex<double>;
+
+la::Matrix<T> random_hermitian(la::Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix<T> g(n, n);
+  for (la::Index j = 0; j < n; ++j) {
+    for (la::Index i = 0; i < n; ++i) g(i, j) = rng.gaussian<T>();
+  }
+  la::Matrix<T> a(n, n);
+  for (la::Index j = 0; j < n; ++j) {
+    for (la::Index i = 0; i < n; ++i) {
+      a(i, j) = (g(i, j) + conjugate(g(j, i))) / 2.0;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  const la::Index n = 300;
+  const la::Index nev = 12, nex = 6;
+
+  auto h0 = gen::hermitian_with_spectrum<T>(
+      gen::dft_like_spectrum<double>(n, 7), 7);
+  auto pert = random_hermitian(n, 8);
+
+  core::ChaseConfig cfg;
+  cfg.nev = nev;
+  cfg.nex = nex;
+  cfg.tol = 1e-9;
+
+  std::printf("DFT-like sequence of correlated eigenproblems "
+              "(N=%lld, nev=%lld, tol=%.0e)\n",
+              (long long)n, (long long)nev, cfg.tol);
+  std::printf("%6s %10s | %8s %9s | %8s %9s\n", "step", "epsilon",
+              "cold it", "cold MV", "warm it", "warm MV");
+
+  core::ChaseSequence<T> seq(cfg, /*warm_initial_degree=*/10);
+  long cold_total = 0, warm_total = 0;
+  double eps = 0.05;
+  for (int step = 0; step < 5; ++step, eps *= 0.3) {
+    la::Matrix<T> h = la::clone(h0.cview());
+    for (la::Index j = 0; j < n; ++j) {
+      for (la::Index i = 0; i < n; ++i) h(i, j) += T(eps) * pert(i, j);
+    }
+
+    auto cold = core::solve_sequential<T>(h.cview(), cfg);
+    // ChaseSequence re-feeds the previous eigenvectors and lowers the
+    // first-iteration degree (the residuals already start at O(eps)).
+    comm::Communicator self;
+    comm::Grid2d grid(self, 1, 1);
+    auto map = dist::IndexMap::block(n, 1);
+    dist::DistHermitianMatrix<T> hd(grid, map, map);
+    hd.fill_from_global(h.cview());
+    const bool first = !seq.has_guess();
+    auto warm = seq.solve_next(hd);
+    std::printf("%6d %10.2e | %8d %9ld | %8d %9ld%s\n", step, eps,
+                cold.iterations, cold.matvecs, warm.iterations, warm.matvecs,
+                first ? "  (first step: cold by definition)" : "");
+    cold_total += cold.matvecs;
+    warm_total += warm.matvecs;
+  }
+  std::printf("\ntotal MatVecs: cold %ld vs warm %ld (%.2fx saved) — the "
+              "reason ChASE is an\niterative solver for DFT sequences "
+              "(Section 1 and reference [5]).\n",
+              cold_total, warm_total,
+              double(cold_total) / double(std::max(warm_total, 1L)));
+  return 0;
+}

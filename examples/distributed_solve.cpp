@@ -1,0 +1,78 @@
+// Distributed solve on a 2D process grid — the full Algorithm 2 pipeline.
+//
+// Demonstrates the cluster-facing API: an SPMD Team stands in for MPI, the
+// Hermitian matrix is distributed block-wise on a square grid, and the
+// solver runs with either the STD (host-staged MPI) or NCCL (device-direct)
+// communication backend. The per-kernel cost decomposition recorded by the
+// trackers — computation / communication / data movement for Filter, QR,
+// Rayleigh-Ritz and Residuals — is printed for both backends, the same
+// instrumentation the Figure 2 experiment uses.
+#include <complex>
+#include <cstdio>
+
+#include "core/chase.hpp"
+#include "gen/spectrum.hpp"
+#include "perf/cost_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chase;
+  using T = std::complex<double>;
+
+  const la::Index n = argc > 1 ? std::atoll(argv[1]) : 512;
+  const int p = 2;  // 2x2 grid, "as square as possible" (Section 2.2)
+
+  auto h_full = gen::hermitian_with_spectrum<T>(
+      gen::dft_like_spectrum<double>(n, 17), 17);
+
+  core::ChaseConfig cfg;
+  cfg.nev = 16;
+  cfg.nex = 8;
+  cfg.tol = 1e-10;
+
+  for (perf::Backend backend :
+       {perf::Backend::kStdGpu, perf::Backend::kNcclGpu}) {
+    std::vector<perf::Tracker> trackers(std::size_t(p) * std::size_t(p));
+    core::ChaseResult<T> result;
+
+    comm::Team team(p * p, backend);
+    team.run(
+        [&](comm::Communicator& world) {
+          comm::Grid2d grid(world, p, p);
+          auto map = dist::IndexMap::block(n, p);
+          dist::DistHermitianMatrix<T> hd(grid, map, map);
+          hd.fill_from_global(h_full.cview());
+
+          auto r = core::solve(hd, cfg);
+
+          // The eigenvectors come back distributed (local C-layout rows);
+          // assemble them only if the application needs the full block.
+          la::Matrix<T> full(n, cfg.nev);
+          dist::gather_rows(grid.col_comm(), map,
+                            r.eigenvectors.view().as_const(), full.view());
+          if (world.rank() == 0) result = std::move(r);
+        },
+        &trackers);
+
+    std::printf("backend %-4s: converged=%s iters=%d matvecs=%ld  "
+                "lambda_0=%.8f\n",
+                std::string(backend_name(backend)).c_str(),
+                result.converged ? "yes" : "no", result.iterations,
+                result.matvecs, result.eigenvalues.front());
+
+    // Per-kernel event summary from rank 0 (the Figure 2 decomposition).
+    const auto& t = trackers[0];
+    std::printf("  %-8s %12s %14s %14s\n", "kernel", "collectives",
+                "coll bytes", "staging bytes");
+    for (perf::Region r : {perf::Region::kFilter, perf::Region::kQr,
+                           perf::Region::kRayleighRitz,
+                           perf::Region::kResidual}) {
+      const auto& c = t.costs(r);
+      std::printf("  %-8s %12zu %14zu %14zu\n",
+                  std::string(perf::region_name(r)).c_str(), c.coll_count,
+                  c.coll_bytes, c.memcpy_bytes);
+    }
+  }
+  std::printf("\nNCCL eliminates every staging byte while the numerics are "
+              "bitwise identical\n(Section 3.3).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Matrix-free solve: lowest modes of a 3D Laplacian that is never assembled.
+//
+// ChASE is "a full-fledged numerical eigensolver that can also be used
+// outside the electronic structure domain" (Section 2); this example feeds
+// the solver a 7-point finite-difference Laplacian through the matrix-free
+// operator interface — O(1) matrix storage for an N = nx*ny*nz problem —
+// and verifies the computed modes against the closed-form eigenvalues.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/operator.hpp"
+#include "core/sequential.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chase;
+  using T = double;
+
+  const la::Index nx = argc > 1 ? std::atoll(argv[1]) : 12;
+  const la::Index ny = argc > 2 ? std::atoll(argv[2]) : 12;
+  const la::Index nz = argc > 3 ? std::atoll(argv[3]) : 10;
+  core::Laplacian3D<T> lap{nx, ny, nz};
+  const la::Index n = lap.size();
+  std::printf("3D Dirichlet Laplacian, %lld x %lld x %lld grid "
+              "(N = %lld, matrix never assembled: %d bytes of operator "
+              "state)\n",
+              (long long)nx, (long long)ny, (long long)nz, (long long)n,
+              int(sizeof(lap)));
+
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  auto map = dist::IndexMap::block(n, 1);
+  core::MatrixFreeOperator<T, core::Laplacian3D<T>> hop(grid, map, map, lap);
+
+  core::ChaseConfig cfg;
+  cfg.nev = 12;
+  cfg.nex = 8;
+  cfg.tol = 1e-10;
+  auto r = core::solve(hop, cfg);
+  std::printf("%s in %d iterations (%ld MatVecs)\n",
+              r.converged ? "converged" : "NOT converged", r.iterations,
+              r.matvecs);
+
+  auto exact = lap.exact_eigenvalues();
+  std::printf("%4s %16s %16s %10s\n", "mode", "computed", "exact", "error");
+  for (la::Index j = 0; j < cfg.nev; ++j) {
+    std::printf("%4lld %16.12f %16.12f %10.2e\n", (long long)j,
+                r.eigenvalues[std::size_t(j)], exact[std::size_t(j)],
+                std::abs(r.eigenvalues[std::size_t(j)] -
+                         exact[std::size_t(j)]));
+  }
+  return r.converged ? 0 : 1;
+}

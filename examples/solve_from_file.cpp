@@ -1,0 +1,107 @@
+// Command-line solver: read a Hermitian matrix from disk, compute its lowest
+// eigenpairs, optionally write the eigenvectors back.
+//
+// Usage:
+//   solve_from_file gen <path> <n>            # create a demo matrix file
+//   solve_from_file solve <path> <nev> [nex] [tol] [--evec out.mat]
+//
+// Accepted inputs: the chase binary container (.mat, see la/io.hpp) and
+// dense MatrixMarket (.mtx), complex double either way.
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/sequential.hpp"
+#include "gen/spectrum.hpp"
+#include "la/io.hpp"
+
+namespace {
+
+using namespace chase;
+using T = std::complex<double>;
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+la::Matrix<T> load(const std::string& path) {
+  return ends_with(path, ".mtx") ? la::load_matrix_market<T>(path)
+                                 : la::load_binary<T>(path);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  solve_from_file gen <path> <n>\n"
+               "  solve_from_file solve <path> <nev> [nex] [tol] "
+               "[--evec out.mat]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string mode = argv[1];
+  const std::string path = argv[2];
+
+  if (mode == "gen") {
+    if (argc < 4) return usage();
+    const la::Index n = std::atoll(argv[3]);
+    auto h = gen::hermitian_with_spectrum<T>(
+        gen::dft_like_spectrum<double>(n, 2026), 2026);
+    if (ends_with(path, ".mtx")) {
+      la::save_matrix_market(h.cview(), path, /*hermitian=*/true);
+    } else {
+      la::save_binary(h.cview(), path);
+    }
+    std::printf("wrote %lld x %lld Hermitian matrix to %s\n", (long long)n,
+                (long long)n, path.c_str());
+    return 0;
+  }
+
+  if (mode != "solve" || argc < 4) return usage();
+  core::ChaseConfig cfg;
+  cfg.nev = std::atoll(argv[3]);
+  cfg.nex = argc > 4 && argv[4][0] != '-' ? std::atoll(argv[4])
+                                          : std::max<la::Index>(cfg.nev / 4, 4);
+  cfg.tol = 1e-10;
+  std::string evec_out;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--evec") == 0 && i + 1 < argc) {
+      evec_out = argv[i + 1];
+    } else if (argv[i][0] != '-' && i == 5) {
+      cfg.tol = std::atof(argv[i]);
+    }
+  }
+
+  la::Matrix<T> h;
+  try {
+    h = load(path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (h.rows() != h.cols()) {
+    std::fprintf(stderr, "error: %s is not square\n", path.c_str());
+    return 1;
+  }
+  std::printf("loaded %lld x %lld matrix from %s\n", (long long)h.rows(),
+              (long long)h.cols(), path.c_str());
+
+  auto r = core::solve_sequential<T>(h.cview(), cfg);
+  std::printf("%s after %d iterations (%ld MatVecs)\n",
+              r.converged ? "converged" : "NOT converged", r.iterations,
+              r.matvecs);
+  for (la::Index j = 0; j < cfg.nev; ++j) {
+    std::printf("  lambda[%3lld] = %.12f\n", (long long)j,
+                r.eigenvalues[std::size_t(j)]);
+  }
+  if (!evec_out.empty()) {
+    la::save_binary(r.eigenvectors.view().as_const(), evec_out);
+    std::printf("eigenvectors written to %s\n", evec_out.c_str());
+  }
+  return r.converged ? 0 : 1;
+}

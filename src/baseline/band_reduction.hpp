@@ -1,0 +1,86 @@
+// Householder reduction of a dense Hermitian matrix to banded form — the
+// first stage of the ELPA2-style two-stage direct eigensolver the paper
+// benchmarks ChASE against (Section 4.5.2).
+//
+// For each column k, a reflector acting on rows [k+band, n) annihilates the
+// entries below the band; the similarity transform A <- H^H A H preserves
+// the spectrum and previously created zeros (any earlier column c < k is
+// already zero on all rows >= c + band >= the reflector's range). band == 1
+// reproduces the classic full tridiagonalization.
+//
+// This is a correctness-first reference implementation on full storage; the
+// two-GEMM-rich-stages efficiency argument of ELPA2 on clusters is captured
+// by the analytic cost model in src/perf/elpa_model.hpp, not by this code.
+#pragma once
+
+#include <vector>
+
+#include "la/householder.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::baseline {
+
+using la::Index;
+
+/// Reduce the Hermitian matrix `a` in place to semibandwidth `band`,
+/// accumulating the unitary transform into `q` (which must be initialized,
+/// typically to the identity): A_in = Q A_band Q^H with Q = q_out * q_in^{-1}
+/// ... i.e. q is right-multiplied by every reflector.
+template <typename T>
+void reduce_to_band(la::MatrixView<T> a, Index band, la::MatrixView<T> q) {
+  const Index n = a.rows();
+  CHASE_CHECK(a.cols() == n && band >= 1);
+  CHASE_CHECK(q.rows() == n && q.cols() == n);
+
+  std::vector<T> v(static_cast<std::size_t>(n));
+  std::vector<T> work(static_cast<std::size_t>(n));
+
+  for (Index k = 0; k + band + 1 < n; ++k) {
+    const Index s = k + band;  // first row kept inside the band
+    const Index m = n - s;     // reflector length
+    T alpha = a(s, k);
+    auto refl = la::larfg(alpha, m - 1, a.col(k) + s + 1);
+    if (refl.tau == T(0)) {
+      a(s, k) = alpha;
+      continue;
+    }
+    // v = [1; tail] (copied out before the column is overwritten).
+    v[0] = T(1);
+    for (Index i = 1; i < m; ++i) v[std::size_t(i)] = a(s + i, k);
+
+    // A <- H^H A H, exploiting that columns < k are zero on rows >= s:
+    //   left-apply H^H to A(s:n, k+1:n),
+    //   right-apply H to A(k:n, s:n).
+    la::larf_left(conjugate(refl.tau), v.data() + 1, m,
+                  a.block(s, k + 1, m, n - k - 1), work.data());
+    la::larf_right(refl.tau, v.data() + 1, m, a.block(k, s, n - k, m),
+                   work.data());
+
+    // Column k and (by Hermitian symmetry) row k take their closed form.
+    a(s, k) = T(refl.beta);
+    for (Index i = s + 1; i < n; ++i) a(i, k) = T(0);
+    a(k, s) = T(refl.beta);
+    for (Index j = s + 1; j < n; ++j) a(k, j) = T(0);
+
+    // Accumulate Q <- Q H.
+    la::larf_right(refl.tau, v.data() + 1, m, q.block(0, s, n, m),
+                   work.data());
+  }
+}
+
+/// Semibandwidth of a Hermitian matrix (largest |i - j| with a_ij != 0,
+/// up to `tol` in absolute value) — used by the tests.
+template <typename T>
+Index semibandwidth(la::ConstMatrixView<T> a, RealType<T> tol) {
+  Index bw = 0;
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = 0; i < a.rows(); ++i) {
+      if (abs_value(a(i, j)) > tol) {
+        bw = std::max(bw, std::abs(i - j));
+      }
+    }
+  }
+  return bw;
+}
+
+}  // namespace chase::baseline

@@ -1,0 +1,143 @@
+// Band -> tridiagonal reduction by Givens bulge chasing (the Schwarz /
+// Kaufman scheme behind LAPACK zhbtrd and ELPA2's second stage).
+//
+// For each column k the band entries below the first subdiagonal are
+// annihilated outermost-first with complex Givens rotations; every
+// annihilation spawns a bulge one band-width further down, which is chased
+// off the matrix with follow-up rotations. The rotation count is O(n^2)
+// (times O(b) chase steps each), and — unlike a Householder reduction of the
+// banded matrix — no dense fill is ever created, which is the property that
+// makes the two-stage ELPA2 pipeline worthwhile.
+//
+// This reference implementation stores the matrix fully (rotations are
+// applied to complete rows/columns); the banded-storage optimization does
+// not change the arithmetic.
+#pragma once
+
+#include <cmath>
+
+#include "la/matrix.hpp"
+
+namespace chase::baseline {
+
+namespace detail {
+
+/// Complex Givens pair (c real, s complex) zeroing `bval` into `aval`:
+/// [c, s; -conj(s), c] * [a; b] = [r; 0] with |r| = hypot(|a|, |b|).
+template <typename T>
+void givens(T aval, T bval, RealType<T>& c, T& s) {
+  using R = RealType<T>;
+  const R an = abs_value(aval);
+  const R bn = abs_value(bval);
+  if (bn == R(0)) {
+    c = R(1);
+    s = T(0);
+    return;
+  }
+  if (an == R(0)) {
+    c = R(0);
+    s = conjugate(bval) / T(bn);
+    return;
+  }
+  const R r = std::hypot(an, bn);
+  c = an / r;
+  s = (aval / T(an)) * conjugate(bval) / T(r);
+}
+
+/// Hermitian congruence A <- G A G^H with G = [c, s; -conj(s), c] acting on
+/// rows/columns (i, j), plus Q <- Q G^H accumulation.
+template <typename T>
+void apply_rotation(la::MatrixView<T> a, la::MatrixView<T> q, la::Index i,
+                    la::Index j, RealType<T> c, T s) {
+  const la::Index n = a.rows();
+  // Left: rows i, j of A.
+  for (la::Index col = 0; col < n; ++col) {
+    const T x = a(i, col);
+    const T y = a(j, col);
+    a(i, col) = T(c) * x + s * y;
+    a(j, col) = -conjugate(s) * x + T(c) * y;
+  }
+  // Right: columns i, j of A (with G^H).
+  for (la::Index row = 0; row < n; ++row) {
+    const T x = a(row, i);
+    const T y = a(row, j);
+    a(row, i) = T(c) * x + conjugate(s) * y;
+    a(row, j) = -s * x + T(c) * y;
+  }
+  // Q <- Q G^H (columns i, j).
+  for (la::Index row = 0; row < q.rows(); ++row) {
+    const T x = q(row, i);
+    const T y = q(row, j);
+    q(row, i) = T(c) * x + conjugate(s) * y;
+    q(row, j) = -s * x + T(c) * y;
+  }
+}
+
+}  // namespace detail
+
+/// Reduce a Hermitian matrix of semibandwidth <= `band` to (complex-
+/// subdiagonal) tridiagonal form in place, accumulating the unitary
+/// transform into q (right-multiplied: pass identity to obtain Q with
+/// A_in = Q T Q^H).
+template <typename T>
+void band_to_tridiag(la::MatrixView<T> a, la::Index band,
+                     la::MatrixView<T> q) {
+  using R = RealType<T>;
+  const la::Index n = a.rows();
+  CHASE_CHECK(a.cols() == n && band >= 1);
+  CHASE_CHECK(q.rows() == n && q.cols() == n);
+  if (band == 1 || n <= 2) return;
+
+  for (la::Index k = 0; k + 2 < n; ++k) {
+    const la::Index dmax = std::min<la::Index>(band, n - 1 - k);
+    for (la::Index d = dmax; d >= 2; --d) {
+      if (abs_value(a(k + d, k)) == R(0)) continue;
+      // Annihilate A(k+d, k) against A(k+d-1, k), then chase the bulge.
+      la::Index i = k + d - 1;  // upper row of the rotation pair
+      la::Index bulge_col = k;
+      while (true) {
+        R c;
+        T s;
+        detail::givens(a(i, bulge_col), a(i + 1, bulge_col), c, s);
+        detail::apply_rotation(a, q, i, i + 1, c, s);
+        a(i + 1, bulge_col) = T(0);           // exact zero by construction
+        a(bulge_col, i + 1) = T(0);
+        // The rotation on (i, i+1) spills A(i+1+band, i) outside the band.
+        const la::Index bulge_row = i + 1 + band;
+        if (bulge_row >= n) break;
+        bulge_col = i;
+        i = bulge_row - 1;
+      }
+    }
+  }
+}
+
+/// Extract the real tridiagonal (d, e) from a complex-subdiagonal
+/// tridiagonal matrix by a diagonal phase similarity; the phases are folded
+/// into q's columns so that A_in = Q T_real Q^H still holds.
+template <typename T>
+void tridiag_make_real(la::ConstMatrixView<T> a, la::MatrixView<T> q,
+                       std::vector<RealType<T>>& d,
+                       std::vector<RealType<T>>& e) {
+  using R = RealType<T>;
+  const la::Index n = a.rows();
+  d.assign(static_cast<std::size_t>(n), R(0));
+  e.assign(static_cast<std::size_t>(std::max<la::Index>(n - 1, 0)), R(0));
+  T phase(1);
+  for (la::Index i = 0; i < n; ++i) {
+    d[std::size_t(i)] = real_part(a(i, i));
+    if (i > 0) {
+      // Scale column i of Q by the accumulated phase.
+      for (la::Index r = 0; r < q.rows(); ++r) q(r, i) *= phase;
+    }
+    if (i + 1 < n) {
+      const T sub = a(i + 1, i);
+      const R mag = abs_value(sub);
+      e[std::size_t(i)] = mag;
+      // phi_{i+1} = phi_i * sgn(sub): T' = Phi^H T Phi has |sub| offdiag.
+      phase = mag == R(0) ? phase : phase * (sub / T(mag));
+    }
+  }
+}
+
+}  // namespace chase::baseline

@@ -1,0 +1,73 @@
+#include "capi/chase_c.h"
+
+#include <complex>
+#include <cstring>
+
+#include "core/sequential.hpp"
+
+namespace {
+
+using namespace chase;
+
+template <typename T>
+int solve_lowest(const T* h, long n, const chase_params* p,
+                 RealType<T>* w, T* z) {
+  if (h == nullptr || w == nullptr || p == nullptr || n <= 0 || p->nev <= 0 ||
+      p->nev + p->nex > n) {
+    return CHASE_INVALID_ARGUMENT;
+  }
+  core::ChaseConfig cfg;
+  cfg.nev = p->nev;
+  cfg.nex = p->nex > 0 ? p->nex : std::max<long>(p->nev / 4, 4);
+  cfg.tol = p->tol > 0 ? p->tol : 1e-10;
+  cfg.max_iterations = p->max_iterations > 0 ? p->max_iterations : 40;
+  cfg.optimize_degree = p->optimize_degree != 0;
+  cfg.initial_degree = p->initial_degree > 1 ? p->initial_degree : 20;
+  cfg.max_degree = p->max_degree > 1 ? p->max_degree : 36;
+  cfg.seed = p->seed != 0 ? p->seed : 2023;
+
+  try {
+    la::ConstMatrixView<T> hv(h, n, n, n);
+    auto result = core::solve_sequential<T>(hv, cfg);
+    for (long j = 0; j < p->nev; ++j) {
+      w[j] = result.eigenvalues[std::size_t(j)];
+    }
+    if (z != nullptr) {
+      for (long j = 0; j < p->nev; ++j) {
+        std::memcpy(z + std::size_t(j) * std::size_t(n),
+                    result.eigenvectors.col(j), sizeof(T) * std::size_t(n));
+      }
+    }
+    return result.converged ? CHASE_SUCCESS : CHASE_NOT_CONVERGED;
+  } catch (const Error&) {
+    return CHASE_INVALID_ARGUMENT;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+void chase_default_params(long nev, chase_params* p) {
+  p->nev = nev;
+  p->nex = nev / 4 > 4 ? nev / 4 : 4;
+  p->tol = 1e-10;
+  p->max_iterations = 40;
+  p->optimize_degree = 1;
+  p->initial_degree = 20;
+  p->max_degree = 36;
+  p->seed = 2023;
+}
+
+int chase_zheev_lowest(const double* h, long n, const chase_params* p,
+                       double* w, double* z) {
+  return solve_lowest(reinterpret_cast<const std::complex<double>*>(h), n, p,
+                      w, reinterpret_cast<std::complex<double>*>(z));
+}
+
+int chase_dsyev_lowest(const double* h, long n, const chase_params* p,
+                       double* w, double* z) {
+  return solve_lowest(h, n, p, w, z);
+}
+
+}  // extern "C"

@@ -1,0 +1,56 @@
+/* C interface to the ChASE eigensolver.
+ *
+ * The real ChASE library ships C and Fortran bindings so electronic-
+ * structure codes (FLEUR, the BSE drivers of Table 1) can call it without a
+ * C++ toolchain; this header provides the same surface for this
+ * reproduction. Matrices are dense column-major; complex scalars are
+ * interleaved (re, im) doubles, binary-compatible with C99 `double complex`
+ * and Fortran `complex*16`.
+ */
+#ifndef CHASE_REPRO_CAPI_CHASE_C_H_
+#define CHASE_REPRO_CAPI_CHASE_C_H_
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct chase_params {
+  long nev;             /* wanted lowest eigenpairs */
+  long nex;             /* extra search directions (default: max(nev/4, 4)) */
+  double tol;           /* relative residual threshold (default 1e-10) */
+  int max_iterations;   /* outer iteration cap (default 40) */
+  int optimize_degree;  /* per-vector filter degree optimization (default 1) */
+  int initial_degree;   /* first-iteration Chebyshev degree (default 20) */
+  int max_degree;       /* degree cap (default 36) */
+  unsigned long seed;   /* random-subspace seed (default 2023) */
+} chase_params;
+
+/* Fill `p` with the library defaults for `nev` wanted pairs. */
+void chase_default_params(long nev, chase_params* p);
+
+/* Return codes. */
+enum {
+  CHASE_SUCCESS = 0,
+  CHASE_NOT_CONVERGED = 1,
+  CHASE_INVALID_ARGUMENT = -1,
+};
+
+/* Lowest eigenpairs of a complex Hermitian matrix.
+ *   h: n x n column-major, interleaved complex double; only read.
+ *   w: out, p->nev eigenvalues ascending.
+ *   z: out, n x p->nev column-major complex eigenvectors; may be NULL.
+ * Returns CHASE_SUCCESS, CHASE_NOT_CONVERGED (w/z hold the best available
+ * approximations), or CHASE_INVALID_ARGUMENT.
+ */
+int chase_zheev_lowest(const double* h, long n, const chase_params* p,
+                       double* w, double* z);
+
+/* Lowest eigenpairs of a real symmetric matrix (column-major doubles). */
+int chase_dsyev_lowest(const double* h, long n, const chase_params* p,
+                       double* w, double* z);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* CHASE_REPRO_CAPI_CHASE_C_H_ */

@@ -1,0 +1,157 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace chase::comm {
+
+namespace detail {
+
+CommState::CommState(int sz)
+    : size(sz),
+      barrier(sz),
+      slots(std::size_t(sz)),
+      split_requests(std::size_t(sz)) {}
+
+}  // namespace detail
+
+void Communicator::barrier() const {
+  if (size() == 1) return;
+  state_->barrier.arrive_and_wait();
+}
+
+void Communicator::publish_and_sync(const void* ptr, std::size_t bytes,
+                                    int tag) const {
+  auto& slot = state_->slots[std::size_t(rank_)];
+  slot.ptr = ptr;
+  slot.bytes = bytes;
+  slot.tag = tag;
+  state_->barrier.arrive_and_wait();
+  // SPMD-mismatch detection: every rank must be in the same collective.
+  for (int r = 0; r < size(); ++r) {
+    CHASE_ABORT_IF(state_->slots[std::size_t(r)].tag != tag,
+                   "ranks disagree on the collective being executed");
+  }
+}
+
+void Communicator::account_begin() const {
+  if (auto* t = perf::thread_tracker()) t->begin_collective();
+}
+
+void Communicator::account_end(perf::CollKind kind, std::size_t bytes) const {
+  auto* t = perf::thread_tracker();
+  if (t == nullptr) return;
+  // ChASE(STD): the payload lives on the device, so the MPI collective is
+  // bracketed by explicit staging copies (Section 3.3). ChASE(NCCL) and the
+  // CPU build communicate in place.
+  if (backend_ == Backend::kStdGpu) {
+    t->record_memcpy(bytes, /*to_device=*/false);
+  }
+  t->end_collective(kind, bytes, size());
+  if (backend_ == Backend::kStdGpu) {
+    t->record_memcpy(bytes, /*to_device=*/true);
+  }
+}
+
+Communicator Communicator::split(int color, int key) const {
+  if (size() == 1) {
+    return Communicator(std::make_shared<detail::CommState>(1), 0, backend_);
+  }
+  auto& st = *state_;
+  st.split_requests[std::size_t(rank_)] = {color, key};
+  st.barrier.arrive_and_wait();
+
+  // split_requests is stable only between the two barriers (a fast rank may
+  // overwrite its slot for a subsequent split immediately after the second
+  // one), so both the group construction and the membership scan happen here.
+  if (rank_ == 0) {
+    st.split_children.clear();
+    std::map<int, int> group_sizes;
+    for (const auto& [c, k] : st.split_requests) {
+      (void)k;
+      group_sizes[c] += 1;
+    }
+    for (const auto& [c, sz] : group_sizes) {
+      st.split_children[c] = std::make_shared<detail::CommState>(sz);
+    }
+  }
+  // My rank in the child: position of (key, old rank) among my color group.
+  std::vector<std::pair<int, int>> members;
+  for (int r = 0; r < size(); ++r) {
+    const auto& [c, k] = st.split_requests[std::size_t(r)];
+    if (c == color) members.emplace_back(k, r);
+  }
+  std::sort(members.begin(), members.end());
+  int my_child_rank = 0;
+  for (int i = 0; i < int(members.size()); ++i) {
+    if (members[std::size_t(i)].second == rank_) {
+      my_child_rank = i;
+      break;
+    }
+  }
+  st.barrier.arrive_and_wait();
+
+  auto child = st.split_children.at(color);
+  return Communicator(std::move(child), my_child_rank, backend_);
+}
+
+Team::Team(int nranks, Backend backend) : nranks_(nranks), backend_(backend) {
+  CHASE_CHECK_MSG(nranks >= 1, "Team needs at least one rank");
+}
+
+void Team::run(const std::function<void(Communicator&)>& fn,
+               std::vector<perf::Tracker>* trackers) {
+  CHASE_CHECK(trackers == nullptr || int(trackers->size()) == nranks_);
+  auto state = std::make_shared<detail::CommState>(nranks_);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+  threads.reserve(std::size_t(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      perf::Tracker* tracker =
+          trackers != nullptr ? &(*trackers)[std::size_t(r)] : nullptr;
+      if (tracker != nullptr) perf::set_thread_tracker(tracker);
+      try {
+        Communicator comm(state, r, backend_);
+        fn(comm);
+      } catch (...) {
+        // Throwing between matching collectives would deadlock siblings; the
+        // SPMD code is written not to throw, so this only fires for
+        // symmetric failures (e.g. a precondition all ranks violate).
+        errors[std::size_t(r)] = std::current_exception();
+      }
+      if (tracker != nullptr) {
+        tracker->flush();
+        perf::set_thread_tracker(nullptr);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+Grid2d::Grid2d(const Communicator& world, int nprow, int npcol)
+    : world_(world), nprow_(nprow), npcol_(npcol) {
+  CHASE_CHECK_MSG(nprow * npcol == world.size(),
+                  "grid shape does not match communicator size");
+  my_row_ = world.rank() / npcol;
+  my_col_ = world.rank() % npcol;
+  // Column communicator: ranks sharing my grid column, ordered by row.
+  col_ = world.split(/*color=*/my_col_, /*key=*/my_row_);
+  // Row communicator: ranks sharing my grid row, ordered by column.
+  row_ = world.split(/*color=*/my_row_, /*key=*/my_col_);
+}
+
+std::pair<int, int> Grid2d::nearly_square(int p) {
+  CHASE_CHECK(p >= 1);
+  int best = 1;
+  for (int d = 1; d * d <= p; ++d) {
+    if (p % d == 0) best = d;
+  }
+  return {best, p / best};
+}
+
+}  // namespace chase::comm

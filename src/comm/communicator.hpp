@@ -1,0 +1,277 @@
+// In-process SPMD runtime standing in for MPI + NCCL.
+//
+// A Team launches one thread per rank and hands each a Communicator whose
+// collectives have MPI semantics: all_reduce (elementwise reduction,
+// deterministic order, identical result on every rank), broadcast,
+// all_gather(_v), barrier and split. The distributed ChASE drivers are
+// written exactly as the MPI/NCCL code of the paper would be; the only
+// difference is that the transport is shared memory.
+//
+// The Backend tag reproduces the paper's three communication variants:
+//  - kHostMpi: buffers live on the host, plain MPI collectives
+//    (the CPU build of ChASE);
+//  - kStdGpu: ChASE(STD) — buffers live on the device, so every collective
+//    pays an explicit device-to-host staging copy, an MPI collective, and a
+//    host-to-device copy back (Section 3.3);
+//  - kNcclGpu: ChASE(NCCL) — device-direct collectives, no staging.
+// The data path is identical for all three; the difference is recorded in
+// the thread-local perf::Tracker (staging MemcpyEvents + which collective
+// cost model applies), which is what the Figure 2/3 benches consume.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+#include "la/matrix.hpp"
+#include "perf/backend.hpp"
+#include "perf/tracker.hpp"
+
+namespace chase::comm {
+
+using la::Index;
+using perf::Backend;
+using perf::backend_name;
+
+enum class Reduction { kSum, kMax, kMin };
+
+namespace detail {
+
+/// Shared state of one communicator: a barrier plus per-rank publication
+/// slots used by the collectives.
+struct CommState {
+  explicit CommState(int size);
+
+  int size;
+  std::barrier<> barrier;
+
+  struct Slot {
+    const void* ptr = nullptr;
+    std::size_t bytes = 0;
+    int tag = 0;  // collective kind + dtype, for SPMD-mismatch detection
+  };
+  std::vector<Slot> slots;
+
+  // split() coordination.
+  std::vector<std::pair<int, int>> split_requests;  // (color, key) per rank
+  std::map<int, std::shared_ptr<CommState>> split_children;
+  std::mutex split_mutex;
+};
+
+}  // namespace detail
+
+class Communicator {
+ public:
+  Communicator() = default;
+
+  int rank() const { return rank_; }
+  int size() const { return state_ ? state_->size : 1; }
+  Backend backend() const { return backend_; }
+
+  void barrier() const;
+
+  /// In-place elementwise reduction; every rank ends with the identical
+  /// result, accumulated in rank order (deterministic, like a fixed-topology
+  /// MPI_Allreduce).
+  template <typename T>
+  void all_reduce(T* data, Index count, Reduction op = Reduction::kSum) const;
+
+  /// Root's buffer is copied to every rank.
+  template <typename T>
+  void broadcast(T* data, Index count, int root) const;
+
+  /// Equal-count allgather: recv must hold size()*count elements; rank r's
+  /// contribution lands at offset r*count.
+  template <typename T>
+  void all_gather(const T* send, Index count, T* recv) const;
+
+  /// Variable-count allgather with explicit receive offsets.
+  template <typename T>
+  void all_gather_v(const T* send, Index count, T* recv,
+                    const std::vector<Index>& counts,
+                    const std::vector<Index>& displs) const;
+
+  /// Collective: partitions ranks by color; ranks sharing a color form a new
+  /// communicator ordered by (key, old rank). Every rank must call.
+  Communicator split(int color, int key) const;
+
+ private:
+  friend class Team;
+  Communicator(std::shared_ptr<detail::CommState> state, int rank,
+               Backend backend)
+      : state_(std::move(state)), rank_(rank), backend_(backend) {}
+
+  void publish_and_sync(const void* ptr, std::size_t bytes, int tag) const;
+  const void* peer_ptr(int r) const { return state_->slots[std::size_t(r)].ptr; }
+
+  // Perf accounting around a collective body, including the STD backend's
+  // staging copies (Section 3.3): D2H before, H2D after.
+  void account_begin() const;
+  void account_end(perf::CollKind kind, std::size_t bytes) const;
+
+  std::shared_ptr<detail::CommState> state_;
+  int rank_ = 0;
+  Backend backend_ = Backend::kHostMpi;
+};
+
+/// SPMD launcher: runs fn(comm) on `nranks` threads, each with its own
+/// world Communicator. Rethrows the first rank exception after all threads
+/// joined (ranks must not throw between matching collectives; see check.hpp).
+class Team {
+ public:
+  explicit Team(int nranks, Backend backend = Backend::kHostMpi);
+
+  int size() const { return nranks_; }
+  Backend backend() const { return backend_; }
+
+  /// Runs the SPMD region. If `trackers` is non-null it must have nranks
+  /// entries; tracker[r] is installed thread-locally on rank r.
+  void run(const std::function<void(Communicator&)>& fn,
+           std::vector<perf::Tracker>* trackers = nullptr);
+
+ private:
+  int nranks_;
+  Backend backend_;
+};
+
+/// 2D process grid with row and column communicators (Section 2.2): ranks
+/// are laid out row-major, the column communicator links ranks with the same
+/// grid column (it distributes C), the row communicator links ranks with the
+/// same grid row (it distributes B).
+class Grid2d {
+ public:
+  Grid2d(const Communicator& world, int nprow, int npcol);
+
+  int nprow() const { return nprow_; }
+  int npcol() const { return npcol_; }
+  int my_row() const { return my_row_; }
+  int my_col() const { return my_col_; }
+
+  const Communicator& world() const { return world_; }
+  /// Ranks with the same grid column; my rank inside it equals my_row().
+  const Communicator& col_comm() const { return col_; }
+  /// Ranks with the same grid row; my rank inside it equals my_col().
+  const Communicator& row_comm() const { return row_; }
+
+  /// Factor `p` into the most square nprow x npcol grid with nprow <= npcol.
+  static std::pair<int, int> nearly_square(int p);
+
+ private:
+  Communicator world_;
+  Communicator row_;
+  Communicator col_;
+  int nprow_;
+  int npcol_;
+  int my_row_;
+  int my_col_;
+};
+
+// ---- template implementations ----
+
+namespace detail {
+
+template <typename T>
+void reduce_assign(Reduction op, T& acc, const T& x) {
+  switch (op) {
+    case Reduction::kSum:
+      acc += x;
+      break;
+    case Reduction::kMax:
+      if constexpr (kIsComplex<T>) {
+        CHASE_ABORT_IF(true, "max reduction on complex type");
+      } else {
+        acc = std::max(acc, x);
+      }
+      break;
+    case Reduction::kMin:
+      if constexpr (kIsComplex<T>) {
+        CHASE_ABORT_IF(true, "min reduction on complex type");
+      } else {
+        acc = std::min(acc, x);
+      }
+      break;
+  }
+}
+
+}  // namespace detail
+
+template <typename T>
+void Communicator::all_reduce(T* data, Index count, Reduction op) const {
+  if (size() == 1) return;
+  account_begin();
+  const std::size_t bytes = std::size_t(count) * sizeof(T);
+  publish_and_sync(data, bytes, 100 + int(op));
+  std::vector<T> acc(static_cast<std::size_t>(count));
+  std::copy_n(static_cast<const T*>(peer_ptr(0)), count, acc.data());
+  for (int r = 1; r < size(); ++r) {
+    const T* src = static_cast<const T*>(peer_ptr(r));
+    for (Index i = 0; i < count; ++i) {
+      detail::reduce_assign(op, acc[std::size_t(i)], src[i]);
+    }
+  }
+  state_->barrier.arrive_and_wait();  // all ranks done reading
+  std::copy_n(acc.data(), count, data);
+  account_end(perf::CollKind::kAllReduce, bytes);
+}
+
+template <typename T>
+void Communicator::broadcast(T* data, Index count, int root) const {
+  if (size() == 1) return;
+  CHASE_ABORT_IF(root < 0 || root >= size(), "broadcast root out of range");
+  account_begin();
+  const std::size_t bytes = std::size_t(count) * sizeof(T);
+  publish_and_sync(data, bytes, 200 + root);
+  if (rank_ != root) {
+    std::copy_n(static_cast<const T*>(peer_ptr(root)), count, data);
+  }
+  state_->barrier.arrive_and_wait();  // root's buffer free again
+  account_end(perf::CollKind::kBroadcast, bytes);
+}
+
+template <typename T>
+void Communicator::all_gather(const T* send, Index count, T* recv) const {
+  account_begin();
+  const std::size_t bytes = std::size_t(count) * sizeof(T);
+  if (size() == 1) {
+    std::copy_n(send, count, recv);
+  } else {
+    publish_and_sync(send, bytes, 300);
+    for (int r = 0; r < size(); ++r) {
+      std::copy_n(static_cast<const T*>(peer_ptr(r)), count,
+                  recv + Index(r) * count);
+    }
+    state_->barrier.arrive_and_wait();
+  }
+  account_end(perf::CollKind::kAllGather, bytes);
+}
+
+template <typename T>
+void Communicator::all_gather_v(const T* send, Index count, T* recv,
+                                const std::vector<Index>& counts,
+                                const std::vector<Index>& displs) const {
+  CHASE_ABORT_IF(int(counts.size()) != size() || int(displs.size()) != size(),
+                 "all_gather_v: counts/displs size mismatch");
+  CHASE_ABORT_IF(counts[std::size_t(rank_)] != count,
+                 "all_gather_v: local count disagrees with counts[rank]");
+  account_begin();
+  const std::size_t bytes = std::size_t(count) * sizeof(T);
+  if (size() == 1) {
+    std::copy_n(send, count, recv + displs[0]);
+  } else {
+    publish_and_sync(send, bytes, 400);
+    for (int r = 0; r < size(); ++r) {
+      std::copy_n(static_cast<const T*>(peer_ptr(r)), counts[std::size_t(r)],
+                  recv + displs[std::size_t(r)]);
+    }
+    state_->barrier.arrive_and_wait();
+  }
+  account_end(perf::CollKind::kAllGather, bytes);
+}
+
+}  // namespace chase::comm

@@ -1,0 +1,59 @@
+// Error handling: precondition checks that throw, and a fatal abort for
+// invariant violations inside SPMD regions (throwing across rank threads
+// would deadlock the team barrier, so those use CHASE_ABORT_IF).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chase {
+
+/// Exception thrown on user-facing precondition violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+[[noreturn]] inline void abort_failure(const char* cond, const char* file,
+                                       int line, const char* msg) {
+  std::fprintf(stderr, "%s:%d: fatal: %s — %s\n", file, line, cond, msg);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace chase
+
+#define CHASE_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::chase::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define CHASE_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream chase_check_os_;                                    \
+      chase_check_os_ << msg;                                                \
+      ::chase::detail::throw_check_failure(#cond, __FILE__, __LINE__,        \
+                                           chase_check_os_.str());           \
+    }                                                                        \
+  } while (0)
+
+// For invariants inside rank threads: aborts instead of throwing so a broken
+// invariant never leaves sibling ranks blocked in a collective.
+#define CHASE_ABORT_IF(cond, msg)                                            \
+  do {                                                                       \
+    if (cond) ::chase::detail::abort_failure(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

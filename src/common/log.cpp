@@ -1,0 +1,42 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace chase {
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level = [] {
+    if (const char* env = std::getenv("CHASE_LOG_LEVEL")) {
+      return std::atoi(env);
+    }
+    return 0;
+  }();
+  return level;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() { return LogLevel(level_storage().load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(int(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[chase:%s] %s\n",
+               level == LogLevel::kDebug ? "debug" : "info", line.c_str());
+}
+}  // namespace detail
+
+}  // namespace chase

@@ -1,0 +1,41 @@
+// Minimal leveled logging to stderr, controllable via CHASE_LOG_LEVEL
+// (0 = silent, 1 = info, 2 = debug). Used sparingly: library code reports
+// through return values; logging is for the drivers and benches.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace chase {
+
+enum class LogLevel : int { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+/// Current level; initialized from the CHASE_LOG_LEVEL environment variable.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line);
+}
+
+}  // namespace chase
+
+#define CHASE_LOG_INFO(expr)                                       \
+  do {                                                             \
+    if (::chase::log_level() >= ::chase::LogLevel::kInfo) {        \
+      std::ostringstream chase_log_os_;                            \
+      chase_log_os_ << expr;                                       \
+      ::chase::detail::log_line(::chase::LogLevel::kInfo,          \
+                                chase_log_os_.str());              \
+    }                                                              \
+  } while (0)
+
+#define CHASE_LOG_DEBUG(expr)                                      \
+  do {                                                             \
+    if (::chase::log_level() >= ::chase::LogLevel::kDebug) {       \
+      std::ostringstream chase_log_os_;                            \
+      chase_log_os_ << expr;                                       \
+      ::chase::detail::log_line(::chase::LogLevel::kDebug,         \
+                                chase_log_os_.str());              \
+    }                                                              \
+  } while (0)

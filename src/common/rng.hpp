@@ -1,0 +1,58 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (initial subspace vectors, Lanczos start
+// vectors, Haar test matrices) draws from a Rng seeded from a user seed plus
+// a stream id, so distributed runs are reproducible regardless of the number
+// of ranks: rank r drawing stream (seed, r) sees the same values a sequential
+// run assigns to that block.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <random>
+
+#include "common/scalar.hpp"
+
+namespace chase {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0)
+      : engine_(mix(seed, stream)) {}
+
+  /// Standard normal variate of scalar type T. For complex T both parts are
+  /// N(0, 1/2) so that E|z|^2 = 1 (the convention used for random subspaces).
+  template <typename T>
+  T gaussian() {
+    if constexpr (kIsComplex<T>) {
+      using R = RealType<T>;
+      std::normal_distribution<R> d(R(0), R(1) / std::sqrt(R(2)));
+      return T(d(engine_), d(engine_));
+    } else {
+      std::normal_distribution<T> d(T(0), T(1));
+      return d(engine_);
+    }
+  }
+
+  /// Uniform variate in [lo, hi) of the real type.
+  template <typename R>
+  R uniform(R lo, R hi) {
+    std::uniform_real_distribution<R> d(lo, hi);
+    return d(engine_);
+  }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+ private:
+  // splitmix64-style mixing so (seed, stream) pairs give decorrelated engines.
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::mt19937_64 engine_;
+};
+
+}  // namespace chase

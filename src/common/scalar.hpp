@@ -1,0 +1,71 @@
+// Scalar traits shared by every numerical module.
+//
+// All kernels in this library are templated on the scalar type T, which may
+// be float, double, std::complex<float> or std::complex<double> — mirroring
+// the four precision/type instantiations of the ChASE library.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <type_traits>
+
+namespace chase {
+
+template <typename T>
+struct ScalarTraits {
+  using Real = T;
+  static constexpr bool is_complex = false;
+  static constexpr T conj(T x) noexcept { return x; }
+  static constexpr T real(T x) noexcept { return x; }
+  static constexpr T imag(T) noexcept { return T(0); }
+  static T abs(T x) noexcept { return std::abs(x); }
+};
+
+template <typename R>
+struct ScalarTraits<std::complex<R>> {
+  using Real = R;
+  static constexpr bool is_complex = true;
+  static std::complex<R> conj(std::complex<R> x) noexcept { return std::conj(x); }
+  static constexpr R real(std::complex<R> x) noexcept { return x.real(); }
+  static constexpr R imag(std::complex<R> x) noexcept { return x.imag(); }
+  static R abs(std::complex<R> x) noexcept { return std::abs(x); }
+};
+
+/// Real type underlying T (e.g. double for std::complex<double>).
+template <typename T>
+using RealType = typename ScalarTraits<T>::Real;
+
+template <typename T>
+inline constexpr bool kIsComplex = ScalarTraits<T>::is_complex;
+
+/// Complex conjugate; identity for real scalars.
+template <typename T>
+inline T conjugate(T x) noexcept {
+  return ScalarTraits<T>::conj(x);
+}
+
+template <typename T>
+inline RealType<T> real_part(T x) noexcept {
+  return ScalarTraits<T>::real(x);
+}
+
+template <typename T>
+inline RealType<T> imag_part(T x) noexcept {
+  return ScalarTraits<T>::imag(x);
+}
+
+template <typename T>
+inline RealType<T> abs_value(T x) noexcept {
+  return ScalarTraits<T>::abs(x);
+}
+
+/// Unit round-off u of the underlying real type (used by the shifted
+/// CholeskyQR shift s = 11(mn + n(n+1)) u ||X||^2 and by the kappa thresholds
+/// of Algorithm 4).
+template <typename T>
+inline constexpr RealType<T> unit_roundoff() noexcept {
+  return std::numeric_limits<RealType<T>>::epsilon() / RealType<T>(2);
+}
+
+}  // namespace chase

@@ -1,0 +1,47 @@
+// Wall-clock and per-thread CPU timers.
+//
+// The SPMD runtime multiplexes all ranks onto the host's cores, so per-rank
+// computation is measured with the thread CPU clock: in a weak-scaling run the
+// max over ranks approximates the parallel execution time even when ranks
+// time-share a single core.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace chase {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// CPU time consumed by the calling thread, in seconds.
+inline double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return double(ts.tv_sec) + 1e-9 * double(ts.tv_nsec);
+}
+
+/// Stopwatch over the calling thread's CPU clock.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(thread_cpu_seconds()) {}
+  void reset() { start_ = thread_cpu_seconds(); }
+  double seconds() const { return thread_cpu_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace chase

@@ -1,0 +1,74 @@
+// User-facing configuration of the ChASE solver.
+#pragma once
+
+#include <cstdint>
+
+#include "la/matrix.hpp"
+#include "qr/qr_selector.hpp"
+
+namespace chase::core {
+
+using la::Index;
+
+/// Dense solver used for the reduced Rayleigh-Ritz problem (Section 2.1
+/// names Divide & Conquer as the standard choice; implicit QL is the
+/// compact default).
+enum class RrSolver { kQl, kDivideConquer };
+
+struct ChaseConfig {
+  /// Number of wanted (lowest) eigenpairs.
+  Index nev = 0;
+  /// Extra search directions; the subspace has nev + nex columns. The paper
+  /// typically uses 10-40% of nev.
+  Index nex = 0;
+  /// Residual threshold ||H v - lambda v|| / |b_sup| for locking.
+  double tol = 1e-10;
+  /// Chebyshev degree of the first filter call (and of every call when
+  /// degree optimization is off). Forced even.
+  int initial_degree = 20;
+  /// Per-vector degree optimization (Algorithm 1 line 11 / Section 4.2 opt).
+  bool optimize_degree = true;
+  /// Cap on optimized degrees, "to avoid the matrix of vectors becoming too
+  /// ill-conditioned" (Section 4.2 uses 36).
+  int max_degree = 36;
+  /// Outer iteration cap.
+  int max_iterations = 40;
+  /// Lanczos parameters for the spectral-bound / DoS estimation.
+  int lanczos_steps = 25;
+  int lanczos_vectors = 4;
+  /// Seed for the random initial subspace (reproducible across grids).
+  std::uint64_t seed = 2023;
+  /// QR options (e.g. force Householder QR for the Table 2 baseline).
+  qr::QrOptions qr;
+  /// Eigensolver for the reduced n_e x n_e Rayleigh-Ritz problem.
+  RrSolver rr_solver = RrSolver::kQl;
+  /// Expert override of the Lanczos spectral estimation (the real ChASE
+  /// exposes the same knobs: DFT codes often know their spectral envelope).
+  /// When enabled, the Lanczos/DoS pass is skipped entirely. The filter
+  /// diverges if custom_b_sup underestimates lambda_max; the driver detects
+  /// the blow-up and reports converged = false instead of propagating NaNs.
+  bool use_custom_bounds = false;
+  double custom_b_sup = 0;
+  double custom_mu_1 = 0;
+  double custom_mu_ne = 0;
+
+  Index subspace() const { return nev + nex; }
+};
+
+/// Convergence/diagnostic record of one outer iteration.
+struct IterationStats {
+  int iteration = 0;
+  int locked_before = 0;
+  int locked_after = 0;
+  long matvecs = 0;           // MatVec count of this iteration's filter
+  double est_cond = 0;        // Algorithm 5 estimate for the filtered block
+  qr::QrVariant qr_variant = qr::QrVariant::kCholQr2;
+  bool qr_fallback = false;
+  double min_residual = 0;
+  double max_residual = 0;
+  /// Filter degrees of the active columns (ascending). Used by the strong-
+  /// scaling bench to replay the measured iteration structure at full scale.
+  std::vector<int> degrees;
+};
+
+}  // namespace chase::core

@@ -1,0 +1,51 @@
+// Per-vector Chebyshev degree optimization (Algorithm 1, line 11).
+//
+// The residual of Ritz pair i contracts per filter step by roughly
+// 1 / rho(t_i), with t_i the Ritz value mapped to the damped interval and
+// rho the Chebyshev growth factor. The optimal degree is therefore the
+// smallest d with res_i / rho^d <= tol — minimizing the total number of
+// MatVecs, ChASE's dominant cost. Degrees are forced even (the filter must
+// end in the C layout) and capped so the filtered block does not become too
+// ill-conditioned for the QR (Section 4.2).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "qr/condest.hpp"
+
+namespace chase::core {
+
+/// Round up to the next even integer >= 2.
+inline int round_up_even(int d) {
+  d = std::max(d, 2);
+  return d + (d % 2);
+}
+
+/// Optimized degree for one Ritz pair.
+template <typename R>
+int optimal_degree(R residual, R tol, R t, int max_degree) {
+  const R rho = qr::chebyshev_growth(t);
+  if (rho <= R(1) || residual <= tol) {
+    // Inside the damped interval there is no contraction to exploit (or the
+    // pair already converged): use the cheapest admissible even degree.
+    return residual <= tol ? 2 : round_up_even(max_degree);
+  }
+  const R needed = std::log(residual / tol) / std::log(rho);
+  const int d = int(std::ceil(needed));
+  return std::min(round_up_even(d), round_up_even(max_degree));
+}
+
+/// Degrees for the active (non-locked) Ritz pairs.
+template <typename R>
+void optimize_degrees(const std::vector<R>& ritz, const std::vector<R>& resid,
+                      R tol, R c, R e, int locked, int max_degree,
+                      std::vector<int>& degs) {
+  for (std::size_t i = std::size_t(locked); i < ritz.size(); ++i) {
+    const R t = (ritz[i] - c) / e;
+    degs[i] = optimal_degree(resid[i], tol, t, max_degree);
+  }
+}
+
+}  // namespace chase::core

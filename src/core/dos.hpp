@@ -1,0 +1,85 @@
+// Stochastic Density-of-States estimation via Lanczos quadrature.
+//
+// Each Lanczos run from a random vector yields Ritz values theta_k with
+// Gaussian-quadrature weights |e_1^T y_k|^2; averaging the discrete measures
+// over several runs approximates the spectral density phi(t) = (1/N) sum_i
+// delta(t - lambda_i). ChASE uses the ne/N quantile of this measure to place
+// the lower edge of the damped interval (core/lanczos.hpp); this header
+// exposes the full estimate for applications (e.g. choosing nev so a physical
+// energy window is covered), plus a histogram helper.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/lanczos.hpp"
+
+namespace chase::core {
+
+template <typename R>
+struct DosEstimate {
+  /// Quadrature nodes (Ritz values, ascending) and weights; each Lanczos run
+  /// contributes total weight 1/nvec, so the weights sum to ~1.
+  std::vector<R> nodes;
+  std::vector<R> weights;
+  R lower = 0;  // smallest Ritz value seen
+  R upper = 0;  // safeguarded spectral upper bound
+
+  /// Estimated number of eigenvalues <= tau (out of n).
+  R cumulative_count(R tau, la::Index n) const {
+    R acc = 0;
+    for (std::size_t i = 0; i < nodes.size() && nodes[i] <= tau; ++i) {
+      acc += weights[i];
+    }
+    return acc * R(n);
+  }
+
+  /// Smallest node whose cumulative spectral count reaches `count`.
+  R quantile(R count, la::Index n) const {
+    R acc = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      acc += weights[i] * R(n);
+      if (acc >= count) return nodes[i];
+    }
+    return upper;
+  }
+};
+
+/// Run the Lanczos quadrature on a distributed Hermitian matrix.
+template <typename HOp, typename T = typename HOp::Scalar>
+DosEstimate<RealType<T>> estimate_dos(HOp& h,
+                                      int steps, int nvec,
+                                      std::uint64_t seed) {
+  using R = RealType<T>;
+  auto raw = detail::lanczos_quadrature(h, steps, nvec, seed);
+  DosEstimate<R> out;
+  out.lower = raw.mu_1;
+  out.upper = raw.b_sup;
+  std::sort(raw.dos.begin(), raw.dos.end());
+  out.nodes.reserve(raw.dos.size());
+  out.weights.reserve(raw.dos.size());
+  for (const auto& [theta, w] : raw.dos) {
+    out.nodes.push_back(theta);
+    out.weights.push_back(w / R(nvec));
+  }
+  return out;
+}
+
+/// Smooth the discrete estimate into `bins` equal-width histogram buckets
+/// over [lower, upper]; returns per-bin spectral mass (sums to ~1).
+template <typename R>
+std::vector<R> dos_histogram(const DosEstimate<R>& dos, int bins) {
+  CHASE_CHECK(bins >= 1);
+  std::vector<R> hist(static_cast<std::size_t>(bins), R(0));
+  const R lo = dos.lower;
+  const R width = (dos.upper - dos.lower) / R(bins);
+  if (!(width > R(0))) return hist;
+  for (std::size_t i = 0; i < dos.nodes.size(); ++i) {
+    int b = int((dos.nodes[i] - lo) / width);
+    b = std::clamp(b, 0, bins - 1);
+    hist[std::size_t(b)] += dos.weights[i];
+  }
+  return hist;
+}
+
+}  // namespace chase::core

@@ -1,0 +1,97 @@
+// Generalized Hermitian eigenproblems A x = lambda B x with B Hermitian
+// positive definite — the form DFT codes produce (B is the FLAPW overlap
+// matrix; Section 1's application context).
+//
+// Reduction to standard form via the Cholesky factor B = L L^H (L = R^H from
+// the upper factorization B = R^H R):
+//   (L^{-1} A L^{-H}) y = lambda y,   x = L^{-H} y = R^{-1} y.
+// The transformed operator A-tilde = R^{-H} A R^{-1} is applied matrix-free
+// (two triangular solves around the A product), so it is never formed; ChASE
+// runs on it unchanged and the eigenvectors are back-substituted at the end.
+// Because y is orthonormal, the returned x satisfy x_i^H B x_j = delta_ij
+// (B-orthonormality).
+//
+// This sequential entry point covers the library-user workflow; distributed
+// generalized solves reduce to the same pattern with a distributed Cholesky,
+// which is outside this paper's scope.
+#pragma once
+
+#include "core/operator.hpp"
+#include "core/sequential.hpp"
+#include "la/potrf.hpp"
+#include "la/trsm.hpp"
+
+namespace chase::core {
+
+namespace detail {
+
+/// work <- R^{-1} work (left solve with the upper factor, back substitution).
+template <typename T>
+void left_solve_upper(la::ConstMatrixView<T> r, la::MatrixView<T> w) {
+  const la::Index m = r.rows();
+  for (la::Index j = 0; j < w.cols(); ++j) {
+    T* col = w.col(j);
+    for (la::Index i = m - 1; i >= 0; --i) {
+      T acc = col[i];
+      for (la::Index k = i + 1; k < m; ++k) acc -= r(i, k) * col[k];
+      col[i] = acc / r(i, i);
+    }
+  }
+}
+
+/// Row functor for A-tilde = R^{-H} A R^{-1}; the whole transformed block is
+/// computed once per apply via the begin_apply hook.
+template <typename T>
+struct GeneralizedOp {
+  const la::Matrix<T>* a_full;
+  const la::Matrix<T>* r_factor;
+  mutable la::Matrix<T> cache;
+
+  void begin_apply(la::ConstMatrixView<T> x) const {
+    la::Matrix<T> work(x.rows(), x.cols());
+    la::copy(x, work.view());
+    left_solve_upper(r_factor->cview(), work.view());  // R^{-1} x
+    cache.resize(x.rows(), x.cols());
+    la::gemm(T(1), a_full->cview(), work.cview(), T(0), cache.view());
+    la::trsm_left_upper_conj(r_factor->cview(), cache.view());  // R^{-H} (.)
+  }
+
+  T operator()(la::Index row, la::ConstMatrixView<T> /*x*/,
+               la::Index col) const {
+    return cache(row, col);
+  }
+};
+
+}  // namespace detail
+
+/// Solve A x = lambda B x for the nev lowest eigenvalues.
+/// `a` Hermitian, `b` Hermitian positive definite (both full storage, only
+/// read). The returned eigenvectors are B-orthonormal.
+template <typename T>
+ChaseResult<T> solve_generalized(la::ConstMatrixView<T> a,
+                                 la::ConstMatrixView<T> b,
+                                 const ChaseConfig& cfg,
+                                 ChaseObserver<T>* observer = nullptr) {
+  using la::Index;
+  const Index n = a.rows();
+  CHASE_CHECK(a.cols() == n && b.rows() == n && b.cols() == n);
+
+  la::Matrix<T> r = la::clone(b);
+  CHASE_CHECK_MSG(la::potrf_upper(r.view()) == 0,
+                  "solve_generalized: B is not positive definite");
+
+  la::Matrix<T> a_copy = la::clone(a);
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  auto map = dist::IndexMap::block(n, 1);
+  MatrixFreeOperator<T, detail::GeneralizedOp<T>> hop(
+      grid, map, map, detail::GeneralizedOp<T>{&a_copy, &r, {}});
+
+  auto result = solve(hop, cfg, observer);
+
+  // Back-transform x = R^{-1} y; B-orthonormality is inherited from y.
+  detail::left_solve_upper(r.cview(), result.eigenvectors.view());
+  return result;
+}
+
+}  // namespace chase::core

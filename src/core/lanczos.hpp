@@ -1,0 +1,176 @@
+// Spectral-bound estimation by repeated Lanczos runs with a stochastic
+// Density-of-States quantile (Algorithm 2, line 1).
+//
+// ChASE needs three scalars before filtering:
+//   b_sup  — an upper bound on the whole spectrum (the filter diverges if an
+//            eigenvalue exceeds it);
+//   mu_1   — an estimate of the lowest eigenvalue (used to normalize the
+//            filter so the wanted end of the spectrum stays O(1));
+//   mu_ne  — an estimate of the (nev+nex)-th eigenvalue: the lower edge of
+//            the damped interval [mu_ne, b_sup].
+// Each Lanczos run yields Ritz values theta_k with Gaussian-quadrature
+// weights |e_1^T y_k|^2; averaging the resulting spectral measures over a few
+// random starting vectors gives the DoS estimate whose ne/N quantile is
+// mu_ne.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "common/rng.hpp"
+#include "dist/dist_matrix.hpp"
+#include "dist/multivector.hpp"
+#include "la/blas1.hpp"
+#include "la/heevd.hpp"
+#include "perf/tracker.hpp"
+
+namespace chase::core {
+
+template <typename R>
+struct SpectralBounds {
+  R b_sup = 0;   // upper bound of the spectrum
+  R mu_1 = 0;    // lowest Ritz value seen
+  R mu_ne = 0;   // DoS estimate of the (nev+nex)-th eigenvalue
+};
+
+/// Deterministic Gaussian entry for global row g of Lanczos stream `stream`:
+/// every rank generates identical global vectors regardless of the grid.
+template <typename T>
+T lanczos_entry(std::uint64_t seed, std::uint64_t stream, la::Index g) {
+  Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (stream + 1)), std::uint64_t(g));
+  return rng.gaussian<T>();
+}
+
+namespace detail {
+
+/// Raw Lanczos quadrature data shared by the spectral-bound estimation and
+/// the public DoS interface (core/dos.hpp).
+template <typename R>
+struct LanczosQuadrature {
+  std::vector<std::pair<R, R>> dos;  // (ritz value, weight) per run
+  R b_sup = 0;
+  R mu_1 = 0;
+};
+
+template <typename HOp, typename T = typename HOp::Scalar>
+LanczosQuadrature<RealType<T>> lanczos_quadrature(
+    HOp& h, int steps, int nvec, std::uint64_t seed) {
+  using R = RealType<T>;
+  perf::RegionScope scope(perf::Region::kLanczos);
+  const auto& grid = h.grid();
+  const auto& rmap = h.row_map();
+  const auto& cmap = h.col_map();
+  const la::Index n = h.global_size();
+  const la::Index mloc = rmap.local_size(grid.my_row());
+  steps = int(std::min<la::Index>(steps, n));
+
+  la::Matrix<T> v_prev(mloc, 1), v(mloc, 1), w(mloc, 1);
+  la::Matrix<T> wb(cmap.local_size(grid.my_col()), 1);
+
+  // Global inner products over C-layout vectors: local rows + allreduce over
+  // the column communicator (identical on all grid columns by determinism).
+  auto global_dotc = [&](const la::Matrix<T>& a, const la::Matrix<T>& b) {
+    T acc = la::dotc(mloc, a.data(), b.data());
+    grid.col_comm().all_reduce(&acc, 1);
+    return acc;
+  };
+
+  std::vector<std::pair<R, R>> dos;  // (ritz value, weight)
+  R b_sup = -std::numeric_limits<R>::infinity();
+  R mu_1 = std::numeric_limits<R>::infinity();
+
+  for (int run = 0; run < nvec; ++run) {
+    // Random normalized start vector.
+    for (const auto& r : rmap.runs(grid.my_row())) {
+      for (la::Index k = 0; k < r.length; ++k) {
+        v(r.local_begin + k, 0) =
+            lanczos_entry<T>(seed, std::uint64_t(run), r.global_begin + k);
+      }
+    }
+    R nrm = std::sqrt(real_part(global_dotc(v, v)));
+    la::scal(mloc, T(R(1) / nrm), v.data());
+    v_prev.set_zero();
+
+    std::vector<R> alpha, beta;
+    for (int j = 0; j < steps; ++j) {
+      // w = H v (apply once: C -> B, then pure redistribution back to C).
+      h.apply_c2b(T(1), v.cview(), T(0), wb.view());
+      dist::redistribute_b2c<T>(grid, rmap, cmap, wb.cview(), w.view());
+      if (j > 0) {
+        la::axpy(mloc, T(-beta.back()), v_prev.data(), w.data());
+      }
+      const R a = real_part(global_dotc(v, w));
+      alpha.push_back(a);
+      la::axpy(mloc, T(-a), v.data(), w.data());
+      const R b = std::sqrt(real_part(global_dotc(w, w)));
+      if (j + 1 < steps) {
+        beta.push_back(b);
+        if (b == R(0)) break;  // invariant subspace found
+        std::swap(v_prev, v);
+        la::copy(w.cview(), v.view());
+        la::scal(mloc, T(R(1) / b), v.data());
+      } else {
+        beta.push_back(b);  // trailing beta: residual of the last step
+      }
+    }
+
+    // Ritz values/weights of the tridiagonal (tiny, solved redundantly).
+    const int m = int(alpha.size());
+    la::Matrix<R> t(m, m), z(m, m);
+    for (int i = 0; i < m; ++i) {
+      t(i, i) = alpha[std::size_t(i)];
+      if (i + 1 < m) {
+        t(i, i + 1) = beta[std::size_t(i)];
+        t(i + 1, i) = beta[std::size_t(i)];
+      }
+    }
+    std::vector<R> theta;
+    la::heevd(t.view(), theta, z.view());
+    const R beta_last = beta.empty() ? R(0) : std::abs(beta.back());
+    for (int k = 0; k < m; ++k) {
+      const R weight = real_part(conjugate(z(0, k)) * z(0, k));
+      dos.emplace_back(theta[std::size_t(k)], weight);
+      // Upper bound: top Ritz value plus its residual bound.
+      b_sup = std::max(b_sup,
+                       theta[std::size_t(k)] +
+                           beta_last * std::abs(real_part(z(m - 1, k))));
+      mu_1 = std::min(mu_1, theta[std::size_t(k)]);
+    }
+  }
+  return {std::move(dos), b_sup, mu_1};
+}
+
+}  // namespace detail
+
+template <typename HOp, typename T = typename HOp::Scalar>
+SpectralBounds<RealType<T>> lanczos_bounds(HOp& h,
+                                           la::Index ne, int steps, int nvec,
+                                           std::uint64_t seed) {
+  using R = RealType<T>;
+  const la::Index n = h.global_size();
+  auto quad = detail::lanczos_quadrature(h, steps, nvec, seed);
+  const R b_sup = quad.b_sup;
+  const R mu_1 = quad.mu_1;
+
+  // DoS quantile: smallest theta whose cumulative weight covers ne/N of the
+  // spectral measure (each run contributes total weight 1, averaged).
+  std::sort(quad.dos.begin(), quad.dos.end());
+  const R target = R(ne) / R(n) * R(nvec);
+  R cum = 0;
+  R mu_ne = b_sup;
+  for (const auto& [theta, wgt] : quad.dos) {
+    cum += wgt;
+    if (cum >= target) {
+      mu_ne = theta;
+      break;
+    }
+  }
+  // Keep the damped interval non-degenerate.
+  mu_ne = std::min(std::max(mu_ne, mu_1 + R(1e-8) * (b_sup - mu_1)),
+                   b_sup - R(1e-8) * std::max(std::abs(b_sup), R(1)));
+  return {b_sup, mu_1, mu_ne};
+}
+
+}  // namespace chase::core

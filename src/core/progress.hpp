@@ -1,0 +1,40 @@
+// Ready-made observer printing the per-iteration convergence table — the
+// diagnostic output the examples and benches share.
+#pragma once
+
+#include <cstdio>
+
+#include "core/chase.hpp"
+
+namespace chase::core {
+
+/// Prints one line per outer iteration: locking progress, MatVecs, the
+/// Algorithm-5 condition estimate, the QR variant the selector picked and
+/// the residual range. Attach via the observer argument of core::solve.
+template <typename T>
+class ProgressPrinter : public ChaseObserver<T> {
+ public:
+  /// Only `print_rank` emits output (pass the world rank in SPMD regions so
+  /// a single copy of the table appears).
+  explicit ProgressPrinter(int rank = 0, int print_rank = 0)
+      : enabled_(rank == print_rank) {}
+
+  void after_iteration(const IterationStats& s) override {
+    if (!enabled_) return;
+    if (s.iteration == 1) {
+      std::printf("%5s %9s %9s %10s %10s %12s %12s\n", "iter", "locked",
+                  "matvecs", "est.cond", "QR", "min resid", "max resid");
+    }
+    std::printf("%5d %4d->%-4d %9ld %10.2e %10s %12.2e %12.2e%s\n",
+                s.iteration, s.locked_before, s.locked_after, s.matvecs,
+                s.est_cond,
+                std::string(qr::qr_variant_name(s.qr_variant)).c_str(),
+                s.min_residual, s.max_residual,
+                s.qr_fallback ? "  (HHQR fallback)" : "");
+  }
+
+ private:
+  bool enabled_;
+};
+
+}  // namespace chase::core

@@ -1,0 +1,52 @@
+// Solver for sequences of correlated eigenproblems (the DFT use case).
+//
+// Density Functional Theory rebuilds the Hamiltonian at every
+// self-consistency step; consecutive problems share eigenvectors to O(eps).
+// ChaseSequence packages the warm-start workflow: the first solve starts
+// from a random subspace, every later solve is seeded with the previous
+// eigenvectors and a reduced first-iteration filter degree (the residuals
+// already start small, so a full-strength first sweep would be wasted —
+// exactly the "approximate solutions as input" rationale of Section 1).
+#pragma once
+
+#include "core/chase.hpp"
+
+namespace chase::core {
+
+template <typename T>
+class ChaseSequence {
+ public:
+  explicit ChaseSequence(ChaseConfig cfg, int warm_initial_degree = 10)
+      : cfg_(std::move(cfg)), warm_degree_(warm_initial_degree) {}
+
+  const ChaseConfig& config() const { return cfg_; }
+  bool has_guess() const { return !previous_.empty(); }
+
+  /// Solve the next problem of the sequence; H may be any Hamiltonian
+  /// operator (dense distributed or matrix-free) but must keep the same
+  /// layout (grid + maps) across the sequence.
+  template <typename HOp>
+  ChaseResult<T> solve_next(HOp& h, ChaseObserver<T>* observer = nullptr) {
+    ChaseConfig cfg = cfg_;
+    la::ConstMatrixView<T> guess;
+    if (has_guess()) {
+      cfg.initial_degree = warm_degree_;
+      guess = previous_.cview();
+    }
+    auto result = core::solve(h, cfg, observer, guess);
+    if (result.converged) {
+      previous_ = la::clone(result.eigenvectors.view().as_const());
+    }
+    return result;
+  }
+
+  /// Drop the stored guess (e.g. after a large change of the Hamiltonian).
+  void reset() { previous_ = la::Matrix<T>(); }
+
+ private:
+  ChaseConfig cfg_;
+  int warm_degree_;
+  la::Matrix<T> previous_;  // local C-layout eigenvectors of the last solve
+};
+
+}  // namespace chase::core

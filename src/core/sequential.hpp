@@ -1,0 +1,29 @@
+// Convenience entry point for shared-memory use: runs the Algorithm 2 driver
+// on a 1x1 grid with a self communicator (every collective degenerates to a
+// no-op), so the sequential and distributed paths share one implementation.
+#pragma once
+
+#include "core/chase.hpp"
+
+namespace chase::core {
+
+/// Solve for the nev lowest eigenpairs of a full Hermitian matrix held in
+/// memory. The returned eigenvectors are the full n x nev block.
+/// `initial_subspace` (n x k, k <= nev+nex) optionally warm-starts the
+/// search space with approximate eigenvectors.
+template <typename T>
+ChaseResult<T> solve_sequential(la::ConstMatrixView<T> h_full,
+                                const ChaseConfig& cfg,
+                                ChaseObserver<T>* observer = nullptr,
+                                la::ConstMatrixView<T> initial_subspace = {}) {
+  CHASE_CHECK(h_full.rows() == h_full.cols());
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  const Index n = h_full.rows();
+  dist::DistHermitianMatrix<T> h(grid, dist::IndexMap::block(n, 1),
+                                 dist::IndexMap::block(n, 1));
+  h.fill_from_global(h_full);
+  return solve(h, cfg, observer, initial_subspace);
+}
+
+}  // namespace chase::core

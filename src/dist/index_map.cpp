@@ -1,0 +1,47 @@
+#include "dist/index_map.hpp"
+
+#include <algorithm>
+
+namespace chase::dist {
+
+IndexMap IndexMap::block(Index n, int parts) {
+  CHASE_CHECK(n >= 0 && parts >= 1);
+  const Index b = std::max<Index>((n + parts - 1) / parts, 1);
+  return IndexMap(n, parts, b);
+}
+
+IndexMap IndexMap::block_cyclic(Index n, int parts, Index block_size) {
+  CHASE_CHECK(n >= 0 && parts >= 1 && block_size >= 1);
+  return IndexMap(n, parts, block_size);
+}
+
+Index IndexMap::local_size(int part) const {
+  CHASE_CHECK(part >= 0 && part < parts_);
+  const Index cycle = b_ * parts_;
+  const Index full_cycles = n_ / cycle;
+  const Index rem = n_ % cycle;
+  Index size = full_cycles * b_;
+  // Within the partial cycle, this part owns [part*b, part*b + b).
+  const Index start = Index(part) * b_;
+  size += std::clamp<Index>(rem - start, 0, b_);
+  return size;
+}
+
+Index IndexMap::max_local_size() const {
+  Index best = 0;
+  for (int p = 0; p < parts_; ++p) best = std::max(best, local_size(p));
+  return best;
+}
+
+std::vector<IndexMap::Run> IndexMap::runs(int part) const {
+  CHASE_CHECK(part >= 0 && part < parts_);
+  std::vector<Run> out;
+  const Index cycle = b_ * parts_;
+  for (Index g0 = Index(part) * b_; g0 < n_; g0 += cycle) {
+    const Index len = std::min(b_, n_ - g0);
+    out.push_back(Run{g0, local_index(g0), len});
+  }
+  return out;
+}
+
+}  // namespace chase::dist

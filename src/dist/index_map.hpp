@@ -1,0 +1,83 @@
+// 1D distribution maps: how a global index range [0, n) is partitioned over
+// the parts of a communicator.
+//
+// ChASE supports both a plain block distribution and a block-cyclic
+// distribution of the Hermitian matrix H (Section 2.2); the same maps
+// describe how the C/B multivector buffers split N rows over the column/row
+// communicators. A block map is the special case of a block-cyclic map whose
+// block size is ceil(n / parts).
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::dist {
+
+using la::Index;
+
+class IndexMap {
+ public:
+  IndexMap() = default;
+
+  /// Contiguous block distribution: part k owns rows [k*b, (k+1)*b) with
+  /// b = ceil(n / parts) (trailing parts may own fewer or zero rows).
+  static IndexMap block(Index n, int parts);
+
+  /// ScaLAPACK-style block-cyclic distribution with the given block size.
+  static IndexMap block_cyclic(Index n, int parts, Index block_size);
+
+  Index global_size() const { return n_; }
+  int parts() const { return parts_; }
+  Index block_size() const { return b_; }
+  bool is_block() const { return b_ * Index(parts_) >= n_; }
+
+  /// Part owning global index g.
+  int owner(Index g) const {
+    CHASE_CHECK(g >= 0 && g < n_);
+    return int((g / b_) % parts_);
+  }
+
+  /// Local position of global index g within its owner part.
+  Index local_index(Index g) const {
+    CHASE_CHECK(g >= 0 && g < n_);
+    return (g / (b_ * parts_)) * b_ + g % b_;
+  }
+
+  /// Global index of local position `loc` in `part`.
+  Index global_index(int part, Index loc) const {
+    CHASE_CHECK(part >= 0 && part < parts_ && loc >= 0);
+    const Index g = (loc / b_) * (b_ * parts_) + Index(part) * b_ + loc % b_;
+    CHASE_CHECK(g < n_);
+    return g;
+  }
+
+  /// Number of global indices owned by `part`.
+  Index local_size(int part) const;
+
+  /// Maximal local size over all parts (buffer sizing).
+  Index max_local_size() const;
+
+  /// Globally contiguous index runs owned by `part`, in ascending global
+  /// order; local positions are contiguous within each run as well.
+  struct Run {
+    Index global_begin;
+    Index local_begin;
+    Index length;
+  };
+  std::vector<Run> runs(int part) const;
+
+  friend bool operator==(const IndexMap& a, const IndexMap& b) {
+    return a.n_ == b.n_ && a.parts_ == b.parts_ && a.b_ == b.b_;
+  }
+
+ private:
+  IndexMap(Index n, int parts, Index b) : n_(n), parts_(parts), b_(b) {}
+
+  Index n_ = 0;
+  int parts_ = 1;
+  Index b_ = 1;
+};
+
+}  // namespace chase::dist

@@ -1,0 +1,188 @@
+// Redistribution and collection of distributed multivectors.
+//
+// redistribute_c2b implements the "B2 <- Bcast(C2, ccomm)" step of
+// Algorithm 2 (lines 14/21): the C-layout rows (row map over the column
+// communicator) are rearranged into the B layout (col map). On a square grid
+// with matching maps this is a single full-block broadcast per column
+// communicator; otherwise the B rows are assembled from per-segment
+// broadcasts — exactly the paper's remark that non-square grids or
+// block-cyclic maps "may require multiple broadcasting operations".
+//
+// gather_rows reproduces the v1.2 collection pattern (Section 2.3): the
+// distributed rows are collected into a *redundant* full matrix on every
+// rank via one broadcast per owner part — the message count that doubles
+// when the task count quadruples, which is what limited ChASE(LMS).
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "dist/index_map.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::dist {
+
+namespace detail {
+
+/// Pack rows [r0, r0+len) of all ncols columns of src into a contiguous
+/// column-major buffer of shape len x ncols.
+template <typename T>
+void pack_rows(la::ConstMatrixView<T> src, Index r0, Index len, T* buf) {
+  for (Index j = 0; j < src.cols(); ++j) {
+    const T* col = src.col(j) + r0;
+    std::copy(col, col + len, buf + j * len);
+  }
+}
+
+template <typename T>
+void unpack_rows(const T* buf, Index len, la::MatrixView<T> dst, Index r0) {
+  for (Index j = 0; j < dst.cols(); ++j) {
+    std::copy(buf + j * len, buf + (j + 1) * len, dst.col(j) + r0);
+  }
+}
+
+}  // namespace detail
+
+/// Generic within-communicator row redistribution: `src_local` is the block
+/// of rows that `comm`-rank r owns under `src_map`; every rank of the
+/// communicator assembles the rows of `dst_map` part `dst_part` into
+/// `dst_local` (the same dst_part on all ranks — the destination layout is
+/// replicated across this communicator).
+template <typename T>
+void redistribute_rows(const comm::Communicator& comm, const IndexMap& src_map,
+                       la::ConstMatrixView<T> src_local,
+                       const IndexMap& dst_map, int dst_part,
+                       la::MatrixView<T> dst_local) {
+  CHASE_ABORT_IF(src_local.cols() != dst_local.cols(),
+                 "redistribute: column count mismatch");
+  CHASE_ABORT_IF(src_map.parts() != comm.size(),
+                 "redistribute: src map does not match communicator");
+  const Index ncols = src_local.cols();
+  if (ncols == 0) return;
+
+  // Fast path (identical maps): destination part dst_part is exactly the
+  // source block of comm-rank dst_part — one broadcast of the whole block.
+  if (src_map == dst_map) {
+    const int root = dst_part;
+    if (comm.rank() == root) {
+      la::copy(src_local, dst_local);
+    }
+    if (dst_local.rows() > 0) {
+      if (dst_local.ld() == dst_local.rows()) {
+        comm.broadcast(dst_local.data(), dst_local.rows() * ncols, root);
+      } else {
+        std::vector<T> buf(std::size_t(dst_local.rows()) * std::size_t(ncols));
+        if (comm.rank() == root) {
+          detail::pack_rows(dst_local.as_const(), 0, dst_local.rows(),
+                            buf.data());
+        }
+        comm.broadcast(buf.data(), dst_local.rows() * ncols, root);
+        detail::unpack_rows(buf.data(), dst_local.rows(), dst_local, 0);
+      }
+    }
+    return;
+  }
+
+  // General path: walk the destination rows in global order and broadcast
+  // each segment from the rank owning it under the source map. Every rank
+  // iterates the identical segment sequence (dst_part is shared).
+  std::vector<T> buf;
+  for (const auto& run : dst_map.runs(dst_part)) {
+    Index done = 0;
+    while (done < run.length) {
+      const Index g = run.global_begin + done;
+      const int owner = src_map.owner(g);
+      // Segment ends at the run end or at the next src-map block boundary,
+      // whichever comes first (local indices stay contiguous within it).
+      const Index block_end =
+          (g / src_map.block_size() + 1) * src_map.block_size();
+      const Index len = std::min(run.length - done, block_end - g);
+      buf.resize(std::size_t(len) * std::size_t(ncols));
+      if (comm.rank() == owner) {
+        detail::pack_rows(src_local, src_map.local_index(g), len, buf.data());
+      }
+      comm.broadcast(buf.data(), len * ncols, owner);
+      detail::unpack_rows(buf.data(), len, dst_local, run.local_begin + done);
+      done += len;
+    }
+  }
+}
+
+/// "B2 <- Bcast(C2, ccomm)": C layout (row map over the column communicator)
+/// into B layout (col map, replicated across the column communicator).
+template <typename T>
+void redistribute_c2b(const comm::Grid2d& grid, const IndexMap& row_map,
+                      const IndexMap& col_map, la::ConstMatrixView<T> c_local,
+                      la::MatrixView<T> b_local) {
+  redistribute_rows(grid.col_comm(), row_map, c_local, col_map, grid.my_col(),
+                    b_local);
+}
+
+/// The reverse direction (used by Lanczos): B layout (col map over the row
+/// communicator) back into the C layout.
+template <typename T>
+void redistribute_b2c(const comm::Grid2d& grid, const IndexMap& row_map,
+                      const IndexMap& col_map, la::ConstMatrixView<T> b_local,
+                      la::MatrixView<T> c_local) {
+  redistribute_rows(grid.row_comm(), col_map, b_local, row_map, grid.my_row(),
+                    c_local);
+}
+
+/// Collect a distributed multivector into a redundant full matrix on every
+/// rank of `comm` (one broadcast per part, the v1.2 collection pattern).
+/// `full` must be global_size x ncols.
+template <typename T>
+void gather_rows(const comm::Communicator& comm, const IndexMap& map,
+                 la::ConstMatrixView<T> local, la::MatrixView<T> full) {
+  CHASE_ABORT_IF(map.parts() != comm.size(), "gather: map/comm mismatch");
+  CHASE_ABORT_IF(full.rows() != map.global_size() ||
+                     full.cols() != local.cols(),
+                 "gather: output shape mismatch");
+  const Index ncols = local.cols();
+  std::vector<T> buf;
+  for (int part = 0; part < comm.size(); ++part) {
+    const Index count = map.local_size(part);
+    if (count == 0) continue;
+    buf.resize(std::size_t(count) * std::size_t(ncols));
+    if (comm.rank() == part) {
+      // Pack the owner's rows in local order (matches run order below).
+      Index pos = 0;
+      for (const auto& run : map.runs(part)) {
+        for (Index j = 0; j < ncols; ++j) {
+          const T* col = local.col(j) + run.local_begin;
+          std::copy(col, col + run.length, buf.data() + pos + j * count);
+        }
+        pos += run.length;
+      }
+    }
+    comm.broadcast(buf.data(), count * ncols, part);
+    Index pos = 0;
+    for (const auto& run : map.runs(part)) {
+      for (Index j = 0; j < ncols; ++j) {
+        std::copy(buf.data() + pos + j * count,
+                  buf.data() + pos + j * count + run.length,
+                  full.col(j) + run.global_begin);
+      }
+      pos += run.length;
+    }
+  }
+}
+
+/// Extract this part's rows of a replicated full matrix into the local block
+/// (pure local operation).
+template <typename T>
+void scatter_rows(const IndexMap& map, int part, la::ConstMatrixView<T> full,
+                  la::MatrixView<T> local) {
+  CHASE_ABORT_IF(full.rows() != map.global_size() ||
+                     full.cols() != local.cols() ||
+                     local.rows() != map.local_size(part),
+                 "scatter: shape mismatch");
+  for (const auto& run : map.runs(part)) {
+    for (Index j = 0; j < full.cols(); ++j) {
+      const T* src = full.col(j) + run.global_begin;
+      std::copy(src, src + run.length, local.col(j) + run.local_begin);
+    }
+  }
+}
+
+}  // namespace chase::dist

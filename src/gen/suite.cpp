@@ -1,0 +1,57 @@
+#include "gen/suite.hpp"
+
+namespace chase::gen {
+
+const std::vector<SuiteProblem>& table1_suite() {
+  static const std::vector<SuiteProblem> suite = {
+      // name        paper_n  nev   nex   n     nev  nex  source      kind              seed
+      {"NaCl-9k", 9273, 256, 60, 928, 26, 6, "FLEUR", SpectrumKind::kDft, 101},
+      {"AuAg-13k", 13379, 972, 100, 1338, 97, 10, "FLEUR", SpectrumKind::kDft,
+       102},
+      {"TiO2-29k", 29528, 2560, 400, 1476, 128, 20, "FLEUR",
+       SpectrumKind::kDft, 103},
+      {"In2O3-76k", 76887, 100, 40, 1538, 20, 8, "BSE UIUC",
+       SpectrumKind::kBse, 104},
+      {"In2O3-115k", 115459, 100, 40, 2309, 20, 8, "BSE UIUC",
+       SpectrumKind::kBse, 105},
+      {"HfO2-76k", 76674, 100, 40, 1534, 20, 8, "BSE UIUC",
+       SpectrumKind::kBse, 106},
+  };
+  return suite;
+}
+
+const std::vector<SuiteProblem>& table1_suite_medium() {
+  static const std::vector<SuiteProblem> suite = {
+      {"NaCl-9k", 9273, 256, 60, 464, 26, 6, "FLEUR", SpectrumKind::kDft, 101},
+      {"AuAg-13k", 13379, 972, 100, 669, 48, 8, "FLEUR", SpectrumKind::kDft,
+       102},
+      {"TiO2-29k", 29528, 2560, 400, 738, 64, 12, "FLEUR", SpectrumKind::kDft,
+       103},
+      {"In2O3-76k", 76887, 100, 40, 769, 16, 6, "BSE UIUC",
+       SpectrumKind::kBse, 104},
+      {"In2O3-115k", 115459, 100, 40, 1154, 16, 6, "BSE UIUC",
+       SpectrumKind::kBse, 105},
+      {"HfO2-76k", 76674, 100, 40, 767, 16, 6, "BSE UIUC", SpectrumKind::kBse,
+       106},
+  };
+  return suite;
+}
+
+const std::vector<SuiteProblem>& table1_suite_small() {
+  static const std::vector<SuiteProblem> suite = {
+      {"NaCl-9k", 9273, 256, 60, 160, 12, 4, "FLEUR", SpectrumKind::kDft, 101},
+      {"AuAg-13k", 13379, 972, 100, 180, 14, 4, "FLEUR", SpectrumKind::kDft,
+       102},
+      {"TiO2-29k", 29528, 2560, 400, 200, 16, 4, "FLEUR", SpectrumKind::kDft,
+       103},
+      {"In2O3-76k", 76887, 100, 40, 190, 8, 4, "BSE UIUC", SpectrumKind::kBse,
+       104},
+      {"In2O3-115k", 115459, 100, 40, 210, 8, 4, "BSE UIUC",
+       SpectrumKind::kBse, 105},
+      {"HfO2-76k", 76674, 100, 40, 170, 8, 4, "BSE UIUC", SpectrumKind::kBse,
+       106},
+  };
+  return suite;
+}
+
+}  // namespace chase::gen

@@ -1,0 +1,61 @@
+// BLAS-1 style vector kernels on contiguous ranges and matrix columns.
+#pragma once
+
+#include <cmath>
+
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+/// y += alpha * x over n contiguous elements.
+template <typename T>
+inline void axpy(Index n, T alpha, const T* x, T* y) {
+  for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha over n contiguous elements.
+template <typename T, typename S>
+inline void scal(Index n, S alpha, T* x) {
+  for (Index i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+/// Conjugated dot product x^H y over n contiguous elements.
+template <typename T>
+inline T dotc(Index n, const T* x, const T* y) {
+  T acc(0);
+  for (Index i = 0; i < n; ++i) acc += conjugate(x[i]) * y[i];
+  return acc;
+}
+
+/// Squared Euclidean norm of n contiguous elements.
+template <typename T>
+inline RealType<T> nrm2_squared(Index n, const T* x) {
+  RealType<T> acc(0);
+  for (Index i = 0; i < n; ++i) {
+    const RealType<T> re = real_part(x[i]);
+    const RealType<T> im = imag_part(x[i]);
+    acc += re * re + im * im;
+  }
+  return acc;
+}
+
+template <typename T>
+inline RealType<T> nrm2(Index n, const T* x) {
+  return std::sqrt(nrm2_squared(n, x));
+}
+
+/// Squared Euclidean norm of column j of A.
+template <typename T>
+inline RealType<T> col_nrm2_squared(ConstMatrixView<T> a, Index j) {
+  return nrm2_squared(a.rows(), a.col(j));
+}
+
+/// Euclidean norms of all columns of A, written to out[0..cols).
+template <typename T>
+inline void col_nrm2(ConstMatrixView<T> a, RealType<T>* out) {
+  for (Index j = 0; j < a.cols(); ++j) {
+    out[j] = std::sqrt(col_nrm2_squared(a, j));
+  }
+}
+
+}  // namespace chase::la

@@ -1,0 +1,51 @@
+// BLAS-2 kernels used by the tridiagonalization and the Lanczos process.
+#pragma once
+
+#include "la/blas1.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+/// y = alpha * A x + beta * y (A not transposed).
+template <typename T>
+void gemv(T alpha, ConstMatrixView<T> a, const T* x, T beta, T* y) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  if (beta == T(0)) {
+    for (Index i = 0; i < m; ++i) y[i] = T(0);
+  } else if (beta != T(1)) {
+    scal(m, beta, y);
+  }
+  for (Index j = 0; j < n; ++j) {
+    axpy(m, alpha * x[j], a.col(j), y);
+  }
+}
+
+/// y = alpha * A^H x + beta * y.
+template <typename T>
+void gemv_conj(T alpha, ConstMatrixView<T> a, const T* x, T beta, T* y) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  for (Index j = 0; j < n; ++j) {
+    T acc = dotc(m, a.col(j), x);
+    y[j] = (beta == T(0) ? T(0) : beta * y[j]) + alpha * acc;
+  }
+}
+
+/// Hermitian rank-2 update on full storage: A -= v w^H + w v^H
+/// (the trailing-matrix update of the Householder tridiagonalization).
+template <typename T>
+void her2_minus(MatrixView<T> a, const T* v, const T* w) {
+  const Index n = a.rows();
+  CHASE_CHECK(a.cols() == n);
+  for (Index j = 0; j < n; ++j) {
+    T* aj = a.col(j);
+    const T wj = conjugate(w[j]);
+    const T vj = conjugate(v[j]);
+    for (Index i = 0; i < n; ++i) {
+      aj[i] -= v[i] * wj + w[i] * vj;
+    }
+  }
+}
+
+}  // namespace chase::la

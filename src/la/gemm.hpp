@@ -1,0 +1,189 @@
+// Cache-blocked general matrix-matrix multiply and the Hermitian rank-k
+// update, the computational workhorses of ChASE (Filter, Rayleigh-Ritz,
+// Residuals, CholeskyQR Gram matrices all reduce to these two kernels).
+//
+// The implementation packs tiles of op(A) and op(B) into contiguous buffers —
+// handling transposition/conjugation during packing — and runs a
+// non-transposed inner kernel whose unit-stride column updates autovectorize.
+#pragma once
+
+#include <vector>
+
+#include "la/blas1.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+/// BLAS-style operation applied to an input operand.
+enum class Op { kNoTrans, kTrans, kConjTrans };
+
+/// Rows of op(A) for an m x n view A.
+template <typename T>
+inline Index op_rows(Op op, ConstMatrixView<T> a) {
+  return op == Op::kNoTrans ? a.rows() : a.cols();
+}
+
+/// Columns of op(A) for an m x n view A.
+template <typename T>
+inline Index op_cols(Op op, ConstMatrixView<T> a) {
+  return op == Op::kNoTrans ? a.cols() : a.rows();
+}
+
+namespace detail {
+
+// Blocking parameters: a (kc x nc) panel of B plus an (mc x kc) panel of A
+// stay resident in L2 while the inner kernel streams C.
+inline constexpr Index kBlockM = 192;
+inline constexpr Index kBlockN = 96;
+inline constexpr Index kBlockK = 224;
+
+/// Element (i, j) of op(A).
+template <typename T>
+inline T op_elem(Op op, ConstMatrixView<T> a, Index i, Index j) {
+  switch (op) {
+    case Op::kNoTrans:
+      return a(i, j);
+    case Op::kTrans:
+      return a(j, i);
+    case Op::kConjTrans:
+    default:
+      return conjugate(a(j, i));
+  }
+}
+
+/// Pack block [r0, r0+nr) x [c0, c0+nc) of op(A) column-major into buf.
+template <typename T>
+inline void pack_block(Op op, ConstMatrixView<T> a, Index r0, Index c0,
+                       Index nr, Index nc, T* buf) {
+  if (op == Op::kNoTrans) {
+    for (Index j = 0; j < nc; ++j) {
+      const T* src = a.col(c0 + j) + r0;
+      T* dst = buf + j * nr;
+      for (Index i = 0; i < nr; ++i) dst[i] = src[i];
+    }
+  } else if (op == Op::kTrans) {
+    for (Index j = 0; j < nc; ++j) {
+      T* dst = buf + j * nr;
+      for (Index i = 0; i < nr; ++i) dst[i] = a(c0 + j, r0 + i);
+    }
+  } else {
+    for (Index j = 0; j < nc; ++j) {
+      T* dst = buf + j * nr;
+      for (Index i = 0; i < nr; ++i) dst[i] = conjugate(a(c0 + j, r0 + i));
+    }
+  }
+}
+
+/// C(mc x nc) += packed A(mc x kc) * packed B(kc x nc); unit-stride in i.
+template <typename T>
+inline void kernel_nn(Index mc, Index nc, Index kc, const T* pa, const T* pb,
+                      T* c, Index ldc) {
+  for (Index j = 0; j < nc; ++j) {
+    T* cj = c + j * ldc;
+    const T* bj = pb + j * kc;
+    Index l = 0;
+    // Two-way unrolled rank-1 updates amortize the column reload of C.
+    for (; l + 1 < kc; l += 2) {
+      const T b0 = bj[l];
+      const T b1 = bj[l + 1];
+      const T* a0 = pa + l * mc;
+      const T* a1 = pa + (l + 1) * mc;
+      for (Index i = 0; i < mc; ++i) cj[i] += a0[i] * b0 + a1[i] * b1;
+    }
+    for (; l < kc; ++l) {
+      const T b0 = bj[l];
+      const T* a0 = pa + l * mc;
+      for (Index i = 0; i < mc; ++i) cj[i] += a0[i] * b0;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// C = alpha * op(A) * op(B) + beta * C.
+template <typename T>
+void gemm(T alpha, Op opa, ConstMatrixView<T> a, Op opb, ConstMatrixView<T> b,
+          T beta, MatrixView<T> c) {
+  const Index m = op_rows(opa, a);
+  const Index k = op_cols(opa, a);
+  const Index n = op_cols(opb, b);
+  CHASE_CHECK_MSG(op_rows(opb, b) == k, "gemm: inner dimensions differ");
+  CHASE_CHECK_MSG(c.rows() == m && c.cols() == n, "gemm: output shape");
+
+  if (beta != T(1)) {
+    for (Index j = 0; j < n; ++j) {
+      T* cj = c.col(j);
+      if (beta == T(0)) {
+        for (Index i = 0; i < m; ++i) cj[i] = T(0);
+      } else {
+        for (Index i = 0; i < m; ++i) cj[i] *= beta;
+      }
+    }
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return;
+
+  using detail::kBlockK;
+  using detail::kBlockM;
+  using detail::kBlockN;
+  std::vector<T> pa(std::size_t(kBlockM) * kBlockK);
+  std::vector<T> pb(std::size_t(kBlockK) * kBlockN);
+
+  for (Index j0 = 0; j0 < n; j0 += kBlockN) {
+    const Index nc = std::min<Index>(kBlockN, n - j0);
+    for (Index l0 = 0; l0 < k; l0 += kBlockK) {
+      const Index kc = std::min<Index>(kBlockK, k - l0);
+      detail::pack_block(opb, b, l0, j0, kc, nc, pb.data());
+      // Fold alpha into the packed B panel once per (k, n) tile.
+      if (alpha != T(1)) {
+        scal(kc * nc, alpha, pb.data());
+      }
+      for (Index i0 = 0; i0 < m; i0 += kBlockM) {
+        const Index mc = std::min<Index>(kBlockM, m - i0);
+        detail::pack_block(opa, a, i0, l0, mc, kc, pa.data());
+        detail::kernel_nn(mc, nc, kc, pa.data(), pb.data(),
+                          c.data() + i0 + j0 * c.ld(), c.ld());
+      }
+    }
+  }
+}
+
+/// C = alpha * A * B + beta * C (convenience for the common case).
+template <typename T>
+inline void gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+                 MatrixView<T> c) {
+  gemm(alpha, Op::kNoTrans, a, Op::kNoTrans, b, beta, c);
+}
+
+/// Hermitian rank-k update used to form Gram matrices: C = X^H X.
+///
+/// Only the upper-triangular column blocks are computed (the HERK saving:
+/// half the GEMM flops, the reason the BLAS has a dedicated routine) and the
+/// lower triangle is mirrored. The full n x n result is stored because
+/// ChASE's CholeskyQR and Rayleigh-Ritz consume the full matrix after an
+/// allreduce, matching how the paper assembles A and R redundantly on every
+/// rank.
+template <typename T>
+inline void gram(ConstMatrixView<T> x, MatrixView<T> c) {
+  const Index n = x.cols();
+  CHASE_CHECK(c.rows() == n && c.cols() == n);
+  constexpr Index kBlock = 48;
+  for (Index j0 = 0; j0 < n; j0 += kBlock) {
+    const Index nj = std::min(kBlock, n - j0);
+    for (Index i0 = 0; i0 <= j0; i0 += kBlock) {
+      const Index ni = std::min(kBlock, n - i0);
+      auto cij = c.block(i0, j0, ni, nj);
+      gemm(T(1), Op::kConjTrans, x.cols_range(i0, ni), Op::kNoTrans,
+           x.cols_range(j0, nj), T(0), cij);
+    }
+  }
+  // Mirror and enforce exact Hermitian symmetry so POTRF sees a numerically
+  // Hermitian input regardless of rounding.
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < j; ++i) {
+      c(j, i) = conjugate(c(i, j));
+    }
+    c(j, j) = T(real_part(c(j, j)));
+  }
+}
+
+}  // namespace chase::la

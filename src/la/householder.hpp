@@ -1,0 +1,104 @@
+// Elementary Householder reflector generation and application (LAPACK
+// zlarfg/zlarf equivalents), shared by the QR factorizations and the
+// Hermitian tridiagonalization.
+#pragma once
+
+#include <cmath>
+
+#include "la/blas1.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+/// Generate an elementary reflector H = I - tau * v v^H such that
+/// H^H * [alpha; x] = [beta; 0], with v = [1; v_tail] and beta real.
+///
+/// On entry `alpha` is the pivot element and x points to the n-1 tail
+/// elements. On exit x holds v_tail, and beta (real) plus tau are returned.
+/// Follows the LAPACK zlarfg construction, so beta is always real — which is
+/// what makes the Hermitian tridiagonal form real-valued for complex input.
+template <typename T>
+struct Reflector {
+  RealType<T> beta;
+  T tau;
+};
+
+template <typename T>
+Reflector<T> larfg(T& alpha, Index n_tail, T* x) {
+  using R = RealType<T>;
+  const R xnorm = nrm2(n_tail, x);
+  const R alphr = real_part(alpha);
+  const R alphi = imag_part(alpha);
+
+  if (xnorm == R(0) && alphi == R(0)) {
+    // Already in the desired form; H = I.
+    return {alphr, T(0)};
+  }
+
+  // beta takes the sign opposite to Re(alpha) so that alpha - beta never
+  // cancels (LAPACK zlarfg convention).
+  const R norm = std::hypot(std::hypot(alphr, alphi), xnorm);
+  const R beta = (alphr >= R(0)) ? -norm : norm;
+
+  T tau;
+  if constexpr (kIsComplex<T>) {
+    tau = T((beta - alphr) / beta, -alphi / beta);
+  } else {
+    tau = (beta - alphr) / beta;
+  }
+  const T inv = T(1) / (alpha - T(beta));
+  scal(n_tail, inv, x);
+  alpha = T(beta);
+  return {beta, tau};
+}
+
+/// Apply H = I - tau v v^H from the left to C (m x n), with v = [1; v_tail]
+/// of length m. work must hold n scalars.
+template <typename T>
+void larf_left(T tau, const T* v_tail, Index m, MatrixView<T> c, T* work) {
+  if (tau == T(0) || c.cols() == 0) return;
+  CHASE_CHECK(c.rows() == m);
+  const Index n = c.cols();
+  // work = v^H C
+  for (Index j = 0; j < n; ++j) {
+    T acc = c(0, j);
+    const T* cj = c.col(j);
+    for (Index i = 1; i < m; ++i) acc += conjugate(v_tail[i - 1]) * cj[i];
+    work[j] = acc;
+  }
+  // C -= tau * v * work^T
+  for (Index j = 0; j < n; ++j) {
+    T* cj = c.col(j);
+    const T f = tau * work[j];
+    cj[0] -= f;
+    for (Index i = 1; i < m; ++i) cj[i] -= f * v_tail[i - 1];
+  }
+}
+
+/// Apply H = I - tau v v^H from the right to C (m x n), with v = [1; v_tail]
+/// of length n: C <- C - tau (C v) v^H. work must hold m scalars.
+template <typename T>
+void larf_right(T tau, const T* v_tail, Index n, MatrixView<T> c, T* work) {
+  if (tau == T(0) || c.rows() == 0) return;
+  CHASE_CHECK(c.cols() == n);
+  const Index m = c.rows();
+  // work = C v
+  for (Index i = 0; i < m; ++i) work[i] = c(i, 0);
+  for (Index j = 1; j < n; ++j) {
+    const T vj = v_tail[j - 1];
+    const T* cj = c.col(j);
+    for (Index i = 0; i < m; ++i) work[i] += cj[i] * vj;
+  }
+  // C -= tau * work * v^H
+  {
+    T* c0 = c.col(0);
+    for (Index i = 0; i < m; ++i) c0[i] -= tau * work[i];
+  }
+  for (Index j = 1; j < n; ++j) {
+    const T f = tau * conjugate(v_tail[j - 1]);
+    T* cj = c.col(j);
+    for (Index i = 0; i < m; ++i) cj[i] -= f * work[i];
+  }
+}
+
+}  // namespace chase::la

@@ -1,0 +1,167 @@
+// Matrix I/O: a simple binary container plus MatrixMarket interchange.
+//
+// The application matrices ChASE consumes (FLEUR Hamiltonians, BSE blocks)
+// arrive as files; these routines let the examples and the CLI solve from
+// disk. The binary format is a 40-byte header (magic, dtype, rows, cols)
+// followed by column-major data — the layout ChASE's own test drivers use.
+// MatrixMarket covers interchange with other tools (dense `array` format,
+// real or complex, general or hermitian symmetry).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+namespace detail {
+
+template <typename T>
+struct DtypeCode;
+template <>
+struct DtypeCode<float> {
+  static constexpr std::uint32_t value = 1;
+};
+template <>
+struct DtypeCode<double> {
+  static constexpr std::uint32_t value = 2;
+};
+template <>
+struct DtypeCode<std::complex<float>> {
+  static constexpr std::uint32_t value = 3;
+};
+template <>
+struct DtypeCode<std::complex<double>> {
+  static constexpr std::uint32_t value = 4;
+};
+
+inline constexpr std::uint32_t kMagic = 0x43484153;  // "CHAS"
+
+}  // namespace detail
+
+/// Write a matrix to the binary container format.
+template <typename T>
+void save_binary(ConstMatrixView<T> a, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  CHASE_CHECK_MSG(out.good(), "cannot open " + path + " for writing");
+  const std::uint32_t magic = detail::kMagic;
+  const std::uint32_t dtype = detail::DtypeCode<T>::value;
+  const std::int64_t rows = a.rows();
+  const std::int64_t cols = a.cols();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&dtype), sizeof(dtype));
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  for (Index j = 0; j < a.cols(); ++j) {
+    out.write(reinterpret_cast<const char*>(a.col(j)),
+              std::streamsize(sizeof(T)) * a.rows());
+  }
+  CHASE_CHECK_MSG(out.good(), "short write to " + path);
+}
+
+/// Read a matrix from the binary container format (type must match).
+template <typename T>
+Matrix<T> load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CHASE_CHECK_MSG(in.good(), "cannot open " + path);
+  std::uint32_t magic = 0, dtype = 0;
+  std::int64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&dtype), sizeof(dtype));
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  CHASE_CHECK_MSG(in.good() && magic == detail::kMagic,
+                  path + " is not a chase binary matrix");
+  CHASE_CHECK_MSG(dtype == detail::DtypeCode<T>::value,
+                  path + ": stored scalar type differs from the requested one");
+  CHASE_CHECK_MSG(rows >= 0 && cols >= 0, "corrupt header in " + path);
+  Matrix<T> a(rows, cols);
+  in.read(reinterpret_cast<char*>(a.data()),
+          std::streamsize(sizeof(T)) * rows * cols);
+  CHASE_CHECK_MSG(in.good() || (rows * cols == 0), "short read from " + path);
+  return a;
+}
+
+/// Write a dense MatrixMarket file (`array` format). Hermitian matrices may
+/// be written with `hermitian` symmetry (lower triangle only).
+template <typename T>
+void save_matrix_market(ConstMatrixView<T> a, const std::string& path,
+                        bool hermitian = false) {
+  CHASE_CHECK(!hermitian || a.rows() == a.cols());
+  std::ofstream out(path);
+  CHASE_CHECK_MSG(out.good(), "cannot open " + path + " for writing");
+  out << "%%MatrixMarket matrix array "
+      << (kIsComplex<T> ? "complex " : "real ")
+      << (hermitian ? (kIsComplex<T> ? "hermitian" : "symmetric")
+                    : "general")
+      << "\n";
+  out.precision(17);
+  out << a.rows() << " " << a.cols() << "\n";
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = hermitian ? j : 0; i < a.rows(); ++i) {
+      if constexpr (kIsComplex<T>) {
+        out << real_part(a(i, j)) << " " << imag_part(a(i, j)) << "\n";
+      } else {
+        out << a(i, j) << "\n";
+      }
+    }
+  }
+  CHASE_CHECK_MSG(out.good(), "short write to " + path);
+}
+
+/// Read a dense MatrixMarket `array` file into a full matrix (symmetric /
+/// hermitian storage is expanded).
+template <typename T>
+Matrix<T> load_matrix_market(const std::string& path) {
+  using R = RealType<T>;
+  std::ifstream in(path);
+  CHASE_CHECK_MSG(in.good(), "cannot open " + path);
+  std::string header;
+  std::getline(in, header);
+  std::istringstream hs(header);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  CHASE_CHECK_MSG(banner == "%%MatrixMarket" && object == "matrix" &&
+                      format == "array",
+                  path + ": expected a dense MatrixMarket array file");
+  const bool file_complex = field == "complex";
+  CHASE_CHECK_MSG(file_complex == kIsComplex<T>,
+                  path + ": scalar field does not match the requested type");
+  const bool sym = symmetry == "hermitian" || symmetry == "symmetric";
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream ds(line);
+  Index rows = 0, cols = 0;
+  ds >> rows >> cols;
+  CHASE_CHECK_MSG(rows > 0 && cols > 0, path + ": bad dimension line");
+  CHASE_CHECK(!sym || rows == cols);
+
+  Matrix<T> a(rows, cols);
+  for (Index j = 0; j < cols; ++j) {
+    for (Index i = sym ? j : 0; i < rows; ++i) {
+      R re = 0, im = 0;
+      in >> re;
+      if (file_complex) in >> im;
+      CHASE_CHECK_MSG(!in.fail(), path + ": truncated data section");
+      T value;
+      if constexpr (kIsComplex<T>) {
+        value = T(re, im);
+      } else {
+        value = re;
+      }
+      a(i, j) = value;
+      if (sym && i != j) a(j, i) = conjugate(value);
+    }
+  }
+  return a;
+}
+
+}  // namespace chase::la

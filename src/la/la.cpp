@@ -1,0 +1,37 @@
+// Explicit instantiations of the heavyweight templated kernels for the four
+// scalar types ChASE supports, so downstream targets link against compiled
+// code instead of re-instantiating per translation unit.
+#include <complex>
+
+#include "la/gemm.hpp"
+#include "la/heevd.hpp"
+#include "la/norms.hpp"
+#include "la/potrf.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+#include "la/trsm.hpp"
+
+namespace chase::la {
+
+#define CHASE_INSTANTIATE_LA(T)                                               \
+  template void gemm<T>(T, Op, ConstMatrixView<T>, Op, ConstMatrixView<T>, T, \
+                        MatrixView<T>);                                       \
+  template void gram<T>(ConstMatrixView<T>, MatrixView<T>);                   \
+  template int potrf_upper<T>(MatrixView<T>, RealType<T>);                    \
+  template void trsm_right_upper<T>(ConstMatrixView<T>, MatrixView<T>);       \
+  template void geqrf<T>(MatrixView<T>, std::vector<T>&);                     \
+  template void ungqr<T>(MatrixView<T>, const std::vector<T>&);               \
+  template void heevd<T>(MatrixView<T>, std::vector<RealType<T>>&,            \
+                         MatrixView<T>);                                      \
+  template std::vector<RealType<T>> singular_values_jacobi<T>(MatrixView<T>,  \
+                                                              int);           \
+  template RealType<T> orthogonality_error<T>(ConstMatrixView<T>);
+
+CHASE_INSTANTIATE_LA(float)
+CHASE_INSTANTIATE_LA(double)
+CHASE_INSTANTIATE_LA(std::complex<float>)
+CHASE_INSTANTIATE_LA(std::complex<double>)
+
+#undef CHASE_INSTANTIATE_LA
+
+}  // namespace chase::la

@@ -1,0 +1,198 @@
+// Column-major dense matrix container and non-owning views.
+//
+// Every kernel in src/la, src/qr and src/core operates on these views, which
+// mirror the (pointer, leading-dimension) convention of BLAS/LAPACK so the
+// code reads like the library calls it replaces (cuBLAS/MKL in the paper).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/scalar.hpp"
+
+namespace chase::la {
+
+using Index = std::int64_t;
+
+template <typename T>
+class MatrixView;
+
+/// Non-owning read-only view of a column-major matrix block.
+template <typename T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* data, Index rows, Index cols, Index ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    CHASE_CHECK(rows >= 0 && cols >= 0 && ld >= std::max<Index>(rows, 1));
+  }
+
+  const T* data() const noexcept { return data_; }
+  Index rows() const noexcept { return rows_; }
+  Index cols() const noexcept { return cols_; }
+  Index ld() const noexcept { return ld_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  const T& operator()(Index i, Index j) const noexcept {
+    return data_[i + j * ld_];
+  }
+
+  /// Sub-block of size nr x nc with top-left corner (r0, c0).
+  ConstMatrixView block(Index r0, Index c0, Index nr, Index nc) const {
+    CHASE_CHECK(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
+    return ConstMatrixView(data_ + r0 + c0 * ld_, nr, nc, ld_);
+  }
+
+  ConstMatrixView cols_range(Index c0, Index nc) const {
+    return block(0, c0, rows_, nc);
+  }
+
+  const T* col(Index j) const noexcept { return data_ + j * ld_; }
+
+ private:
+  const T* data_ = nullptr;
+  Index rows_ = 0;
+  Index cols_ = 0;
+  Index ld_ = 1;
+};
+
+/// Non-owning mutable view of a column-major matrix block.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, Index rows, Index cols, Index ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    CHASE_CHECK(rows >= 0 && cols >= 0 && ld >= std::max<Index>(rows, 1));
+  }
+
+  T* data() const noexcept { return data_; }
+  Index rows() const noexcept { return rows_; }
+  Index cols() const noexcept { return cols_; }
+  Index ld() const noexcept { return ld_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(Index i, Index j) const noexcept { return data_[i + j * ld_]; }
+
+  MatrixView block(Index r0, Index c0, Index nr, Index nc) const {
+    CHASE_CHECK(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
+    return MatrixView(data_ + r0 + c0 * ld_, nr, nc, ld_);
+  }
+
+  MatrixView cols_range(Index c0, Index nc) const {
+    return block(0, c0, rows_, nc);
+  }
+
+  T* col(Index j) const noexcept { return data_ + j * ld_; }
+
+  operator ConstMatrixView<T>() const noexcept {
+    return ConstMatrixView<T>(data_, rows_, cols_, ld_);
+  }
+  ConstMatrixView<T> as_const() const noexcept { return *this; }
+
+ private:
+  T* data_ = nullptr;
+  Index rows_ = 0;
+  Index cols_ = 0;
+  Index ld_ = 1;
+};
+
+/// Owning column-major matrix (leading dimension == rows).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(Index rows, Index cols) : rows_(rows), cols_(cols) {
+    CHASE_CHECK(rows >= 0 && cols >= 0);
+    storage_.assign(std::size_t(rows) * std::size_t(cols), T(0));
+  }
+
+  Index rows() const noexcept { return rows_; }
+  Index cols() const noexcept { return cols_; }
+  Index ld() const noexcept { return std::max<Index>(rows_, 1); }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  T* data() noexcept { return storage_.data(); }
+  const T* data() const noexcept { return storage_.data(); }
+
+  T& operator()(Index i, Index j) noexcept { return storage_[i + j * ld()]; }
+  const T& operator()(Index i, Index j) const noexcept {
+    return storage_[i + j * ld()];
+  }
+
+  T* col(Index j) noexcept { return data() + j * ld(); }
+  const T* col(Index j) const noexcept { return data() + j * ld(); }
+
+  MatrixView<T> view() noexcept {
+    return MatrixView<T>(data(), rows_, cols_, ld());
+  }
+  ConstMatrixView<T> view() const noexcept {
+    return ConstMatrixView<T>(data(), rows_, cols_, ld());
+  }
+  ConstMatrixView<T> cview() const noexcept { return view(); }
+
+  MatrixView<T> block(Index r0, Index c0, Index nr, Index nc) {
+    return view().block(r0, c0, nr, nc);
+  }
+  ConstMatrixView<T> block(Index r0, Index c0, Index nr, Index nc) const {
+    return view().block(r0, c0, nr, nc);
+  }
+
+  void set_zero() { std::fill(storage_.begin(), storage_.end(), T(0)); }
+
+  void resize(Index rows, Index cols) {
+    CHASE_CHECK(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    storage_.assign(std::size_t(rows) * std::size_t(cols), T(0));
+  }
+
+ private:
+  std::vector<T> storage_;
+  Index rows_ = 0;
+  Index cols_ = 0;
+};
+
+/// Deep copy src into dst (shapes must match, leading dimensions may differ).
+template <typename T>
+void copy(ConstMatrixView<T> src, MatrixView<T> dst) {
+  CHASE_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  for (Index j = 0; j < src.cols(); ++j) {
+    std::copy(src.col(j), src.col(j) + src.rows(), dst.col(j));
+  }
+}
+
+template <typename T>
+Matrix<T> clone(ConstMatrixView<T> src) {
+  Matrix<T> out(src.rows(), src.cols());
+  copy(src, out.view());
+  return out;
+}
+
+/// dst = I (rectangular identity).
+template <typename T>
+void set_identity(MatrixView<T> dst) {
+  for (Index j = 0; j < dst.cols(); ++j) {
+    for (Index i = 0; i < dst.rows(); ++i) dst(i, j) = (i == j) ? T(1) : T(0);
+  }
+}
+
+template <typename T>
+void set_zero(MatrixView<T> dst) {
+  for (Index j = 0; j < dst.cols(); ++j) {
+    std::fill(dst.col(j), dst.col(j) + dst.rows(), T(0));
+  }
+}
+
+/// Conjugate transpose (plain transpose for real T): dst = op(src)^H.
+template <typename T>
+void conj_transpose(ConstMatrixView<T> src, MatrixView<T> dst) {
+  CHASE_CHECK(src.rows() == dst.cols() && src.cols() == dst.rows());
+  for (Index j = 0; j < src.cols(); ++j) {
+    for (Index i = 0; i < src.rows(); ++i) dst(j, i) = conjugate(src(i, j));
+  }
+}
+
+}  // namespace chase::la

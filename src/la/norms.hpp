@@ -1,0 +1,72 @@
+// Matrix norms and distance helpers used throughout the tests and the
+// shifted-CholeskyQR shift computation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas1.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+/// Squared Frobenius norm.
+template <typename T>
+RealType<T> frobenius_norm_squared(ConstMatrixView<T> a) {
+  RealType<T> acc(0);
+  for (Index j = 0; j < a.cols(); ++j) {
+    acc += nrm2_squared(a.rows(), a.col(j));
+  }
+  return acc;
+}
+
+template <typename T>
+RealType<T> frobenius_norm(ConstMatrixView<T> a) {
+  return std::sqrt(frobenius_norm_squared(a));
+}
+
+/// Largest absolute entry.
+template <typename T>
+RealType<T> max_abs(ConstMatrixView<T> a) {
+  RealType<T> best(0);
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = 0; i < a.rows(); ++i) {
+      best = std::max(best, abs_value(a(i, j)));
+    }
+  }
+  return best;
+}
+
+/// max_ij |a_ij - b_ij| (shape-checked elementwise distance).
+template <typename T>
+RealType<T> max_abs_diff(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  CHASE_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  RealType<T> best(0);
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = 0; i < a.rows(); ++i) {
+      best = std::max(best, abs_value(T(a(i, j) - b(i, j))));
+    }
+  }
+  return best;
+}
+
+/// Departure from orthonormality ||Q^H Q - I||_F — the quantity the
+/// CholeskyQR stability discussion of Section 3.2 is about.
+template <typename T>
+RealType<T> orthogonality_error(ConstMatrixView<T> q);
+
+}  // namespace chase::la
+
+#include "la/gemm.hpp"
+
+namespace chase::la {
+
+template <typename T>
+RealType<T> orthogonality_error(ConstMatrixView<T> q) {
+  Matrix<T> g(q.cols(), q.cols());
+  gemm(T(1), Op::kConjTrans, q, Op::kNoTrans, q, T(0), g.view());
+  for (Index j = 0; j < g.cols(); ++j) g(j, j) -= T(1);
+  return frobenius_norm(g.cview());
+}
+
+}  // namespace chase::la

@@ -1,0 +1,52 @@
+// Cholesky factorization of a Hermitian positive-definite matrix.
+#pragma once
+
+#include <cmath>
+
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+/// In-place upper Cholesky factorization A = R^H R.
+///
+/// On success returns 0 and the upper triangle of `a` holds R (the strict
+/// lower triangle is zeroed). If the leading minor of order j+1 is not
+/// positive definite, returns j+1 — the LAPACK `info` convention that
+/// Algorithm 4 uses to trigger the Householder-QR fallback.
+///
+/// `rel_pivot_tol` > 0 additionally treats pivots below
+/// rel_pivot_tol * max_diag as breakdowns: a Gram matrix of a numerically
+/// rank-deficient block can round to barely-positive pivots that plain
+/// LAPACK POTRF would accept while the resulting triangular solve is
+/// useless. CholeskyQR passes n*u here so the fallback engages
+/// deterministically.
+template <typename T>
+int potrf_upper(MatrixView<T> a, RealType<T> rel_pivot_tol = RealType<T>(0)) {
+  const Index n = a.rows();
+  CHASE_CHECK(a.cols() == n);
+  using R = RealType<T>;
+  R max_diag(0);
+  for (Index j = 0; j < n; ++j) {
+    max_diag = std::max(max_diag, real_part(a(j, j)));
+  }
+  const R floor = rel_pivot_tol * max_diag;
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < j; ++i) {
+      T acc = a(i, j);
+      for (Index k = 0; k < i; ++k) acc -= conjugate(a(k, i)) * a(k, j);
+      a(i, j) = acc / a(i, i);
+    }
+    R diag = real_part(a(j, j));
+    for (Index k = 0; k < j; ++k) {
+      diag -= real_part(conjugate(a(k, j)) * a(k, j));
+    }
+    if (!(diag > floor) || !(diag > R(0)) || !std::isfinite(diag)) {
+      return int(j) + 1;
+    }
+    a(j, j) = T(std::sqrt(diag));
+    for (Index i = j + 1; i < n; ++i) a(i, j) = T(0);
+  }
+  return 0;
+}
+
+}  // namespace chase::la

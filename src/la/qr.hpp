@@ -1,0 +1,86 @@
+// Sequential Householder QR factorization (LAPACK geqrf/ungqr equivalents).
+//
+// Used (a) as the per-rank building block of the distributed ScaLAPACK-style
+// HHQR that ChASE falls back to when shifted CholeskyQR2 fails (Algorithm 4,
+// line 9), and (b) to draw Haar-distributed orthonormal matrices for the
+// artificial test-matrix generator (Section 4.1.2).
+#pragma once
+
+#include <vector>
+
+#include "la/householder.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+/// In-place unblocked Householder QR of an m x n matrix (m >= n).
+/// On exit the upper triangle holds R, the lower part the reflector tails,
+/// and tau[0..n) the reflector scales.
+template <typename T>
+void geqrf(MatrixView<T> a, std::vector<T>& tau) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  CHASE_CHECK_MSG(m >= n, "geqrf expects a tall matrix");
+  tau.assign(std::size_t(n), T(0));
+  std::vector<T> work(static_cast<std::size_t>(n));
+  for (Index k = 0; k < n; ++k) {
+    T alpha = a(k, k);
+    auto refl = larfg(alpha, m - k - 1, a.col(k) + k + 1);
+    a(k, k) = alpha;
+    tau[std::size_t(k)] = refl.tau;
+    if (k + 1 < n) {
+      // The trailing matrix is updated with H^H = I - conj(tau) v v^H so that
+      // A = Q R with Q = H_0 H_1 ... H_{n-1} (LAPACK zgeqr2 convention).
+      auto trailing = a.block(k, k + 1, m - k, n - k - 1);
+      larf_left(conjugate(refl.tau), a.col(k) + k + 1, m - k, trailing,
+                work.data());
+    }
+  }
+}
+
+/// Form the thin Q factor (m x n) from the output of geqrf.
+template <typename T>
+void ungqr(MatrixView<T> a, const std::vector<T>& tau) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  CHASE_CHECK(Index(tau.size()) == n);
+  std::vector<T> work(static_cast<std::size_t>(n));
+  // Backward accumulation: Q = H_0 ... H_{n-1} * I_{m x n}.
+  // Save reflector tails, then overwrite with identity columns.
+  std::vector<std::vector<T>> tails(static_cast<std::size_t>(n));
+  for (Index k = 0; k < n; ++k) {
+    tails[std::size_t(k)].assign(a.col(k) + k + 1, a.col(k) + m);
+  }
+  set_zero(a);
+  for (Index j = 0; j < n; ++j) a(j, j) = T(1);
+  for (Index k = n - 1; k >= 0; --k) {
+    auto trailing = a.block(k, k, m - k, n - k);
+    larf_left(tau[std::size_t(k)], tails[std::size_t(k)].data(), m - k,
+              trailing, work.data());
+  }
+}
+
+/// Convenience: factor X = QR, overwriting X with the thin Q and writing the
+/// n x n upper-triangular R into `r` (which must be n x n).
+template <typename T>
+void householder_qr(MatrixView<T> x, MatrixView<T> r) {
+  const Index n = x.cols();
+  CHASE_CHECK(r.rows() == n && r.cols() == n);
+  std::vector<T> tau;
+  geqrf(x, tau);
+  set_zero(r);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i <= j; ++i) r(i, j) = x(i, j);
+  }
+  ungqr(x, tau);
+}
+
+/// Convenience: orthonormalize X in place (discard R).
+template <typename T>
+void householder_orthonormalize(MatrixView<T> x) {
+  std::vector<T> tau;
+  geqrf(x, tau);
+  ungqr(x, tau);
+}
+
+}  // namespace chase::la

@@ -1,0 +1,83 @@
+// One-sided Jacobi SVD for tall matrices.
+//
+// Used to compute the exact l2 condition number kappa_2(C) of the filtered
+// vectors — the reference value the paper's Figure 1 compares the Algorithm-5
+// estimator against (the paper uses LAPACK SVD on the gathered matrix).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "la/blas1.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+/// Singular values of X (m x n, m >= n), descending. X is overwritten with
+/// U * diag(sigma) (i.e. its columns are rotated until mutually orthogonal).
+template <typename T>
+std::vector<RealType<T>> singular_values_jacobi(MatrixView<T> x,
+                                                int max_sweeps = 40) {
+  using R = RealType<T>;
+  const Index m = x.rows();
+  const Index n = x.cols();
+  CHASE_CHECK_MSG(m >= n, "one-sided Jacobi expects a tall matrix");
+  const R eps = std::numeric_limits<R>::epsilon();
+  const R tol = std::sqrt(R(m)) * eps;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (Index p = 0; p < n - 1; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const R app = nrm2_squared(m, x.col(p));
+        const R aqq = nrm2_squared(m, x.col(q));
+        const T apq = dotc(m, x.col(p), x.col(q));
+        const R off = abs_value(apq);
+        if (off <= tol * std::sqrt(app * aqq) || off == R(0)) continue;
+        rotated = true;
+
+        // Complex one-sided Jacobi: x_q is de-phased so the 2x2 Gram block
+        // becomes real symmetric, then the classic real rotation that
+        // annihilates its off-diagonal entry is applied.
+        const T phase = apq / T(off);
+        const R zeta = (aqq - app) / (R(2) * off);
+        const R t = std::copysign(R(1), zeta) /
+                    (std::abs(zeta) + std::sqrt(R(1) + zeta * zeta));
+        const R c = R(1) / std::sqrt(R(1) + t * t);
+        const R s = c * t;
+
+        T* xp = x.col(p);
+        T* xq = x.col(q);
+        const T cphase = conjugate(phase);
+        for (Index i = 0; i < m; ++i) {
+          const T vp = xp[i];
+          const T vq = xq[i];
+          xp[i] = T(c) * vp - T(s) * (cphase * vq);
+          xq[i] = T(s) * (phase * vp) + T(c) * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  std::vector<R> sigma(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    sigma[std::size_t(j)] = nrm2(m, x.col(j));
+  }
+  std::sort(sigma.begin(), sigma.end(), std::greater<R>());
+  return sigma;
+}
+
+/// l2 condition number sigma_max / sigma_min of a copy of X.
+template <typename T>
+RealType<T> cond2(ConstMatrixView<T> x) {
+  using R = RealType<T>;
+  Matrix<T> work = clone(x);
+  auto sigma = singular_values_jacobi(work.view());
+  const R smin = sigma.back();
+  if (smin == R(0)) return std::numeric_limits<R>::infinity();
+  return sigma.front() / smin;
+}
+
+}  // namespace chase::la

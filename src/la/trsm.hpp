@@ -1,0 +1,75 @@
+// Triangular solves needed by the CholeskyQR family and the direct solvers.
+#pragma once
+
+#include "la/blas1.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+/// X <- X * R^{-1} with R upper triangular (right-side solve).
+///
+/// This is the back-substitution step of CholeskyQR: Q = X R^{-1} where
+/// R is the Cholesky factor of the Gram matrix (Algorithm 3, line 6).
+template <typename T>
+void trsm_right_upper(ConstMatrixView<T> r, MatrixView<T> x) {
+  const Index n = r.rows();
+  CHASE_CHECK(r.cols() == n && x.cols() == n);
+  const Index m = x.rows();
+  for (Index j = 0; j < n; ++j) {
+    T* xj = x.col(j);
+    for (Index l = 0; l < j; ++l) {
+      axpy(m, -r(l, j), x.col(l), xj);
+    }
+    const T inv = T(1) / r(j, j);
+    scal(m, inv, xj);
+  }
+}
+
+/// X <- L^{-1} * X with L lower triangular (left-side forward substitution).
+template <typename T>
+void trsm_left_lower(ConstMatrixView<T> l, MatrixView<T> x) {
+  const Index n = l.rows();
+  CHASE_CHECK(l.cols() == n && x.rows() == n);
+  for (Index j = 0; j < x.cols(); ++j) {
+    T* xj = x.col(j);
+    for (Index i = 0; i < n; ++i) {
+      T acc = xj[i];
+      for (Index k = 0; k < i; ++k) acc -= l(i, k) * xj[k];
+      xj[i] = acc / l(i, i);
+    }
+  }
+}
+
+/// X <- R^{-H} * X with R upper triangular (left-side solve by the conjugate
+/// transpose; R^H is lower triangular so this is forward substitution).
+template <typename T>
+void trsm_left_upper_conj(ConstMatrixView<T> r, MatrixView<T> x) {
+  const Index n = r.rows();
+  CHASE_CHECK(r.cols() == n && x.rows() == n);
+  for (Index j = 0; j < x.cols(); ++j) {
+    T* xj = x.col(j);
+    for (Index i = 0; i < n; ++i) {
+      T acc = xj[i];
+      for (Index k = 0; k < i; ++k) acc -= conjugate(r(k, i)) * xj[k];
+      xj[i] = acc / conjugate(r(i, i));
+    }
+  }
+}
+
+/// X <- X * R with R upper triangular (right-side multiply, used to rebuild
+/// composite R factors in CholeskyQR2: R = R2 * R1).
+template <typename T>
+void trmm_right_upper(ConstMatrixView<T> r, MatrixView<T> x) {
+  const Index n = r.rows();
+  CHASE_CHECK(r.cols() == n && x.cols() == n);
+  const Index m = x.rows();
+  for (Index j = n - 1; j >= 0; --j) {
+    T* xj = x.col(j);
+    scal(m, r(j, j), xj);
+    for (Index l = 0; l < j; ++l) {
+      axpy(m, r(l, j), x.col(l), xj);
+    }
+  }
+}
+
+}  // namespace chase::la

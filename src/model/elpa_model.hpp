@@ -1,0 +1,63 @@
+// Analytic cost model of the ELPA direct eigensolver on a GPU cluster — the
+// Figure 3b comparison baseline.
+//
+// ELPA is not re-implemented at cluster scale here (the sequential
+// reference algorithms live in src/baseline); instead its distributed cost
+// is modeled with the standard structure of one-stage/two-stage direct
+// solvers:
+//   stage 1  — full -> tridiagonal (ELPA1) or full -> band (ELPA2):
+//              O(n^3) flops; GEMM-rich and GPU-efficient only for ELPA2;
+//   stage 2  — band -> tridiagonal bulge chasing (ELPA2 only): O(n^2 b)
+//              flops with limited parallelism (~sqrt(p));
+//   latency  — one or more collectives per column/panel: the O(n log p)
+//              term that caps strong scaling (the paper's ELPA curves gain
+//              only ~6x from 36x more nodes);
+//   back-transform(s) — O(n^2 nev) GEMMs (doubled for ELPA2).
+// The effective rates are calibrated against the absolute ELPA2-GPU numbers
+// the paper reports for the 115k problem (Section 4.5.2); the calibration is
+// recorded in EXPERIMENTS.md.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "perf/machine.hpp"
+
+namespace chase::model {
+
+using la::Index;
+
+struct ElpaModelSetup {
+  Index n = 0;
+  Index nev = 0;           // eigenvectors requested (back-transform size)
+  bool complex_scalar = true;
+  int nranks = 1;          // 1 rank per GPU
+  int stages = 2;          // 1 = ELPA1, 2 = ELPA2
+  Index band = 64;         // ELPA2 intermediate bandwidth
+};
+
+struct ElpaCostParams {
+  // Effective per-GPU rates (flops/s), far below kernel peaks: they absorb
+  // the CPU-resident portions and intra-kernel communication of each stage.
+  double stage1_rate_elpa2 = 1.6e12;  // band reduction (GEMM-rich)
+  double stage1_rate_elpa1 = 0.55e12; // full tridiagonalization (BLAS-2 heavy)
+  double stage2_rate = 2.4e10;        // bulge chasing, per sqrt(p) "lane"
+  double back_transform_rate = 3.0e12;
+  // Collectives per column/panel step (reduction + broadcast pairs).
+  double collectives_per_column = 7.0;
+  double tridiag_solve_rate = 0.5e12;  // divide & conquer on the tridiagonal
+};
+
+struct ElpaCosts {
+  double stage1 = 0;
+  double stage2 = 0;
+  double tridiag_solve = 0;
+  double back_transform = 0;
+  double latency = 0;
+  double total() const {
+    return stage1 + stage2 + tridiag_solve + back_transform + latency;
+  }
+};
+
+ElpaCosts model_elpa(const perf::MachineModel& m, const ElpaModelSetup& s,
+                     const ElpaCostParams& p = {});
+
+}  // namespace chase::model

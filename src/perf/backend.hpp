@@ -1,0 +1,27 @@
+// Communication backend tag shared by the runtime (src/comm) and the cost
+// models (src/perf). Mirrors the paper's three variants:
+//   kHostMpi — CPU build, host buffers + MPI collectives;
+//   kStdGpu  — ChASE(STD): device buffers, staged through the host around
+//              every MPI collective;
+//   kNcclGpu — ChASE(NCCL): device-direct NCCL collectives, no staging.
+#pragma once
+
+#include <string_view>
+
+namespace chase::perf {
+
+enum class Backend : int { kHostMpi = 0, kStdGpu, kNcclGpu };
+
+inline std::string_view backend_name(Backend b) {
+  switch (b) {
+    case Backend::kStdGpu:
+      return "STD";
+    case Backend::kNcclGpu:
+      return "NCCL";
+    case Backend::kHostMpi:
+    default:
+      return "MPI";
+  }
+}
+
+}  // namespace chase::perf

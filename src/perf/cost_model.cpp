@@ -1,0 +1,52 @@
+#include "perf/cost_model.hpp"
+
+namespace chase::perf {
+
+CostBreakdown sum_costs(const KernelCosts& costs) {
+  CostBreakdown total;
+  for (const auto& c : costs) total += c;
+  return total;
+}
+
+double price_collective(const MachineModel& m, Backend backend, CollKind kind,
+                        std::size_t bytes, int nranks) {
+  const bool nccl = backend == Backend::kNcclGpu;
+  switch (kind) {
+    case CollKind::kAllReduce:
+      return nccl ? m.nccl_allreduce_seconds(bytes, nranks)
+                  : m.mpi_allreduce_seconds(bytes, nranks);
+    case CollKind::kBroadcast:
+      return nccl ? m.nccl_broadcast_seconds(bytes, nranks)
+                  : m.mpi_broadcast_seconds(bytes, nranks);
+    case CollKind::kAllGather:
+    default:
+      return nccl ? m.nccl_allgather_seconds(bytes, nranks)
+                  : m.mpi_allgather_seconds(bytes, nranks);
+  }
+}
+
+double price_compute(const MachineModel& m, const RegionCosts& c) {
+  const double fg = c.flops[std::size_t(int(FlopClass::kGemm))];
+  const double fp = c.flops[std::size_t(int(FlopClass::kPanel))];
+  const double fs = c.flops[std::size_t(int(FlopClass::kSmall))];
+  return fg / m.gemm_flops + fp / m.panel_flops + fs / m.small_flops +
+         c.mem_bytes / m.hbm_bw;
+}
+
+KernelCosts price_tracker(const MachineModel& m, Backend backend,
+                          const Tracker& t) {
+  KernelCosts out{};
+  for (int r = 0; r < kRegionCount; ++r) {
+    out[std::size_t(r)].compute = price_compute(m, t.costs(Region(r)));
+  }
+  for (const auto& ev : t.collectives()) {
+    out[std::size_t(int(ev.region))].comm +=
+        price_collective(m, backend, ev.kind, ev.bytes, ev.nranks);
+  }
+  for (const auto& ev : t.memcpys()) {
+    out[std::size_t(int(ev.region))].movement += m.memcpy_seconds(ev.bytes);
+  }
+  return out;
+}
+
+}  // namespace chase::perf

@@ -1,0 +1,53 @@
+// Pricing of recorded or analytically generated event streams.
+//
+// A CostBreakdown carries the three Figure-2 stack components (computation,
+// communication, host-device movement) for one ChASE kernel. price_tracker()
+// converts what a real run recorded into modeled cluster time;
+// price_collective()/price flops helpers are shared with the analytic
+// replayers in chase_model.hpp.
+#pragma once
+
+#include <array>
+
+#include "perf/backend.hpp"
+#include "perf/machine.hpp"
+#include "perf/tracker.hpp"
+
+namespace chase::perf {
+
+struct CostBreakdown {
+  double compute = 0;
+  double comm = 0;
+  double movement = 0;
+  double total() const { return compute + comm + movement; }
+
+  CostBreakdown& operator+=(const CostBreakdown& o) {
+    compute += o.compute;
+    comm += o.comm;
+    movement += o.movement;
+    return *this;
+  }
+};
+
+using KernelCosts = std::array<CostBreakdown, std::size_t(kRegionCount)>;
+
+/// Total across all regions.
+CostBreakdown sum_costs(const KernelCosts& costs);
+
+/// Seconds for one collective of `kind` with per-rank payload `bytes` over
+/// `nranks` ranks under the given backend (MPI tree vs NCCL ring).
+double price_collective(const MachineModel& m, Backend backend, CollKind kind,
+                        std::size_t bytes, int nranks);
+
+/// Modeled compute seconds for a RegionCosts record (flops by class plus
+/// memory-bound bytes).
+double price_compute(const MachineModel& m, const RegionCosts& c);
+
+/// Price everything a Tracker recorded: compute from the analytic flop
+/// counters, communication from the collective events, movement from the
+/// staging events. This is how a real small-scale run is replayed onto the
+/// modeled A100 cluster.
+KernelCosts price_tracker(const MachineModel& m, Backend backend,
+                          const Tracker& t);
+
+}  // namespace chase::perf

@@ -1,0 +1,66 @@
+// Analytic machine description used to price computation, collectives and
+// host-device staging at cluster scale.
+//
+// The constants describe one JUWELS-Booster-like node (Section 4): 4x NVIDIA
+// A100-40GB per node, 4x InfiniBand HDR adapters, PCIe gen4 staging, with one
+// MPI rank per GPU for the STD/NCCL variants. They are *effective* rates (the
+// fraction of peak a well-tuned kernel reaches), not peaks; the calibration
+// test in tests/perf checks that the model reproduces the relative behaviour
+// of the real small-scale runs, and EXPERIMENTS.md records where absolute
+// numbers come from.
+#pragma once
+
+#include <cstddef>
+
+namespace chase::perf {
+
+struct MachineModel {
+  // --- per-GPU computation (double precision, effective) ---
+  double gemm_flops = 17.0e12;   // large HEMM/GEMM, near-peak tensor FP64
+  double panel_flops = 0.5e12;   // BLAS-2-bound Householder panel kernels
+  double small_flops = 0.5e12;   // redundant n_e x n_e kernels (EVD, POTRF)
+  double hbm_bw = 1.3e12;        // bytes/s, for BLAS-1 bound residual norms
+
+  // --- host <-> device staging (PCIe gen4 x16) ---
+  double pcie_bw = 22.0e9;     // bytes/s
+  double pcie_latency = 10e-6; // per transfer
+
+  // --- MPI collectives (binary-tree allreduce / binomial bcast over IB) ---
+  double mpi_latency = 6e-6;  // per hop
+  double mpi_bw = 21.0e9;     // bytes/s per link (HDR200 effective)
+
+  // --- NCCL collectives (ring over NVLink intra-node + IB inter-node) ---
+  double nccl_latency = 18e-6;       // per step; NCCL has higher setup cost
+  double nccl_bw_intra = 200.0e9;    // bytes/s, NVLink ring within one node
+  double nccl_bw_inter = 22.0e9;     // bytes/s, ring bottlenecked by HDR IB
+  /// Ring bandwidth for a communicator of `nranks` ranks (4 GPUs per node:
+  /// larger communicators necessarily cross InfiniBand).
+  double nccl_bw(int nranks) const {
+    return nranks <= 4 ? nccl_bw_intra : nccl_bw_inter;
+  }
+
+  /// Host-staged copy of `bytes` across PCIe.
+  double memcpy_seconds(std::size_t bytes) const;
+
+  /// Binary-tree MPI allreduce of `bytes` over `nranks` ranks. Reproduces
+  /// the paper's power-of-two artifact: non-power-of-two rank counts pay an
+  /// extra reduction round (Section 4.5.1).
+  double mpi_allreduce_seconds(std::size_t bytes, int nranks) const;
+
+  /// Binomial-tree MPI broadcast.
+  double mpi_broadcast_seconds(std::size_t bytes, int nranks) const;
+
+  /// Ring allgather (per-rank payload `bytes`).
+  double mpi_allgather_seconds(std::size_t bytes, int nranks) const;
+
+  /// NCCL ring allreduce: 2 (P-1)/P * bytes of traffic per rank.
+  double nccl_allreduce_seconds(std::size_t bytes, int nranks) const;
+
+  /// NCCL ring broadcast.
+  double nccl_broadcast_seconds(std::size_t bytes, int nranks) const;
+
+  /// NCCL ring allgather.
+  double nccl_allgather_seconds(std::size_t bytes, int nranks) const;
+};
+
+}  // namespace chase::perf

@@ -1,0 +1,28 @@
+#include "perf/report.hpp"
+
+#include <cstdlib>
+
+namespace chase::perf {
+
+CsvWriter::CsvWriter(const std::string& name,
+                     const std::string& dir_override) {
+  std::string dir = dir_override;
+  if (dir.empty()) {
+    if (const char* env = std::getenv("CHASE_BENCH_CSV_DIR")) dir = env;
+  }
+  if (dir.empty()) return;
+  path_ = dir + "/" + name;
+  out_.open(path_);
+}
+
+void CsvWriter::write_cells(std::initializer_list<std::string> cols) {
+  if (!enabled()) return;
+  bool first = true;
+  for (const auto& c : cols) {
+    out_ << (first ? "" : ",") << c;
+    first = false;
+  }
+  out_ << "\n";
+}
+
+}  // namespace chase::perf

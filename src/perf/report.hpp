@@ -1,0 +1,42 @@
+// Tiny CSV writer used by the figure benches: alongside the human-readable
+// tables on stdout, each experiment drops a machine-readable series (set
+// CHASE_BENCH_CSV_DIR to choose the directory; unset disables writing).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace chase::perf {
+
+class CsvWriter {
+ public:
+  /// Opens `<dir>/<name>` if the CHASE_BENCH_CSV_DIR environment variable is
+  /// set (or `dir_override` is non-empty); otherwise the writer is inert.
+  explicit CsvWriter(const std::string& name,
+                     const std::string& dir_override = "");
+
+  bool enabled() const { return out_.is_open(); }
+  const std::string& path() const { return path_; }
+
+  void header(std::initializer_list<std::string> cols) { write_cells(cols); }
+
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    if (!enabled()) return;
+    std::ostringstream os;
+    bool first = true;
+    ((os << (first ? "" : ",") << cells, first = false), ...);
+    out_ << os.str() << "\n";
+  }
+
+ private:
+  void write_cells(std::initializer_list<std::string> cols);
+
+  std::ofstream out_;
+  std::string path_;
+};
+
+}  // namespace chase::perf

@@ -1,0 +1,152 @@
+// Per-rank performance accounting.
+//
+// The paper's Figure 2 decomposes each ChASE kernel (Filter, QR,
+// Rayleigh-Ritz, Residuals) into computation, communication and host-device
+// data movement, for three library variants (LMS / STD / NCCL). The Tracker
+// collects exactly that decomposition from a running rank:
+//
+//  - computation is measured with the thread CPU clock (barrier waits do not
+//    consume CPU time, so time-shared ranks still report their own work);
+//  - every collective records a CollectiveEvent (kind, payload bytes,
+//    communicator size) so the machine model can price it for MPI trees or
+//    NCCL rings at any scale;
+//  - host<->device staging records MemcpyEvents; the STD backend surrounds
+//    every collective with them, the NCCL backend records none, and the
+//    legacy LMS driver adds the per-kernel result copies of ChASE v1.2.
+//
+// A Tracker is installed thread-locally, so library code (src/comm, src/dist,
+// src/core) reports to whatever tracker the surrounding driver set up without
+// threading a handle through every call.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace chase::perf {
+
+/// ChASE kernel the current work is attributed to (Figure 2 categories,
+/// plus Lanczos/Other for the parts outside the figure).
+enum class Region : int {
+  kOther = 0,
+  kLanczos,
+  kFilter,
+  kQr,
+  kRayleighRitz,
+  kResidual,
+  kCount_,
+};
+
+inline constexpr int kRegionCount = int(Region::kCount_);
+
+std::string_view region_name(Region r);
+
+enum class CollKind : int { kAllReduce = 0, kBroadcast, kAllGather, kCount_ };
+
+inline constexpr int kCollKindCount = int(CollKind::kCount_);
+
+struct CollectiveEvent {
+  Region region;
+  CollKind kind;
+  std::size_t bytes;  // payload per rank
+  int nranks;         // communicator size
+};
+
+struct MemcpyEvent {
+  Region region;
+  std::size_t bytes;
+  bool to_device;
+};
+
+/// Kernel class a flop count is attributed to; the machine model prices each
+/// class at a different effective rate (large GEMMs run near peak, panel
+/// factorizations at a fraction, tiny redundant kernels far below).
+enum class FlopClass : int { kGemm = 0, kPanel, kSmall, kCount_ };
+
+inline constexpr int kFlopClassCount = int(FlopClass::kCount_);
+
+/// Accumulated cost decomposition for one region.
+struct RegionCosts {
+  double compute_seconds = 0;  // thread CPU time outside collectives
+  double comm_cpu_seconds = 0; // thread CPU time inside collectives
+  std::size_t coll_count = 0;
+  std::size_t coll_bytes = 0;
+  std::size_t memcpy_count = 0;
+  std::size_t memcpy_bytes = 0;
+  std::array<double, std::size_t(kFlopClassCount)> flops{};  // by FlopClass
+  double mem_bytes = 0;  // bytes touched by memory-bound (BLAS-1) kernels
+};
+
+class Tracker {
+ public:
+  Tracker();
+
+  /// Attribute subsequent work to `r`; returns the previous region.
+  Region set_region(Region r);
+  Region region() const { return region_; }
+
+  void add_flops(FlopClass cls, double flops);
+  void add_mem_bytes(double bytes);
+
+  /// Bracket the body of a collective so its CPU time lands in the
+  /// communication bucket instead of the compute bucket.
+  void begin_collective();
+  void end_collective(CollKind kind, std::size_t bytes, int nranks);
+
+  void record_memcpy(std::size_t bytes, bool to_device);
+
+  /// Flush the running CPU timer into the current region.
+  void flush();
+
+  const RegionCosts& costs(Region r) const {
+    return costs_[std::size_t(int(r))];
+  }
+  const std::vector<CollectiveEvent>& collectives() const { return colls_; }
+  const std::vector<MemcpyEvent>& memcpys() const { return copies_; }
+
+  /// Merge another tracker's accumulators into this one (used to combine
+  /// per-rank trackers after a Team run; times take the max across ranks,
+  /// event streams are taken from rank 0 which is representative by SPMD).
+  void merge_max_times(const Tracker& other);
+
+ private:
+  void attribute_elapsed(double* bucket);
+
+  Region region_ = Region::kOther;
+  std::array<RegionCosts, std::size_t(kRegionCount)> costs_{};
+  std::vector<CollectiveEvent> colls_;
+  std::vector<MemcpyEvent> copies_;
+  double last_cpu_ = 0;
+  bool in_collective_ = false;
+};
+
+/// Install / fetch the calling thread's tracker. Library code must tolerate
+/// a null tracker (no accounting requested).
+void set_thread_tracker(Tracker* t);
+Tracker* thread_tracker();
+
+/// RAII region scope: sets the region on construction, restores on exit.
+class RegionScope {
+ public:
+  explicit RegionScope(Region r) {
+    if (Tracker* t = thread_tracker()) {
+      tracker_ = t;
+      prev_ = t->set_region(r);
+    }
+  }
+  ~RegionScope() {
+    if (tracker_ != nullptr) tracker_->set_region(prev_);
+  }
+  RegionScope(const RegionScope&) = delete;
+  RegionScope& operator=(const RegionScope&) = delete;
+
+ private:
+  Tracker* tracker_ = nullptr;
+  Region prev_ = Region::kOther;
+};
+
+}  // namespace chase::perf

@@ -1,0 +1,102 @@
+// The QR variant selector of Algorithm 4 (1D-CAQR).
+//
+// Based on the estimated condition number of the filtered vectors:
+//   est >  u^{-1/2} (~1e8 in double)  -> shifted CholeskyQR + CholeskyQR2,
+//                                        with Householder QR as the fallback
+//                                        if even the shifted POTRF fails;
+//   est <  20                         -> a single CholeskyQR pass;
+//   otherwise                         -> CholeskyQR2.
+#pragma once
+
+#include "dist/index_map.hpp"
+#include "qr/cholqr.hpp"
+#include "qr/hhqr_dist.hpp"
+#include "qr/tsqr.hpp"
+
+namespace chase::qr {
+
+enum class QrVariant : int {
+  kCholQr1 = 0,
+  kCholQr2,
+  kShiftedCholQr2,
+  kHouseholder,
+  kTsqr,
+};
+
+inline std::string_view qr_variant_name(QrVariant v) {
+  switch (v) {
+    case QrVariant::kCholQr1:
+      return "CholQR1";
+    case QrVariant::kCholQr2:
+      return "CholQR2";
+    case QrVariant::kShiftedCholQr2:
+      return "sCholQR2";
+    case QrVariant::kTsqr:
+      return "TSQR";
+    case QrVariant::kHouseholder:
+    default:
+      return "HHQR";
+  }
+}
+
+struct QrReport {
+  QrVariant selected = QrVariant::kCholQr2;  // what the heuristic picked
+  bool hhqr_fallback = false;                // POTRF failed, reverted to HHQR
+};
+
+struct QrOptions {
+  /// Force Householder QR regardless of the estimate (the Table 2 baseline).
+  bool force_householder = false;
+  /// Force TSQR (ablation only: Section 3.2 argues CholeskyQR's allreduce
+  /// beats TSQR's QR-reduction operator at scale; this switch lets the
+  /// claim be tested).
+  bool force_tsqr = false;
+  /// Threshold below which one CholeskyQR pass suffices (Algorithm 4).
+  double cholqr1_threshold = 20.0;
+};
+
+/// Orthonormalize the distributed tall matrix X in place, choosing the
+/// variant per Algorithm 4. `map`/`comm` describe the 1D row distribution
+/// (comm may be a self-communicator for the sequential build); `est_cond` is
+/// the Algorithm 5 estimate for the current iteration.
+template <typename T>
+QrReport caqr_1d(la::MatrixView<T> x, const dist::IndexMap& map,
+                 const comm::Communicator& comm, double est_cond,
+                 const QrOptions& opts = {}) {
+  perf::RegionScope scope(perf::Region::kQr);
+  QrReport report;
+  const Communicator* reduce = comm.size() > 1 ? &comm : nullptr;
+  const double shift_threshold = 1.0 / std::sqrt(double(unit_roundoff<T>()));
+
+  if (opts.force_householder) {
+    report.selected = QrVariant::kHouseholder;
+    hhqr_dist(x, map, comm);
+    return report;
+  }
+  if (opts.force_tsqr) {
+    report.selected = QrVariant::kTsqr;
+    tsqr(x, comm);
+    return report;
+  }
+
+  if (est_cond > shift_threshold) {
+    report.selected = QrVariant::kShiftedCholQr2;
+    if (shifted_cholqr_step(x, reduce, map.global_size()) != 0 ||
+        cholqr(x, reduce, 2) != 0) {
+      // Corner-case safety net (Algorithm 4 line 9).
+      report.hhqr_fallback = true;
+      hhqr_dist(x, map, comm);
+    }
+    return report;
+  }
+
+  const int reps = est_cond < opts.cholqr1_threshold ? 1 : 2;
+  report.selected = reps == 1 ? QrVariant::kCholQr1 : QrVariant::kCholQr2;
+  if (cholqr(x, reduce, reps) != 0) {
+    report.hhqr_fallback = true;
+    hhqr_dist(x, map, comm);
+  }
+  return report;
+}
+
+}  // namespace chase::qr

@@ -1,0 +1,93 @@
+// Tall-Skinny QR (TSQR) — the communication-avoiding alternative the paper
+// weighs against CholeskyQR (Section 3.2).
+//
+// TSQR has the same communication volume as CholeskyQR but its reduction
+// operator is the QR of a small stacked matrix instead of an addition, which
+// is why the paper prefers CholeskyQR (additions map onto allreduce
+// hardware/NCCL directly). Unlike CholeskyQR, TSQR is unconditionally stable
+// — it orthonormalizes blocks with kappa up to u^{-1} without shifts or
+// repetitions. It is provided here as a library feature and an ablation
+// point; ChASE's Algorithm 4 heuristic never needs it because shifted
+// CholeskyQR2 plus the HHQR fallback covers the same range.
+//
+// The implementation is the flat-tree ("allgather") TSQR:
+//   1. each rank factors its local block: X_r = Q_r R_r;
+//   2. the p small R_r factors are allgathered (n^2 scalars each — the same
+//      wire volume as CholeskyQR's Gram allreduce);
+//   3. every rank redundantly factors the stacked [R_0; ...; R_{p-1}] =
+//      Q_stack R and keeps its n x n slice of Q_stack;
+//   4. Q_r <- Q_r * Q_stack(r), giving the global thin Q in place.
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "la/gemm.hpp"
+#include "la/qr.hpp"
+#include "perf/tracker.hpp"
+
+namespace chase::qr {
+
+/// Orthonormalize the row-distributed tall matrix X in place; `r_out`, if
+/// non-null, receives the n x n R factor (identical on every rank).
+template <typename T>
+void tsqr(la::MatrixView<T> x, const comm::Communicator& comm,
+          la::Matrix<T>* r_out = nullptr) {
+  using la::Index;
+  const Index n = x.cols();
+  const int p = comm.size();
+
+  if (auto* t = perf::thread_tracker()) {
+    const double z = kIsComplex<T> ? 4.0 : 1.0;
+    // Local panel factorization + Q formation + the stacked-R factorization.
+    t->add_flops(perf::FlopClass::kPanel,
+                 4.0 * z * double(x.rows()) * double(n) * double(n));
+    t->add_flops(perf::FlopClass::kSmall,
+                 4.0 * z * double(p) * double(n) * double(n) * double(n));
+  }
+
+  // 1. Local QR. Ranks can own fewer rows than columns (ragged block maps);
+  // pad the local block with zero rows so the panel stays factorizable.
+  const Index rows = std::max(x.rows(), n);
+  la::Matrix<T> local(rows, n);
+  la::copy(x.as_const(), local.block(0, 0, x.rows(), n));
+  la::Matrix<T> r_local(n, n);
+  la::householder_qr(local.view(), r_local.view());
+
+  if (p == 1) {
+    la::copy(local.block(0, 0, x.rows(), n).as_const(), x);
+    if (r_out != nullptr) *r_out = std::move(r_local);
+    return;
+  }
+
+  // 2. Allgather the small R factors (flat reduction tree).
+  la::Matrix<T> stacked(Index(p) * n, n);
+  {
+    // Pack column-major n x n blocks; allgather concatenates rank blocks.
+    std::vector<T> send(static_cast<std::size_t>(n * n));
+    std::vector<T> recv(static_cast<std::size_t>(Index(p) * n * n));
+    for (Index j = 0; j < n; ++j) {
+      std::copy(r_local.col(j), r_local.col(j) + n, send.data() + j * n);
+    }
+    comm.all_gather(send.data(), n * n, recv.data());
+    for (int rank = 0; rank < p; ++rank) {
+      for (Index j = 0; j < n; ++j) {
+        const T* src = recv.data() + Index(rank) * n * n + j * n;
+        std::copy(src, src + n, stacked.col(j) + Index(rank) * n);
+      }
+    }
+  }
+
+  // 3. Redundant QR of the stacked R factors.
+  la::Matrix<T> r_final(n, n);
+  la::householder_qr(stacked.view(), r_final.view());
+
+  // 4. Combine: X <- Q_local * Q_stack(my slice).
+  auto my_slice = stacked.block(Index(comm.rank()) * n, 0, n, n);
+  la::gemm(T(1), local.block(0, 0, x.rows(), n).as_const(),
+           my_slice.as_const(), T(0), x);
+
+  if (r_out != nullptr) *r_out = std::move(r_final);
+}
+
+}  // namespace chase::qr

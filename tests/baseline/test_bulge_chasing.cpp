@@ -1,0 +1,125 @@
+#include "baseline/bulge_chasing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "baseline/band_reduction.hpp"
+#include "baseline/direct.hpp"
+#include "la/gemm.hpp"
+#include "la/norms.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::baseline {
+namespace {
+
+using chase::testing::random_hermitian;
+using la::Index;
+
+/// Builds a random Hermitian matrix of exact semibandwidth `band`.
+template <typename T>
+la::Matrix<T> random_banded(Index n, Index band, std::uint64_t seed) {
+  auto full = random_hermitian<T>(n, seed);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) {
+      if (std::abs(i - j) > band) full(i, j) = T(0);
+    }
+  }
+  return full;
+}
+
+template <typename T>
+class BulgeTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(BulgeTyped, chase::testing::DoubleScalarTypes);
+
+TYPED_TEST(BulgeTyped, ReducesBandToTridiagonalWithUnitaryQ) {
+  using T = TypeParam;
+  const Index n = 36;
+  for (Index band : {2, 4, 7}) {
+    auto a0 = random_banded<T>(n, band, 1 + std::uint64_t(band));
+    auto a = la::clone(a0.cview());
+    la::Matrix<T> q(n, n);
+    la::set_identity(q.view());
+    band_to_tridiag(a.view(), band, q.view());
+
+    EXPECT_LE(semibandwidth(a.view().as_const(), 1e-11), 1) << "band=" << band;
+    EXPECT_LE(la::orthogonality_error(q.view().as_const()), 1e-12);
+
+    // Q T Q^H must reconstruct the banded input.
+    la::Matrix<T> t1(n, n), rec(n, n);
+    la::gemm(T(1), q.view().as_const(), a.view().as_const(), T(0), t1.view());
+    la::gemm(T(1), la::Op::kNoTrans, t1.cview(), la::Op::kConjTrans,
+             q.view().as_const(), T(0), rec.view());
+    EXPECT_LE(la::max_abs_diff(rec.cview(), a0.cview()), 1e-11)
+        << "band=" << band;
+  }
+}
+
+TYPED_TEST(BulgeTyped, PhaseSimilarityYieldsRealTridiagonal) {
+  using T = TypeParam;
+  const Index n = 28, band = 3;
+  auto a0 = random_banded<T>(n, band, 9);
+  auto a = la::clone(a0.cview());
+  la::Matrix<T> q(n, n);
+  la::set_identity(q.view());
+  band_to_tridiag(a.view(), band, q.view());
+  std::vector<double> d, e;
+  tridiag_make_real(a.view().as_const(), q.view(), d, e);
+
+  // Q stays unitary after the phase scaling; Q T_real Q^H == A0.
+  EXPECT_LE(la::orthogonality_error(q.view().as_const()), 1e-12);
+  la::Matrix<T> t(n, n);
+  for (Index i = 0; i < n; ++i) {
+    t(i, i) = T(d[std::size_t(i)]);
+    if (i + 1 < n) {
+      t(i + 1, i) = T(e[std::size_t(i)]);
+      t(i, i + 1) = T(e[std::size_t(i)]);
+    }
+  }
+  la::Matrix<T> t1(n, n), rec(n, n);
+  la::gemm(T(1), q.view().as_const(), t.cview(), T(0), t1.view());
+  la::gemm(T(1), la::Op::kNoTrans, t1.cview(), la::Op::kConjTrans,
+           q.view().as_const(), T(0), rec.view());
+  EXPECT_LE(la::max_abs_diff(rec.cview(), a0.cview()), 1e-11);
+  // All subdiagonals non-negative real.
+  for (double x : e) EXPECT_GE(x, 0.0);
+}
+
+TYPED_TEST(BulgeTyped, BandOneIsNoop) {
+  using T = TypeParam;
+  const Index n = 12;
+  auto a0 = random_banded<T>(n, 1, 13);
+  auto a = la::clone(a0.cview());
+  la::Matrix<T> q(n, n);
+  la::set_identity(q.view());
+  band_to_tridiag(a.view(), 1, q.view());
+  EXPECT_EQ(la::max_abs_diff(a.cview(), a0.cview()), 0.0);
+}
+
+TYPED_TEST(BulgeTyped, FullTwoStagePipelineMatchesOneStage) {
+  // full -> band (Householder) -> tridiag (bulge chasing) -> eigenvalues,
+  // compared against the direct one-stage path on the same dense matrix.
+  using T = TypeParam;
+  const Index n = 48;
+  auto a = random_hermitian<T>(n, 17);
+
+  auto w1 = la::clone(a.cview());
+  std::vector<double> ev1;
+  la::Matrix<T> z1(n, n);
+  la::heevd(w1.view(), ev1, z1.view());
+
+  for (Index band : {3, 8}) {
+    auto w2 = la::clone(a.cview());
+    std::vector<double> ev2;
+    la::Matrix<T> z2(n, n);
+    heev_two_stage(w2.view(), band, ev2, z2.view());
+    for (Index i = 0; i < n; ++i) {
+      EXPECT_NEAR(ev2[std::size_t(i)], ev1[std::size_t(i)], 1e-10)
+          << "band=" << band;
+    }
+    EXPECT_LE(la::orthogonality_error(z2.view().as_const()), 1e-11);
+  }
+}
+
+}  // namespace
+}  // namespace chase::baseline

@@ -1,0 +1,143 @@
+#include "baseline/direct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "baseline/band_reduction.hpp"
+#include "gen/spectrum.hpp"
+#include "core/sequential.hpp"
+#include "la/norms.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::baseline {
+namespace {
+
+using chase::testing::random_hermitian;
+
+template <typename T>
+class BaselineTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(BaselineTyped, chase::testing::DoubleScalarTypes);
+
+TYPED_TEST(BaselineTyped, BandReductionPreservesSpectrumAndBandwidth) {
+  using T = TypeParam;
+  const Index n = 40;
+  auto a = random_hermitian<T>(n, 1);
+  for (Index band : {1, 3, 8}) {
+    auto work = la::clone(a.cview());
+    la::Matrix<T> q(n, n);
+    la::set_identity(q.view());
+    reduce_to_band(work.view(), band, q.view());
+
+    EXPECT_LE(semibandwidth(work.view().as_const(), 1e-10), band)
+        << "band=" << band;
+    EXPECT_LE(la::orthogonality_error(q.view().as_const()), 1e-12);
+
+    // Q Aband Q^H must reconstruct A.
+    la::Matrix<T> t1(n, n), rec(n, n);
+    la::gemm(T(1), q.view().as_const(), work.view().as_const(), T(0),
+             t1.view());
+    la::gemm(T(1), la::Op::kNoTrans, t1.cview(), la::Op::kConjTrans,
+             q.view().as_const(), T(0), rec.view());
+    EXPECT_LE(la::max_abs_diff(rec.cview(), a.cview()), 1e-11)
+        << "band=" << band;
+    // The banded matrix must stay Hermitian.
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i < j; ++i) {
+        EXPECT_LE(abs_value(T(work(i, j) - conjugate(work(j, i)))), 1e-11);
+      }
+    }
+  }
+}
+
+TYPED_TEST(BaselineTyped, BandOneMatchesTridiagonalization) {
+  using T = TypeParam;
+  const Index n = 24;
+  auto a = random_hermitian<T>(n, 2);
+  auto work = la::clone(a.cview());
+  la::Matrix<T> q(n, n);
+  la::set_identity(q.view());
+  reduce_to_band(work.view(), 1, q.view());
+  EXPECT_LE(semibandwidth(work.view().as_const(), 1e-10), 1);
+}
+
+TYPED_TEST(BaselineTyped, TwoStageMatchesOneStage) {
+  using T = TypeParam;
+  const Index n = 50;
+  auto a = random_hermitian<T>(n, 3);
+
+  auto w1 = la::clone(a.cview());
+  std::vector<double> ev1;
+  la::Matrix<T> z1(n, n);
+  heev_one_stage(w1.view(), ev1, z1.view());
+
+  auto w2 = la::clone(a.cview());
+  std::vector<double> ev2;
+  la::Matrix<T> z2(n, n);
+  heev_two_stage(w2.view(), 6, ev2, z2.view());
+
+  for (Index j = 0; j < n; ++j) {
+    EXPECT_NEAR(ev1[std::size_t(j)], ev2[std::size_t(j)], 1e-10);
+  }
+  EXPECT_LE(la::orthogonality_error(z2.view().as_const()), 1e-11);
+  // Two-stage eigenvectors must satisfy the eigen equation.
+  la::Matrix<T> av(n, n);
+  la::gemm(T(1), a.cview(), z2.view().as_const(), T(0), av.view());
+  for (Index j = 0; j < n; ++j) {
+    double acc = 0;
+    for (Index i = 0; i < n; ++i) {
+      const T d = av(i, j) - T(ev2[std::size_t(j)]) * z2(i, j);
+      acc += double(real_part(conjugate(d) * d));
+    }
+    EXPECT_LE(std::sqrt(acc), 1e-9) << "pair " << j;
+  }
+}
+
+TYPED_TEST(BaselineTyped, SolveLowestRecoversPrescribedEigenvalues) {
+  using T = TypeParam;
+  const Index n = 64;
+  auto eigs = gen::uniform_spectrum<double>(n, -5.0, 12.0);
+  auto a = gen::hermitian_with_spectrum<T>(eigs, 4);
+  for (int stages : {1, 2}) {
+    auto r = solve_lowest<T>(a.cview(), 7, stages, 5);
+    ASSERT_EQ(r.eigenvalues.size(), 7u);
+    for (Index j = 0; j < 7; ++j) {
+      EXPECT_NEAR(r.eigenvalues[std::size_t(j)], eigs[std::size_t(j)], 1e-9)
+          << "stages=" << stages;
+    }
+  }
+}
+
+TEST(Baseline, BandWiderThanMatrixIsNoop) {
+  using T = double;
+  const Index n = 10;
+  auto a = random_hermitian<T>(n, 5);
+  auto work = la::clone(a.cview());
+  la::Matrix<T> q(n, n);
+  la::set_identity(q.view());
+  reduce_to_band(work.view(), n, q.view());
+  EXPECT_EQ(la::max_abs_diff(work.cview(), a.cview()), 0.0);
+}
+
+TEST(Baseline, DirectAgreesWithChaseOnLowestPairs) {
+  // Cross-validation of the two independent solver stacks.
+  using T = std::complex<double>;
+  const Index n = 80;
+  auto a = gen::hermitian_with_spectrum<T>(
+      gen::bse_like_spectrum<double>(n, 6), 6);
+  auto direct = solve_lowest<T>(a.cview(), 6, 2, 8);
+
+  core::ChaseConfig cfg;
+  cfg.nev = 6;
+  cfg.nex = 6;
+  cfg.tol = 1e-10;
+  auto iterative = core::solve_sequential<T>(a.cview(), cfg);
+  ASSERT_TRUE(iterative.converged);
+  for (Index j = 0; j < 6; ++j) {
+    EXPECT_NEAR(direct.eigenvalues[std::size_t(j)],
+                iterative.eigenvalues[std::size_t(j)], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace chase::baseline

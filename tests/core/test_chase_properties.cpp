@@ -1,0 +1,242 @@
+// Deeper property tests of the ChASE building blocks: the filter's analytic
+// polynomial, degenerate/edge-case spectra, precision variants.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "core/filter.hpp"
+#include "core/sequential.hpp"
+#include "gen/spectrum.hpp"
+#include "la/norms.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::core {
+namespace {
+
+/// Scaled Chebyshev value the filter implements:
+/// p_d(x) = C_d((x - c)/e) / C_d((mu_1 - c)/e).
+double scaled_chebyshev(int d, double x, double c, double e, double mu1) {
+  auto cheb = [&](double t) {
+    if (std::abs(t) <= 1.0) return std::cos(d * std::acos(t));
+    const double s = t < 0 ? (d % 2 == 0 ? 1.0 : -1.0) : 1.0;
+    return s * std::cosh(d * std::acosh(std::abs(t)));
+  };
+  return cheb((x - c) / e) / cheb((mu1 - c) / e);
+}
+
+TEST(FilterProperty, MatchesAnalyticChebyshevOnDiagonalMatrix) {
+  // For H = diag(lambda) and C = e_j columns, the filtered columns are
+  // p_d(lambda_j) e_j — directly comparable to the closed form.
+  using T = double;
+  const la::Index n = 12;
+  const std::vector<double> lambda = {-2.0, -1.5, -1.1, -0.9, -0.5, 0.0,
+                                      0.3,  0.7,  1.0,  1.3,  1.7,  2.0};
+  la::Matrix<T> h(n, n);
+  for (la::Index j = 0; j < n; ++j) h(j, j) = lambda[std::size_t(j)];
+
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  dist::DistHermitianMatrix<T> hd(grid, dist::IndexMap::block(n, 1),
+                                  dist::IndexMap::block(n, 1));
+  hd.fill_from_global(h.cview());
+
+  // Damp [0, 2] (center 1, half-width 1), normalize at mu_1 = -2.
+  const double c = 1.0, e = 1.0, mu1 = -2.0;
+  for (int deg : {2, 6, 12}) {
+    la::Matrix<T> x(n, n), b(n, n);
+    la::set_identity(x.view());
+    std::vector<int> degs(std::size_t(n), deg);
+    chebyshev_filter(hd, x.view(), b.view(), degs, c, e, mu1);
+
+    for (la::Index j = 0; j < n; ++j) {
+      const double expect =
+          scaled_chebyshev(deg, lambda[std::size_t(j)], c, e, mu1);
+      EXPECT_NEAR(x(j, j), expect, std::abs(expect) * 1e-11 + 1e-12)
+          << "deg=" << deg << " lambda=" << lambda[std::size_t(j)];
+      // Off-diagonal entries stay zero for a diagonal H.
+      for (la::Index i = 0; i < n; ++i) {
+        if (i != j) {
+          EXPECT_EQ(x(i, j), 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(FilterProperty, DampedIntervalShrinksUnwantedComponents) {
+  // |p_d| <= 1 inside the damped interval, growing with distance below it.
+  using T = double;
+  const la::Index n = 40;
+  auto eigs = gen::uniform_spectrum<double>(n, -1.0, 1.0);
+  auto h = gen::hermitian_with_spectrum<T>(eigs, 3);
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  dist::DistHermitianMatrix<T> hd(grid, dist::IndexMap::block(n, 1),
+                                  dist::IndexMap::block(n, 1));
+  hd.fill_from_global(h.cview());
+
+  // Damp the upper 80% of the spectrum: interval [-0.6, 1.0].
+  const double c = 0.2, e = 0.8, mu1 = -1.0;
+  Rng rng(5);
+  la::Matrix<T> x(n, 1), b(n, 1);
+  for (la::Index i = 0; i < n; ++i) x(i, 0) = rng.gaussian<T>();
+  const double before = la::nrm2(n, x.data());
+  std::vector<int> degs = {20};
+  chebyshev_filter(hd, x.view(), b.view(), degs, c, e, mu1);
+
+  // Rayleigh quotient of the filtered vector must sit near the preserved
+  // (lower) spectral edge: the scaling keeps p(mu_1) = 1 while everything
+  // inside the damped interval shrinks, so the total norm goes down and the
+  // direction collapses onto the lowest eigenvector.
+  la::Matrix<T> hx(n, 1);
+  la::gemm(T(1), h.cview(), x.cview(), T(0), hx.view());
+  const double nom = la::dotc(n, x.data(), hx.data());
+  const double den = la::dotc(n, x.data(), x.data());
+  EXPECT_LT(nom / den, -0.85);               // pushed toward lambda_min = -1
+  EXPECT_LT(la::nrm2(n, x.data()), before);  // damped overall
+}
+
+TEST(ChaseEdge, DegenerateEigenvaluesLockTogether) {
+  using T = double;
+  const la::Index n = 80;
+  std::vector<double> eigs(static_cast<std::size_t>(n));
+  for (la::Index i = 0; i < n; ++i) {
+    eigs[std::size_t(i)] = i < 4 ? -5.0 : double(i) * 0.1;  // 4-fold lowest
+  }
+  auto h = gen::hermitian_with_spectrum<T>(eigs, 7);
+  ChaseConfig cfg;
+  cfg.nev = 6;
+  cfg.nex = 4;
+  cfg.tol = 1e-9;
+  auto r = solve_sequential<T>(h.cview(), cfg);
+  ASSERT_TRUE(r.converged);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(r.eigenvalues[std::size_t(j)], -5.0, 1e-7);
+  }
+  EXPECT_NEAR(r.eigenvalues[4], 0.4, 1e-7);
+  // The invariant subspace of the multiple eigenvalue must be orthonormal.
+  EXPECT_LE(la::orthogonality_error(r.eigenvectors.view().as_const()), 1e-9);
+}
+
+TEST(ChaseEdge, NearlyFullSubspace) {
+  // nev + nex close to n exercises the small-matrix paths everywhere.
+  using T = double;
+  const la::Index n = 30;
+  auto eigs = gen::uniform_spectrum<double>(n, 0.0, 3.0);
+  auto h = gen::hermitian_with_spectrum<T>(eigs, 9);
+  ChaseConfig cfg;
+  cfg.nev = 20;
+  cfg.nex = 8;
+  cfg.tol = 1e-8;
+  auto r = solve_sequential<T>(h.cview(), cfg);
+  ASSERT_TRUE(r.converged);
+  for (la::Index j = 0; j < cfg.nev; ++j) {
+    EXPECT_NEAR(r.eigenvalues[std::size_t(j)], eigs[std::size_t(j)], 1e-6);
+  }
+}
+
+TEST(ChaseEdge, SingleEigenpair) {
+  using T = std::complex<double>;
+  auto h = gen::hermitian_with_spectrum<T>(
+      gen::uniform_spectrum<double>(60, -1.0, 1.0), 11);
+  ChaseConfig cfg;
+  cfg.nev = 1;
+  cfg.nex = 4;
+  cfg.tol = 1e-10;
+  auto r = solve_sequential<T>(h.cview(), cfg);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalues[0], -1.0, 1e-8);
+}
+
+TEST(ChaseEdge, SinglePrecisionConverges) {
+  using T = std::complex<float>;
+  const la::Index n = 100;
+  auto eigs = gen::uniform_spectrum<float>(n, -2.0f, 2.0f);
+  auto h = gen::hermitian_with_spectrum<T>(eigs, 13);
+  ChaseConfig cfg;
+  cfg.nev = 8;
+  cfg.nex = 6;
+  cfg.tol = 1e-4;  // float-appropriate tolerance
+  auto r = solve_sequential<T>(h.cview(), cfg);
+  ASSERT_TRUE(r.converged);
+  for (la::Index j = 0; j < cfg.nev; ++j) {
+    EXPECT_NEAR(double(r.eigenvalues[std::size_t(j)]),
+                double(eigs[std::size_t(j)]), 2e-3);
+  }
+}
+
+TEST(ChaseEdge, RealSymmetricDoubleMatchesComplexHermitian) {
+  // A real symmetric matrix embedded as complex must give the same spectrum
+  // through both instantiations.
+  const la::Index n = 70;
+  auto eigs = gen::uniform_spectrum<double>(n, 1.0, 4.0);
+  auto hr = gen::hermitian_with_spectrum<double>(eigs, 15);
+  la::Matrix<std::complex<double>> hc(n, n);
+  for (la::Index j = 0; j < n; ++j) {
+    for (la::Index i = 0; i < n; ++i) hc(i, j) = hr(i, j);
+  }
+  ChaseConfig cfg;
+  cfg.nev = 6;
+  cfg.nex = 4;
+  cfg.tol = 1e-10;
+  auto rr = solve_sequential<double>(hr.cview(), cfg);
+  auto rc = solve_sequential<std::complex<double>>(hc.cview(), cfg);
+  ASSERT_TRUE(rr.converged && rc.converged);
+  for (la::Index j = 0; j < cfg.nev; ++j) {
+    EXPECT_NEAR(rr.eigenvalues[std::size_t(j)], rc.eigenvalues[std::size_t(j)],
+                1e-8);
+  }
+}
+
+
+TEST(ChaseEdge, DivideConquerRrSolverMatchesQl) {
+  // The D&C reduced-problem solver (the paper's named choice) must give the
+  // same convergence and eigenvalues as the QL default.
+  using T = std::complex<double>;
+  const la::Index n = 110;
+  auto eigs = gen::dft_like_spectrum<double>(n, 71);
+  auto h = gen::hermitian_with_spectrum<T>(eigs, 71);
+  ChaseConfig cfg;
+  cfg.nev = 8;
+  cfg.nex = 30;  // subspace large enough to cross the D&C recursion cutoff
+  cfg.tol = 1e-9;
+  auto ql = solve_sequential<T>(h.cview(), cfg);
+  cfg.rr_solver = RrSolver::kDivideConquer;
+  auto dc = solve_sequential<T>(h.cview(), cfg);
+  ASSERT_TRUE(ql.converged);
+  ASSERT_TRUE(dc.converged);
+  for (la::Index j = 0; j < cfg.nev; ++j) {
+    EXPECT_NEAR(dc.eigenvalues[std::size_t(j)], ql.eigenvalues[std::size_t(j)],
+                1e-7);
+    EXPECT_NEAR(dc.eigenvalues[std::size_t(j)], eigs[std::size_t(j)], 1e-6);
+  }
+}
+
+
+TEST(ChaseEdge, TsqrVariantSameConvergence) {
+  // TSQR (the CA-QR alternative the paper weighs in Section 3.2) must give
+  // the same convergence as the CholeskyQR heuristic — the choice is purely
+  // a performance trade-off.
+  using T = std::complex<double>;
+  const la::Index n = 120;
+  auto h = gen::hermitian_with_spectrum<T>(
+      gen::dft_like_spectrum<double>(n, 81), 81);
+  ChaseConfig cfg;
+  cfg.nev = 8;
+  cfg.nex = 6;
+  cfg.tol = 1e-10;
+  auto chol = solve_sequential<T>(h.cview(), cfg);
+  cfg.qr.force_tsqr = true;
+  auto tsqr = solve_sequential<T>(h.cview(), cfg);
+  ASSERT_TRUE(chol.converged);
+  ASSERT_TRUE(tsqr.converged);
+  EXPECT_EQ(chol.iterations, tsqr.iterations);
+  EXPECT_EQ(chol.matvecs, tsqr.matvecs);
+  for (la::Index j = 0; j < cfg.nev; ++j) {
+    EXPECT_NEAR(chol.eigenvalues[std::size_t(j)],
+                tsqr.eigenvalues[std::size_t(j)], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace chase::core

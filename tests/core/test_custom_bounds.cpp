@@ -1,0 +1,97 @@
+// Expert spectral-bound overrides and the filter divergence guard.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "core/sequential.hpp"
+#include "gen/spectrum.hpp"
+
+namespace chase::core {
+namespace {
+
+TEST(CustomBounds, SkipsLanczosAndConverges) {
+  using T = double;
+  const la::Index n = 100;
+  auto eigs = gen::uniform_spectrum<double>(n, -1.0, 3.0);
+  auto h = gen::hermitian_with_spectrum<T>(eigs, 51);
+
+  ChaseConfig cfg;
+  cfg.nev = 8;
+  cfg.nex = 6;
+  cfg.tol = 1e-10;
+  cfg.use_custom_bounds = true;
+  cfg.custom_b_sup = 3.05;   // valid: above lambda_max
+  cfg.custom_mu_1 = -1.0;
+  cfg.custom_mu_ne = eigs[std::size_t(cfg.subspace())];
+  auto r = solve_sequential<T>(h.cview(), cfg);
+  ASSERT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.bounds.b_sup, 3.05);
+  for (la::Index j = 0; j < cfg.nev; ++j) {
+    EXPECT_NEAR(r.eigenvalues[std::size_t(j)], eigs[std::size_t(j)], 1e-7);
+  }
+}
+
+TEST(CustomBounds, UnderestimatedBSupIsDetectedNotPropagated) {
+  using T = double;
+  const la::Index n = 80;
+  auto h = gen::hermitian_with_spectrum<T>(
+      gen::uniform_spectrum<double>(n, 0.0, 10.0), 53);
+
+  ChaseConfig cfg;
+  cfg.nev = 6;
+  cfg.nex = 4;
+  cfg.use_custom_bounds = true;
+  cfg.custom_b_sup = 5.0;  // lambda_max = 10: the filter will diverge
+  cfg.custom_mu_1 = 0.0;
+  cfg.custom_mu_ne = 1.0;
+  cfg.max_iterations = 10;
+  auto r = solve_sequential<T>(h.cview(), cfg);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.iterations, 3);  // blow-up caught within the first iterations
+  // No NaNs escape into the reported values.
+  for (double v : r.eigenvalues) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(CustomBounds, InvalidOrderingThrows) {
+  using T = double;
+  auto h = gen::hermitian_with_spectrum<T>(
+      gen::uniform_spectrum<double>(30, 0.0, 1.0), 55);
+  ChaseConfig cfg;
+  cfg.nev = 4;
+  cfg.nex = 2;
+  cfg.use_custom_bounds = true;
+  cfg.custom_b_sup = 0.5;
+  cfg.custom_mu_1 = 1.0;  // mu_1 > b_sup
+  cfg.custom_mu_ne = 0.7;
+  EXPECT_THROW(solve_sequential<T>(h.cview(), cfg), Error);
+}
+
+TEST(CustomBounds, DistributedGuardIsConsensusSafe) {
+  // The divergence verdict must be identical on every rank (otherwise the
+  // SPMD control flow would deadlock); run the bad-bounds case distributed.
+  using T = double;
+  const la::Index n = 64;
+  auto h = gen::hermitian_with_spectrum<T>(
+      gen::uniform_spectrum<double>(n, 0.0, 10.0), 57);
+  ChaseConfig cfg;
+  cfg.nev = 5;
+  cfg.nex = 3;
+  cfg.use_custom_bounds = true;
+  cfg.custom_b_sup = 5.0;
+  cfg.custom_mu_1 = 0.0;
+  cfg.custom_mu_ne = 1.0;
+  cfg.max_iterations = 8;
+
+  comm::Team team(4);
+  team.run([&](comm::Communicator& world) {
+    comm::Grid2d grid(world, 2, 2);
+    auto map = dist::IndexMap::block(n, 2);
+    dist::DistHermitianMatrix<T> hd(grid, map, map);
+    hd.fill_from_global(h.cview());
+    auto r = solve(hd, cfg);
+    EXPECT_FALSE(r.converged);
+  });
+}
+
+}  // namespace
+}  // namespace chase::core

@@ -1,0 +1,93 @@
+#include "core/dos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/spectrum.hpp"
+
+namespace chase::core {
+namespace {
+
+template <typename T>
+DosEstimate<double> dos_of(const la::Matrix<T>& h, int steps = 30,
+                           int nvec = 6) {
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  const la::Index n = h.rows();
+  dist::DistHermitianMatrix<T> hd(grid, dist::IndexMap::block(n, 1),
+                                  dist::IndexMap::block(n, 1));
+  hd.fill_from_global(h.cview());
+  return estimate_dos(hd, steps, nvec, 7);
+}
+
+TEST(Dos, WeightsSumToOne) {
+  auto h = gen::hermitian_with_spectrum<double>(
+      gen::uniform_spectrum<double>(150, -1.0, 1.0), 1);
+  auto dos = dos_of(h);
+  const double total =
+      std::accumulate(dos.weights.begin(), dos.weights.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+  EXPECT_TRUE(std::is_sorted(dos.nodes.begin(), dos.nodes.end()));
+}
+
+TEST(Dos, BoundsBracketTheSpectrum) {
+  auto eigs = gen::uniform_spectrum<double>(120, -3.0, 7.0);
+  auto h = gen::hermitian_with_spectrum<double>(eigs, 2);
+  auto dos = dos_of(h);
+  EXPECT_GE(dos.upper, eigs.back() - 1e-6);
+  EXPECT_LE(dos.lower, eigs.front() + 0.5);  // Lanczos reaches the edge fast
+  EXPECT_GE(dos.lower, eigs.front() - 1e-6);
+}
+
+TEST(Dos, CumulativeCountTracksUniformSpectrum) {
+  const la::Index n = 200;
+  auto h = gen::hermitian_with_spectrum<double>(
+      gen::uniform_spectrum<double>(n, 0.0, 1.0), 3);
+  auto dos = dos_of(h, 40, 8);
+  // For a uniform spectrum, about half the eigenvalues lie below the
+  // midpoint; the stochastic estimate should land within ~20%.
+  const double mid = dos.cumulative_count(0.5, n);
+  EXPECT_NEAR(mid, double(n) / 2, double(n) * 0.2);
+  EXPECT_NEAR(dos.cumulative_count(2.0, n), double(n), double(n) * 0.05);
+}
+
+TEST(Dos, QuantileInvertsCumulativeCount) {
+  const la::Index n = 160;
+  auto h = gen::hermitian_with_spectrum<double>(
+      gen::uniform_spectrum<double>(n, -2.0, 2.0), 4);
+  auto dos = dos_of(h, 40, 8);
+  const double tau = dos.quantile(double(n) / 4, n);
+  // A quarter of a uniform [-2, 2] spectrum lies below -1.
+  EXPECT_NEAR(tau, -1.0, 0.8);
+}
+
+TEST(Dos, HistogramDetectsSpectralGap) {
+  // Spectrum with a hole in the middle: the corresponding histogram bins
+  // must be (nearly) empty.
+  const la::Index n = 200;
+  std::vector<double> eigs;
+  for (la::Index i = 0; i < n / 2; ++i) eigs.push_back(double(i) / 100.0);
+  for (la::Index i = 0; i < n / 2; ++i) {
+    eigs.push_back(10.0 + double(i) / 100.0);
+  }
+  auto h = gen::hermitian_with_spectrum<double>(eigs, 5);
+  auto dos = dos_of(h, 40, 8);
+  auto hist = dos_histogram(dos, 10);
+  // Bins covering the gap (roughly bins 2-8 of [0, ~11]) carry almost no
+  // mass; the edge bins carry almost everything.
+  double gap_mass = 0;
+  for (int b = 2; b <= 7; ++b) gap_mass += hist[std::size_t(b)];
+  EXPECT_LT(gap_mass, 0.05);
+  EXPECT_GT(hist.front() + hist.back(), 0.7);
+}
+
+TEST(Dos, HistogramValidatesBinCount) {
+  DosEstimate<double> dos;
+  dos.lower = 0;
+  dos.upper = 1;
+  EXPECT_THROW(dos_histogram(dos, 0), Error);
+}
+
+}  // namespace
+}  // namespace chase::core

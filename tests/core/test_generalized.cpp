@@ -1,0 +1,124 @@
+#include "core/generalized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "gen/spectrum.hpp"
+#include "la/norms.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::core {
+namespace {
+
+using chase::testing::random_matrix;
+using la::Index;
+
+/// HPD overlap matrix: G^H G + n I scaled to unit-ish diagonal.
+template <typename T>
+la::Matrix<T> overlap_matrix(Index n, std::uint64_t seed) {
+  auto g = random_matrix<T>(n, n, seed);
+  la::Matrix<T> b(n, n);
+  la::gram(g.cview(), b.view());
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) b(i, j) /= RealType<T>(n);
+  }
+  for (Index j = 0; j < n; ++j) b(j, j) += T(1);
+  return b;
+}
+
+template <typename T>
+class GeneralizedTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(GeneralizedTyped, chase::testing::DoubleScalarTypes);
+
+TYPED_TEST(GeneralizedTyped, MatchesDirectGeneralizedSolve) {
+  using T = TypeParam;
+  const Index n = 80, nev = 8;
+  auto a = chase::testing::random_hermitian<T>(n, 1);
+  auto b = overlap_matrix<T>(n, 2);
+
+  ChaseConfig cfg;
+  cfg.nev = nev;
+  cfg.nex = 6;
+  cfg.tol = 1e-10;
+  auto r = solve_generalized<T>(a.cview(), b.cview(), cfg);
+  ASSERT_TRUE(r.converged);
+
+  // Direct reference: eigenvalues of R^{-H} A R^{-1}.
+  auto rb = la::clone(b.cview());
+  ASSERT_EQ(la::potrf_upper(rb.view()), 0);
+  auto at = la::clone(a.cview());
+  // at <- R^{-H} A R^{-1}: solve from both sides.
+  la::trsm_left_upper_conj(rb.view().as_const(), at.view());
+  // Right side: (R^{-H} A) R^{-1} = solve (.) R = X -> use column solves on
+  // the conjugate-transposed relation: X R = M => X = M R^{-1}.
+  la::trsm_right_upper(rb.view().as_const(), at.view());
+  std::vector<double> w;
+  la::Matrix<T> z(n, n);
+  la::heevd(at.view(), w, z.view());
+  for (Index j = 0; j < nev; ++j) {
+    EXPECT_NEAR(r.eigenvalues[std::size_t(j)], w[std::size_t(j)], 1e-8);
+  }
+
+  // Generalized eigen equation: || A x - lambda B x || small.
+  la::Matrix<T> ax(n, nev), bx(n, nev);
+  la::gemm(T(1), a.cview(), r.eigenvectors.view().as_const(), T(0),
+           ax.view());
+  la::gemm(T(1), b.cview(), r.eigenvectors.view().as_const(), T(0),
+           bx.view());
+  for (Index k = 0; k < nev; ++k) {
+    double err = 0;
+    for (Index i = 0; i < n; ++i) {
+      const T d = ax(i, k) - T(r.eigenvalues[std::size_t(k)]) * bx(i, k);
+      err += double(real_part(conjugate(d) * d));
+    }
+    EXPECT_LE(std::sqrt(err), 1e-7) << "pair " << k;
+  }
+
+  // B-orthonormality: X^H B X = I.
+  la::Matrix<T> xhbx(nev, nev);
+  la::gemm(T(1), la::Op::kConjTrans, r.eigenvectors.view().as_const(),
+           la::Op::kNoTrans, bx.cview(), T(0), xhbx.view());
+  for (Index j = 0; j < nev; ++j) {
+    for (Index i = 0; i < nev; ++i) {
+      const double expect = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(double(real_part(xhbx(i, j))), expect, 1e-9);
+      EXPECT_NEAR(double(imag_part(xhbx(i, j))), 0.0, 1e-9);
+    }
+  }
+}
+
+TYPED_TEST(GeneralizedTyped, IdentityOverlapReducesToStandard) {
+  using T = TypeParam;
+  const Index n = 70;
+  auto eigs = gen::uniform_spectrum<double>(n, -1.0, 2.0);
+  auto a = gen::hermitian_with_spectrum<T>(eigs, 3);
+  la::Matrix<T> b(n, n);
+  la::set_identity(b.view());
+
+  ChaseConfig cfg;
+  cfg.nev = 6;
+  cfg.nex = 4;
+  cfg.tol = 1e-10;
+  auto r = solve_generalized<T>(a.cview(), b.cview(), cfg);
+  ASSERT_TRUE(r.converged);
+  for (Index j = 0; j < cfg.nev; ++j) {
+    EXPECT_NEAR(r.eigenvalues[std::size_t(j)], eigs[std::size_t(j)], 1e-7);
+  }
+}
+
+TEST(Generalized, RejectsIndefiniteOverlap) {
+  using T = double;
+  const Index n = 20;
+  auto a = chase::testing::random_hermitian<T>(n, 5);
+  la::Matrix<T> b(n, n);
+  la::set_identity(b.view());
+  b(3, 3) = -1.0;  // indefinite
+  ChaseConfig cfg;
+  cfg.nev = 3;
+  cfg.nex = 3;
+  EXPECT_THROW(solve_generalized<T>(a.cview(), b.cview(), cfg), Error);
+}
+
+}  // namespace
+}  // namespace chase::core

@@ -1,0 +1,107 @@
+// Properties of the Lanczos spectral-bound / DoS estimation (Algorithm 2
+// line 1): the upper bound must actually bound the spectrum (the filter
+// diverges otherwise), mu_1 must reach the lower edge, and the quantile
+// estimate mu_ne must land inside the spectrum.
+#include "core/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "gen/spectrum.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::core {
+namespace {
+
+template <typename T>
+SpectralBounds<double> bounds_of(const la::Matrix<T>& h, la::Index ne,
+                                 int steps = 25, int nvec = 4) {
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  const la::Index n = h.rows();
+  dist::DistHermitianMatrix<T> hd(grid, dist::IndexMap::block(n, 1),
+                                  dist::IndexMap::block(n, 1));
+  hd.fill_from_global(h.cview());
+  return lanczos_bounds(hd, ne, steps, nvec, 2023);
+}
+
+template <typename T>
+class LanczosTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(LanczosTyped, chase::testing::DoubleScalarTypes);
+
+TYPED_TEST(LanczosTyped, UpperBoundCoversSpectrum) {
+  using T = TypeParam;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const la::Index n = 120;
+    auto eigs = gen::uniform_spectrum<double>(n, -2.0, 5.0);
+    auto h = gen::hermitian_with_spectrum<T>(eigs, seed);
+    auto b = bounds_of(h, 12);
+    EXPECT_GE(b.b_sup, eigs.back() - 1e-10) << "seed " << seed;
+    // ...but not wildly above it (a loose bound wastes filter degrees).
+    EXPECT_LE(b.b_sup, eigs.back() + 0.5 * (eigs.back() - eigs.front()));
+  }
+}
+
+TYPED_TEST(LanczosTyped, LowerEstimateReachesTheEdge) {
+  // Lanczos converges to extremal eigenvalues first: mu_1 should be within
+  // a tight tolerance of lambda_min after ~25 steps.
+  using T = TypeParam;
+  const la::Index n = 150;
+  auto eigs = gen::dft_like_spectrum<double>(n, 5);
+  auto h = gen::hermitian_with_spectrum<T>(eigs, 5);
+  auto b = bounds_of(h, 15);
+  EXPECT_NEAR(b.mu_1, eigs.front(), 1e-3 * std::abs(eigs.front()));
+  EXPECT_GE(b.mu_1, eigs.front() - 1e-10);  // Ritz values never undershoot
+}
+
+TYPED_TEST(LanczosTyped, QuantileEstimateLandsInsideTheSpectrum) {
+  using T = TypeParam;
+  const la::Index n = 200;
+  auto eigs = gen::uniform_spectrum<double>(n, 0.0, 10.0);
+  auto h = gen::hermitian_with_spectrum<T>(eigs, 7);
+  const la::Index ne = 20;
+  auto b = bounds_of(h, ne, 30, 6);
+  // mu_ne estimates lambda_20 = 1.0 of a uniform [0,10] spectrum; the
+  // stochastic quantile is crude but must stay in a sane neighbourhood and
+  // strictly inside (mu_1, b_sup).
+  EXPECT_GT(b.mu_ne, b.mu_1);
+  EXPECT_LT(b.mu_ne, b.b_sup);
+  EXPECT_NEAR(b.mu_ne, 1.0, 2.0);
+}
+
+TEST(Lanczos, DegenerateSpectrumBreakdownHandled) {
+  // H = alpha I: the first Lanczos step finds an invariant subspace
+  // (beta = 0); the bounds must still come out sane.
+  using T = double;
+  const la::Index n = 40;
+  la::Matrix<T> h(n, n);
+  for (la::Index j = 0; j < n; ++j) h(j, j) = 3.0;
+  auto b = bounds_of(h, 4);
+  EXPECT_NEAR(b.mu_1, 3.0, 1e-12);
+  EXPECT_GE(b.b_sup, 3.0 - 1e-12);
+  EXPECT_LT(b.b_sup, 3.5);
+}
+
+TEST(Lanczos, MatchesAcrossGridShapes) {
+  using T = std::complex<double>;
+  const la::Index n = 60;
+  auto h = gen::hermitian_with_spectrum<T>(
+      gen::bse_like_spectrum<double>(n, 9), 9);
+  auto seq = bounds_of(h, 10);
+
+  comm::Team team(4);
+  team.run([&](comm::Communicator& world) {
+    comm::Grid2d grid(world, 2, 2);
+    auto map = dist::IndexMap::block(n, 2);
+    dist::DistHermitianMatrix<T> hd(grid, map, map);
+    hd.fill_from_global(h.cview());
+    auto par = lanczos_bounds(hd, 10, 25, 4, 2023);
+    EXPECT_NEAR(par.b_sup, seq.b_sup, 1e-10);
+    EXPECT_NEAR(par.mu_1, seq.mu_1, 1e-10);
+    EXPECT_NEAR(par.mu_ne, seq.mu_ne, 1e-10);
+  });
+}
+
+}  // namespace
+}  // namespace chase::core

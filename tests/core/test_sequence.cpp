@@ -1,0 +1,115 @@
+#include "core/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "core/sequential.hpp"
+#include "gen/spectrum.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::core {
+namespace {
+
+template <typename T>
+la::Matrix<T> perturbed(const la::Matrix<T>& h0, const la::Matrix<T>& p,
+                        double eps) {
+  auto h = la::clone(h0.cview());
+  for (la::Index j = 0; j < h.cols(); ++j) {
+    for (la::Index i = 0; i < h.rows(); ++i) {
+      h(i, j) += T(RealType<T>(eps)) * p(i, j);
+    }
+  }
+  return h;
+}
+
+TEST(Sequence, WarmStartsReduceWorkAcrossCorrelatedSolves) {
+  using T = std::complex<double>;
+  const la::Index n = 150;
+  auto h0 = gen::hermitian_with_spectrum<T>(
+      gen::dft_like_spectrum<double>(n, 41), 41);
+  auto pert = chase::testing::random_hermitian<T>(n, 42);
+
+  ChaseConfig cfg;
+  cfg.nev = 10;
+  cfg.nex = 6;
+  cfg.tol = 1e-9;
+  ChaseSequence<T> seq(cfg);
+
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  auto map = dist::IndexMap::block(n, 1);
+
+  long cold_total = 0, warm_total = 0;
+  double eps = 1e-3;
+  std::vector<double> prev_ev;
+  for (int step = 0; step < 4; ++step, eps *= 0.3) {
+    auto h = perturbed(h0, pert, eps);
+    dist::DistHermitianMatrix<T> hd(grid, map, map);
+    hd.fill_from_global(h.cview());
+
+    auto warm = seq.solve_next(hd);
+    ASSERT_TRUE(warm.converged) << "step " << step;
+    warm_total += warm.matvecs;
+
+    auto cold = solve_sequential<T>(h.cview(), cfg);
+    ASSERT_TRUE(cold.converged);
+    cold_total += cold.matvecs;
+
+    // Warm and cold must agree on the answer.
+    for (la::Index j = 0; j < cfg.nev; ++j) {
+      EXPECT_NEAR(warm.eigenvalues[std::size_t(j)],
+                  cold.eigenvalues[std::size_t(j)], 1e-7);
+    }
+  }
+  // The warm sequence saves MatVecs overall (step 0 is identical work).
+  EXPECT_LT(warm_total, cold_total);
+}
+
+TEST(Sequence, ResetForgetsTheGuess) {
+  using T = double;
+  auto h = gen::hermitian_with_spectrum<T>(
+      gen::uniform_spectrum<double>(80, 0.0, 2.0), 43);
+  ChaseConfig cfg;
+  cfg.nev = 5;
+  cfg.nex = 4;
+  ChaseSequence<T> seq(cfg);
+
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  auto map = dist::IndexMap::block(80, 1);
+  dist::DistHermitianMatrix<T> hd(grid, map, map);
+  hd.fill_from_global(h.cview());
+
+  EXPECT_FALSE(seq.has_guess());
+  auto r1 = seq.solve_next(hd);
+  ASSERT_TRUE(r1.converged);
+  EXPECT_TRUE(seq.has_guess());
+  seq.reset();
+  EXPECT_FALSE(seq.has_guess());
+}
+
+TEST(Sequence, FailedSolveDoesNotPoisonTheGuess) {
+  using T = double;
+  auto h = gen::hermitian_with_spectrum<T>(
+      gen::uniform_spectrum<double>(60, 0.0, 1.0), 44);
+  ChaseConfig cfg;
+  cfg.nev = 5;
+  cfg.nex = 3;
+  cfg.tol = 1e-30;  // unreachable
+  cfg.max_iterations = 2;
+  ChaseSequence<T> seq(cfg);
+
+  comm::Communicator self;
+  comm::Grid2d grid(self, 1, 1);
+  auto map = dist::IndexMap::block(60, 1);
+  dist::DistHermitianMatrix<T> hd(grid, map, map);
+  hd.fill_from_global(h.cview());
+
+  auto r = seq.solve_next(hd);
+  EXPECT_FALSE(r.converged);
+  EXPECT_FALSE(seq.has_guess());  // unconverged vectors are not stored
+}
+
+}  // namespace
+}  // namespace chase::core

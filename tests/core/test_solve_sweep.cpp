@@ -1,0 +1,82 @@
+// Parameterized end-to-end sweep: ChASE must converge to the prescribed
+// spectrum across spectrum families, subspace fractions and grid layouts.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <tuple>
+
+#include "core/sequential.hpp"
+#include "gen/spectrum.hpp"
+
+namespace chase::core {
+namespace {
+
+using Param = std::tuple<int /*spectrum*/, int /*nev*/, int /*grid p*/>;
+
+std::vector<double> spectrum_of(int kind, la::Index n) {
+  switch (kind) {
+    case 0:
+      return gen::uniform_spectrum<double>(n, -1.0, 1.0);
+    case 1:
+      return gen::dft_like_spectrum<double>(n, 61);
+    case 2:
+    default:
+      return gen::bse_like_spectrum<double>(n, 62);
+  }
+}
+
+const char* spectrum_name(int kind) {
+  return kind == 0 ? "uniform" : kind == 1 ? "dft" : "bse";
+}
+
+class SolveSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SolveSweep, ConvergesToPrescribedSpectrum) {
+  using T = std::complex<double>;
+  const auto [kind, nev, p] = GetParam();
+  const la::Index n = 96;
+  auto eigs = spectrum_of(kind, n);
+  auto h = gen::hermitian_with_spectrum<T>(eigs, 63 + std::uint64_t(kind));
+
+  ChaseConfig cfg;
+  cfg.nev = nev;
+  cfg.nex = std::max<la::Index>(nev / 3, 4);
+  cfg.tol = 1e-9;
+
+  if (p == 1) {
+    auto r = solve_sequential<T>(h.cview(), cfg);
+    ASSERT_TRUE(r.converged);
+    for (la::Index j = 0; j < cfg.nev; ++j) {
+      EXPECT_NEAR(r.eigenvalues[std::size_t(j)], eigs[std::size_t(j)], 1e-6);
+    }
+  } else {
+    comm::Team team(p * p);
+    team.run([&, nev = nev](comm::Communicator& world) {
+      comm::Grid2d grid(world, p, p);
+      auto map = dist::IndexMap::block(n, p);
+      dist::DistHermitianMatrix<T> hd(grid, map, map);
+      hd.fill_from_global(h.cview());
+      ChaseConfig dcfg = cfg;
+      dcfg.nev = nev;
+      auto r = solve(hd, dcfg);
+      ASSERT_TRUE(r.converged);
+      for (la::Index j = 0; j < dcfg.nev; ++j) {
+        EXPECT_NEAR(r.eigenvalues[std::size_t(j)], eigs[std::size_t(j)],
+                    1e-6);
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spectra, SolveSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(4, 12),
+                       ::testing::Values(1, 2)),
+    [](const auto& info) {
+      return std::string(spectrum_name(std::get<0>(info.param))) + "_nev" +
+             std::to_string(std::get<1>(info.param)) + "_p" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace chase::core

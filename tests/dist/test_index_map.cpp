@@ -1,0 +1,122 @@
+#include "dist/index_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace chase::dist {
+namespace {
+
+void check_map_invariants(const IndexMap& map) {
+  const Index n = map.global_size();
+  const int p = map.parts();
+  // Every global index has exactly one owner and a consistent local index.
+  std::vector<Index> counts(std::size_t(p), 0);
+  for (Index g = 0; g < n; ++g) {
+    const int o = map.owner(g);
+    ASSERT_GE(o, 0);
+    ASSERT_LT(o, p);
+    const Index l = map.local_index(g);
+    EXPECT_EQ(map.global_index(o, l), g);
+    counts[std::size_t(o)] += 1;
+  }
+  Index total = 0;
+  for (int part = 0; part < p; ++part) {
+    EXPECT_EQ(map.local_size(part), counts[std::size_t(part)]);
+    total += map.local_size(part);
+    // Runs cover exactly the owned indices, in ascending order, with
+    // contiguous local positions.
+    Index covered = 0;
+    Index prev_end = -1;
+    Index expected_local = 0;
+    for (const auto& run : map.runs(part)) {
+      EXPECT_GT(run.global_begin, prev_end);
+      EXPECT_EQ(run.local_begin, expected_local);
+      for (Index k = 0; k < run.length; ++k) {
+        EXPECT_EQ(map.owner(run.global_begin + k), part);
+        EXPECT_EQ(map.local_index(run.global_begin + k), run.local_begin + k);
+      }
+      prev_end = run.global_begin + run.length - 1;
+      expected_local += run.length;
+      covered += run.length;
+    }
+    EXPECT_EQ(covered, map.local_size(part));
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(IndexMap, BlockEvenDivision) {
+  auto map = IndexMap::block(12, 4);
+  EXPECT_EQ(map.block_size(), 3);
+  for (int p = 0; p < 4; ++p) EXPECT_EQ(map.local_size(p), 3);
+  EXPECT_EQ(map.owner(0), 0);
+  EXPECT_EQ(map.owner(11), 3);
+  EXPECT_EQ(map.local_index(7), 1);
+  check_map_invariants(map);
+}
+
+TEST(IndexMap, BlockRaggedTail) {
+  auto map = IndexMap::block(10, 4);  // blocks of 3: sizes 3,3,3,1
+  EXPECT_EQ(map.local_size(0), 3);
+  EXPECT_EQ(map.local_size(3), 1);
+  check_map_invariants(map);
+}
+
+TEST(IndexMap, BlockMorePartsThanElements) {
+  auto map = IndexMap::block(3, 5);
+  EXPECT_EQ(map.local_size(0), 1);
+  EXPECT_EQ(map.local_size(3), 0);
+  EXPECT_EQ(map.local_size(4), 0);
+  check_map_invariants(map);
+}
+
+TEST(IndexMap, BlockCyclicRoundRobin) {
+  auto map = IndexMap::block_cyclic(10, 2, 2);
+  // blocks of 2 alternate: part0 owns 0,1,4,5,8,9; part1 owns 2,3,6,7.
+  EXPECT_EQ(map.owner(0), 0);
+  EXPECT_EQ(map.owner(2), 1);
+  EXPECT_EQ(map.owner(4), 0);
+  EXPECT_EQ(map.local_size(0), 6);
+  EXPECT_EQ(map.local_size(1), 4);
+  EXPECT_EQ(map.local_index(4), 2);
+  EXPECT_EQ(map.local_index(9), 5);
+  check_map_invariants(map);
+}
+
+TEST(IndexMap, BlockCyclicSweep) {
+  for (Index n : {1, 7, 16, 33}) {
+    for (int p : {1, 2, 3, 4}) {
+      for (Index b : {1, 2, 5}) {
+        SCOPED_TRACE("n=" + std::to_string(n) + " p=" + std::to_string(p) +
+                     " b=" + std::to_string(b));
+        check_map_invariants(IndexMap::block_cyclic(n, p, b));
+      }
+    }
+  }
+}
+
+TEST(IndexMap, BlockIsDetected) {
+  EXPECT_TRUE(IndexMap::block(100, 4).is_block());
+  EXPECT_FALSE(IndexMap::block_cyclic(100, 4, 8).is_block());
+}
+
+TEST(IndexMap, EqualityComparesParameters) {
+  EXPECT_TRUE(IndexMap::block(12, 4) == IndexMap::block_cyclic(12, 4, 3));
+  EXPECT_FALSE(IndexMap::block(12, 4) == IndexMap::block(12, 3));
+}
+
+TEST(IndexMap, MaxLocalSize) {
+  auto map = IndexMap::block(10, 4);
+  EXPECT_EQ(map.max_local_size(), 3);
+}
+
+TEST(IndexMap, OutOfRangeThrows) {
+  auto map = IndexMap::block(10, 2);
+  EXPECT_THROW(map.owner(10), Error);
+  EXPECT_THROW(map.owner(-1), Error);
+  EXPECT_THROW(map.local_size(2), Error);
+}
+
+}  // namespace
+}  // namespace chase::dist

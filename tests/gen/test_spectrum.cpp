@@ -1,0 +1,118 @@
+#include "gen/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "gen/suite.hpp"
+#include "la/heevd.hpp"
+#include "la/norms.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::gen {
+namespace {
+
+using chase::testing::tol;
+
+TEST(Spectrum, UniformEndpointsAndSpacing) {
+  auto eigs = uniform_spectrum<double>(5, -1.0, 3.0);
+  EXPECT_DOUBLE_EQ(eigs.front(), -1.0);
+  EXPECT_DOUBLE_EQ(eigs.back(), 3.0);
+  EXPECT_DOUBLE_EQ(eigs[1] - eigs[0], 1.0);
+}
+
+TEST(Spectrum, GeneratorsAreSortedAndSized) {
+  for (Index n : {10, 101}) {
+    auto dft = dft_like_spectrum<double>(n, 1);
+    auto bse = bse_like_spectrum<double>(n, 2);
+    EXPECT_EQ(Index(dft.size()), n);
+    EXPECT_EQ(Index(bse.size()), n);
+    EXPECT_TRUE(std::is_sorted(dft.begin(), dft.end()));
+    EXPECT_TRUE(std::is_sorted(bse.begin(), bse.end()));
+    EXPECT_GT(bse.front(), 0.0);  // BSE spectra are positive
+    EXPECT_LT(dft.front(), -5.0);  // DFT semi-core states below the band
+  }
+}
+
+template <typename T>
+class SpectrumTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(SpectrumTyped, chase::testing::DoubleScalarTypes);
+
+TYPED_TEST(SpectrumTyped, PrescribedSpectrumIsExact) {
+  using T = TypeParam;
+  const Index n = 60;
+  auto eigs = uniform_spectrum<double>(n, -2.0, 7.0);
+  auto a = hermitian_with_spectrum<T>(eigs, 5);
+  // Hermitian by construction.
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < j; ++i) {
+      EXPECT_LE(abs_value(T(a(i, j) - conjugate(a(j, i)))), 1e-14);
+    }
+  }
+  // Eigenvalues must match the prescription.
+  std::vector<double> w;
+  la::Matrix<T> v(n, n);
+  auto work = la::clone(a.cview());
+  la::heevd(work.view(), w, v.view());
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR(w[std::size_t(i)], eigs[std::size_t(i)], 1e-10);
+  }
+}
+
+TYPED_TEST(SpectrumTyped, MatrixIsDense) {
+  using T = TypeParam;
+  auto a = hermitian_with_spectrum<T>(uniform_spectrum<double>(40, 1.0, 2.0),
+                                      7);
+  // After two reflector conjugations no off-diagonal entry should vanish.
+  Index zeros = 0;
+  for (Index j = 0; j < 40; ++j) {
+    for (Index i = 0; i < 40; ++i) {
+      if (i != j && abs_value(a(i, j)) < 1e-14) ++zeros;
+    }
+  }
+  EXPECT_LT(zeros, 8);
+}
+
+TEST(Spectrum, SeedsAreReproducibleAndDistinct) {
+  auto a = hermitian_with_spectrum<double>(
+      uniform_spectrum<double>(20, 0.0, 1.0), 42);
+  auto b = hermitian_with_spectrum<double>(
+      uniform_spectrum<double>(20, 0.0, 1.0), 42);
+  auto c = hermitian_with_spectrum<double>(
+      uniform_spectrum<double>(20, 0.0, 1.0), 43);
+  EXPECT_EQ(la::max_abs_diff(a.cview(), b.cview()), 0.0);
+  EXPECT_GT(la::max_abs_diff(a.cview(), c.cview()), 1e-3);
+}
+
+TEST(Suite, Table1ShapesPreserveRatios) {
+  const auto& suite = table1_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  for (const auto& p : suite) {
+    EXPECT_GT(p.n, 0);
+    EXPECT_GT(p.nev, 0);
+    EXPECT_GT(p.nex, 0);
+    EXPECT_LT(p.nev + p.nex, p.n);
+    // nev/N stays in the "small extremal fraction" regime ChASE targets.
+    // The BSE problems are scaled down ~50x in N but keep nev large enough
+    // to be a meaningful workload, so their ratio grows by up to ~10x
+    // (documented in DESIGN.md).
+    const double ratio = double(p.nev) / double(p.n);
+    const double paper_ratio = double(p.paper_nev) / double(p.paper_n);
+    EXPECT_LT(ratio, 0.11) << p.name;  // <= ~10% of the spectrum
+    EXPECT_GT(ratio, 0.3 * paper_ratio) << p.name;
+  }
+}
+
+TEST(Suite, SmallSuiteMatricesBuild) {
+  using T = std::complex<double>;
+  for (const auto& p : table1_suite_small()) {
+    auto a = suite_matrix<T>(p);
+    EXPECT_EQ(a.rows(), p.n);
+    // Spot-check the spectrum edge via the generator contract.
+    auto eigs = suite_spectrum<double>(p);
+    EXPECT_TRUE(std::is_sorted(eigs.begin(), eigs.end()));
+  }
+}
+
+}  // namespace
+}  // namespace chase::gen

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "la/blas1.hpp"
+#include "la/blas2.hpp"
+#include "la/gemm.hpp"
+#include "la/norms.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::la {
+namespace {
+
+using chase::testing::naive_gemm;
+using chase::testing::random_matrix;
+using chase::testing::tol;
+
+template <typename T>
+class BlasTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(BlasTyped, chase::testing::ScalarTypes);
+
+TYPED_TEST(BlasTyped, DotcConjugatesFirstArgument) {
+  using T = TypeParam;
+  auto x = random_matrix<T>(50, 1, 1);
+  auto y = random_matrix<T>(50, 1, 2);
+  T ref(0);
+  for (Index i = 0; i < 50; ++i) ref += conjugate(x(i, 0)) * y(i, 0);
+  const T got = dotc(50, x.data(), y.data());
+  EXPECT_LE(abs_value(T(got - ref)), tol<T>());
+}
+
+TYPED_TEST(BlasTyped, Nrm2MatchesDotc) {
+  using T = TypeParam;
+  auto x = random_matrix<T>(64, 1, 3);
+  const auto n2 = nrm2_squared(64, x.data());
+  const T d = dotc(64, x.data(), x.data());
+  EXPECT_NEAR(double(n2), double(real_part(d)), double(tol<T>()) * 64);
+}
+
+TYPED_TEST(BlasTyped, GemmMatchesNaiveAllOpCombinations) {
+  using T = TypeParam;
+  const Index m = 37, n = 29, k = 41;
+  for (Op opa : {Op::kNoTrans, Op::kTrans, Op::kConjTrans}) {
+    for (Op opb : {Op::kNoTrans, Op::kTrans, Op::kConjTrans}) {
+      auto a = (opa == Op::kNoTrans) ? random_matrix<T>(m, k, 10)
+                                     : random_matrix<T>(k, m, 10);
+      auto b = (opb == Op::kNoTrans) ? random_matrix<T>(k, n, 11)
+                                     : random_matrix<T>(n, k, 11);
+      auto c0 = random_matrix<T>(m, n, 12);
+      auto c1 = clone(c0.cview());
+      const T alpha = T(RealType<T>(1.25));
+      const T beta = T(RealType<T>(-0.5));
+      gemm(alpha, opa, a.cview(), opb, b.cview(), beta, c0.view());
+      naive_gemm(alpha, opa, a.cview(), opb, b.cview(), beta, c1.view());
+      EXPECT_LE(max_abs_diff(c0.cview(), c1.cview()),
+                tol<T>(RealType<T>(1000)))
+          << "opa=" << int(opa) << " opb=" << int(opb);
+    }
+  }
+}
+
+TYPED_TEST(BlasTyped, GemmLargeBlockedPath) {
+  using T = TypeParam;
+  // Dimensions straddle several blocking tiles to exercise edge tiles.
+  const Index m = 301, n = 143, k = 467;
+  auto a = random_matrix<T>(m, k, 20);
+  auto b = random_matrix<T>(k, n, 21);
+  Matrix<T> c0(m, n), c1(m, n);
+  gemm(T(1), a.cview(), b.cview(), T(0), c0.view());
+  naive_gemm(T(1), Op::kNoTrans, a.cview(), Op::kNoTrans, b.cview(), T(0),
+             c1.view());
+  EXPECT_LE(max_abs_diff(c0.cview(), c1.cview()),
+            tol<T>(RealType<T>(4000)));
+}
+
+TYPED_TEST(BlasTyped, GemmBetaZeroOverwritesNaN) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(8, 8, 30);
+  auto b = random_matrix<T>(8, 8, 31);
+  Matrix<T> c(8, 8);
+  c(0, 0) = T(std::numeric_limits<RealType<T>>::quiet_NaN());
+  gemm(T(1), a.cview(), b.cview(), T(0), c.view());
+  EXPECT_TRUE(std::isfinite(double(abs_value(c(0, 0)))));
+}
+
+TYPED_TEST(BlasTyped, GemmShapeMismatchThrows) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(4, 5, 40);
+  auto b = random_matrix<T>(6, 3, 41);
+  Matrix<T> c(4, 3);
+  EXPECT_THROW(gemm(T(1), a.cview(), b.cview(), T(0), c.view()), Error);
+}
+
+TYPED_TEST(BlasTyped, GramIsHermitianPositive) {
+  using T = TypeParam;
+  auto x = random_matrix<T>(120, 17, 50);
+  Matrix<T> g(17, 17);
+  gram(x.cview(), g.view());
+  for (Index j = 0; j < 17; ++j) {
+    EXPECT_EQ(imag_part(g(j, j)), RealType<T>(0));
+    EXPECT_GT(real_part(g(j, j)), RealType<T>(0));
+    for (Index i = 0; i < j; ++i) {
+      EXPECT_LE(abs_value(T(g(i, j) - conjugate(g(j, i)))), tol<T>());
+    }
+  }
+}
+
+TYPED_TEST(BlasTyped, GemvMatchesGemm) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(23, 17, 60);
+  auto x = random_matrix<T>(17, 1, 61);
+  Matrix<T> y0(23, 1), y1(23, 1);
+  gemv(T(2), a.cview(), x.data(), T(0), y0.data());
+  gemm(T(2), a.cview(), x.cview(), T(0), y1.view());
+  EXPECT_LE(max_abs_diff(y0.cview(), y1.cview()), tol<T>(RealType<T>(500)));
+}
+
+TYPED_TEST(BlasTyped, GemvConjMatchesGemm) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(23, 17, 62);
+  auto x = random_matrix<T>(23, 1, 63);
+  Matrix<T> y0(17, 1), y1(17, 1);
+  gemv_conj(T(1), a.cview(), x.data(), T(0), y0.data());
+  gemm(T(1), Op::kConjTrans, a.cview(), Op::kNoTrans, x.cview(), T(0),
+       y1.view());
+  EXPECT_LE(max_abs_diff(y0.cview(), y1.cview()), tol<T>(RealType<T>(500)));
+}
+
+TYPED_TEST(BlasTyped, Her2MinusMatchesDefinition) {
+  using T = TypeParam;
+  const Index n = 19;
+  auto a = chase::testing::random_hermitian<T>(n, 70);
+  auto v = random_matrix<T>(n, 1, 71);
+  auto w = random_matrix<T>(n, 1, 72);
+  auto ref = clone(a.cview());
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) {
+      ref(i, j) -= v(i, 0) * conjugate(w(j, 0)) + w(i, 0) * conjugate(v(j, 0));
+    }
+  }
+  her2_minus(a.view(), v.data(), w.data());
+  EXPECT_LE(max_abs_diff(a.cview(), ref.cview()), tol<T>());
+}
+
+TYPED_TEST(BlasTyped, OrthogonalityErrorOfIdentity) {
+  using T = TypeParam;
+  Matrix<T> q(30, 10);
+  set_identity(q.view());
+  EXPECT_LE(orthogonality_error(q.cview()), tol<T>());
+}
+
+TEST(Norms, FrobeniusKnownValue) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 3;
+  a(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(frobenius_norm(a.cview()), 5.0);
+}
+
+}  // namespace
+}  // namespace chase::la

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "la/gemm.hpp"
+#include "la/norms.hpp"
+#include "la/potrf.hpp"
+#include "la/qr.hpp"
+#include "la/trsm.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::la {
+namespace {
+
+using chase::testing::random_matrix;
+using chase::testing::tol;
+
+template <typename T>
+class FactorTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(FactorTyped, chase::testing::ScalarTypes);
+
+/// Well-conditioned HPD matrix: X^H X + n I from a random tall X.
+template <typename T>
+Matrix<T> random_hpd(Index n, std::uint64_t seed) {
+  auto x = random_matrix<T>(2 * n, n, seed);
+  Matrix<T> g(n, n);
+  gram(x.cview(), g.view());
+  for (Index j = 0; j < n; ++j) g(j, j) += T(RealType<T>(n));
+  return g;
+}
+
+TYPED_TEST(FactorTyped, PotrfReconstructs) {
+  using T = TypeParam;
+  const Index n = 31;
+  auto g = random_hpd<T>(n, 1);
+  auto r = clone(g.cview());
+  ASSERT_EQ(potrf_upper(r.view()), 0);
+  // Strict lower triangle must be zeroed.
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = j + 1; i < n; ++i) EXPECT_EQ(r(i, j), T(0));
+  }
+  Matrix<T> rec(n, n);
+  gemm(T(1), Op::kConjTrans, r.cview(), Op::kNoTrans, r.cview(), T(0),
+       rec.view());
+  EXPECT_LE(max_abs_diff(rec.cview(), g.cview()),
+            tol<T>(RealType<T>(1000)) * RealType<T>(n));
+}
+
+TYPED_TEST(FactorTyped, PotrfDetectsIndefinite) {
+  using T = TypeParam;
+  Matrix<T> a(3, 3);
+  a(0, 0) = T(1);
+  a(1, 1) = T(-1);  // not positive definite at minor 2
+  a(2, 2) = T(1);
+  const int info = potrf_upper(a.view());
+  EXPECT_EQ(info, 2);
+}
+
+TYPED_TEST(FactorTyped, TrsmRightUpperSolves) {
+  using T = TypeParam;
+  const Index m = 40, n = 12;
+  auto g = random_hpd<T>(n, 2);
+  auto r = clone(g.cview());
+  ASSERT_EQ(potrf_upper(r.view()), 0);
+  auto x = random_matrix<T>(m, n, 3);
+  auto b = clone(x.cview());
+  trsm_right_upper(r.cview(), x.view());
+  // x * R should reproduce b.
+  trmm_right_upper(r.cview(), x.view());
+  EXPECT_LE(max_abs_diff(x.cview(), b.cview()), tol<T>(RealType<T>(5000)));
+}
+
+TYPED_TEST(FactorTyped, TrsmLeftLowerSolves) {
+  using T = TypeParam;
+  const Index n = 15;
+  auto g = random_hpd<T>(n, 4);
+  auto r = clone(g.cview());
+  ASSERT_EQ(potrf_upper(r.view()), 0);
+  Matrix<T> l(n, n);
+  conj_transpose(r.cview(), l.view());  // lower factor L = R^H
+  auto b = random_matrix<T>(n, 5, 5);
+  auto x = clone(b.cview());
+  trsm_left_lower(l.cview(), x.view());
+  Matrix<T> rec(n, 5);
+  gemm(T(1), l.cview(), x.cview(), T(0), rec.view());
+  EXPECT_LE(max_abs_diff(rec.cview(), b.cview()), tol<T>(RealType<T>(5000)));
+}
+
+TYPED_TEST(FactorTyped, TrsmLeftUpperConjSolves) {
+  using T = TypeParam;
+  const Index n = 13;
+  auto g = random_hpd<T>(n, 6);
+  auto r = clone(g.cview());
+  ASSERT_EQ(potrf_upper(r.view()), 0);
+  auto b = random_matrix<T>(n, 4, 7);
+  auto x = clone(b.cview());
+  trsm_left_upper_conj(r.cview(), x.view());
+  // R^H x should reproduce b.
+  Matrix<T> rh(n, n);
+  conj_transpose(r.cview(), rh.view());
+  Matrix<T> rec(n, 4);
+  gemm(T(1), rh.cview(), x.cview(), T(0), rec.view());
+  EXPECT_LE(max_abs_diff(rec.cview(), b.cview()), tol<T>(RealType<T>(5000)));
+}
+
+TYPED_TEST(FactorTyped, HouseholderQrOrthonormalAndReconstructs) {
+  using T = TypeParam;
+  const Index m = 83, n = 17;
+  auto x = random_matrix<T>(m, n, 8);
+  auto orig = clone(x.cview());
+  Matrix<T> r(n, n);
+  householder_qr(x.view(), r.view());
+
+  EXPECT_LE(orthogonality_error(x.cview()), tol<T>(RealType<T>(200)));
+  // R upper triangular.
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = j + 1; i < n; ++i) EXPECT_EQ(r(i, j), T(0));
+  }
+  Matrix<T> rec(m, n);
+  gemm(T(1), x.cview(), r.cview(), T(0), rec.view());
+  EXPECT_LE(max_abs_diff(rec.cview(), orig.cview()),
+            tol<T>(RealType<T>(2000)));
+}
+
+TYPED_TEST(FactorTyped, HouseholderQrSquare) {
+  using T = TypeParam;
+  const Index n = 24;
+  auto x = random_matrix<T>(n, n, 9);
+  Matrix<T> r(n, n);
+  householder_qr(x.view(), r.view());
+  EXPECT_LE(orthogonality_error(x.cview()), tol<T>(RealType<T>(200)));
+}
+
+TYPED_TEST(FactorTyped, HouseholderQrSingleColumn) {
+  using T = TypeParam;
+  auto x = random_matrix<T>(10, 1, 10);
+  const RealType<T> norm = nrm2(10, x.data());
+  Matrix<T> r(1, 1);
+  householder_qr(x.view(), r.view());
+  EXPECT_NEAR(double(nrm2(10, x.data())), 1.0, double(tol<T>()));
+  EXPECT_NEAR(double(abs_value(r(0, 0))), double(norm),
+              double(tol<T>() * norm));
+}
+
+TYPED_TEST(FactorTyped, HouseholderOrthonormalizeRankRevealingStability) {
+  using T = TypeParam;
+  // Nearly collinear columns: HHQR must still return an orthonormal basis.
+  const Index m = 60, n = 6;
+  auto x = random_matrix<T>(m, n, 11);
+  for (Index j = 1; j < n; ++j) {
+    for (Index i = 0; i < m; ++i) {
+      x(i, j) = x(i, 0) + RealType<T>(1e-3) * x(i, j);
+    }
+  }
+  householder_orthonormalize(x.view());
+  EXPECT_LE(orthogonality_error(x.cview()), tol<T>(RealType<T>(500)));
+}
+
+}  // namespace
+}  // namespace chase::la

@@ -1,0 +1,175 @@
+#include "la/heevd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <complex>
+
+#include "la/gemm.hpp"
+#include "la/norms.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::la {
+namespace {
+
+using chase::testing::random_hermitian;
+using chase::testing::tol;
+
+template <typename T>
+class HeevdTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(HeevdTyped, chase::testing::ScalarTypes);
+
+/// Checks A V = V diag(w) and V^H V = I for the computed decomposition.
+template <typename T>
+void expect_valid_eigendecomposition(ConstMatrixView<T> a,
+                                     const std::vector<RealType<T>>& w,
+                                     ConstMatrixView<T> v,
+                                     RealType<T> scale) {
+  using R = RealType<T>;
+  const Index n = a.rows();
+  Matrix<T> av(n, n);
+  gemm(T(1), a, v, T(0), av.view());
+  Matrix<T> vl = clone(v);
+  for (Index j = 0; j < n; ++j) {
+    scal(n, T(w[std::size_t(j)]), vl.col(j));
+  }
+  EXPECT_LE(max_abs_diff(av.cview(), vl.cview()), tol<T>(R(3000)) * scale);
+  EXPECT_LE(orthogonality_error(v), tol<T>(R(200)) * std::sqrt(R(n)));
+  EXPECT_TRUE(std::is_sorted(w.begin(), w.end()));
+}
+
+TYPED_TEST(HeevdTyped, RandomHermitian) {
+  using T = TypeParam;
+  const Index n = 48;
+  auto a = random_hermitian<T>(n, 1);
+  auto work = clone(a.cview());
+  std::vector<RealType<T>> w;
+  Matrix<T> v(n, n);
+  heevd(work.view(), w, v.view());
+  expect_valid_eigendecomposition(a.cview(), w, v.cview(), RealType<T>(n));
+}
+
+TYPED_TEST(HeevdTyped, DiagonalMatrix) {
+  using T = TypeParam;
+  const Index n = 12;
+  Matrix<T> a(n, n);
+  for (Index j = 0; j < n; ++j) a(j, j) = T(RealType<T>(n - j));
+  auto work = clone(a.cview());
+  std::vector<RealType<T>> w;
+  Matrix<T> v(n, n);
+  heevd(work.view(), w, v.view());
+  for (Index j = 0; j < n; ++j) {
+    EXPECT_NEAR(double(w[std::size_t(j)]), double(j + 1), double(tol<T>()));
+  }
+}
+
+TYPED_TEST(HeevdTyped, SmallSizes) {
+  using T = TypeParam;
+  for (Index n : {1, 2, 3}) {
+    auto a = random_hermitian<T>(n, 100 + std::uint64_t(n));
+    auto work = clone(a.cview());
+    std::vector<RealType<T>> w;
+    Matrix<T> v(n, n);
+    heevd(work.view(), w, v.view());
+    expect_valid_eigendecomposition(a.cview(), w, v.cview(), RealType<T>(4));
+  }
+}
+
+TYPED_TEST(HeevdTyped, ClusteredEigenvalues) {
+  using T = TypeParam;
+  // Spectrum with a tight cluster: QL must still converge and the invariant
+  // subspace must be orthonormal even if individual vectors are ill-defined.
+  const Index n = 30;
+  Matrix<T> d(n, n);
+  for (Index j = 0; j < n; ++j) {
+    d(j, j) = (j < 5) ? T(RealType<T>(1) + RealType<T>(j) * tol<T>(1))
+                      : T(RealType<T>(j));
+  }
+  // Conjugate by a random unitary from heevd of a random Hermitian matrix.
+  auto h = random_hermitian<T>(n, 7);
+  std::vector<RealType<T>> wtmp;
+  Matrix<T> u(n, n);
+  heevd(h.view(), wtmp, u.view());
+  Matrix<T> tmp(n, n), a(n, n);
+  gemm(T(1), u.cview(), d.cview(), T(0), tmp.view());
+  gemm(T(1), Op::kNoTrans, tmp.cview(), Op::kConjTrans, u.cview(), T(0),
+       a.view());
+  // Re-Hermitize after rounding.
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < j; ++i) {
+      const T avg = (a(i, j) + conjugate(a(j, i))) / RealType<T>(2);
+      a(i, j) = avg;
+      a(j, i) = conjugate(avg);
+    }
+    a(j, j) = T(real_part(a(j, j)));
+  }
+  auto work = clone(a.cview());
+  std::vector<RealType<T>> w;
+  Matrix<T> v(n, n);
+  heevd(work.view(), w, v.view());
+  expect_valid_eigendecomposition(a.cview(), w, v.cview(), RealType<T>(n));
+}
+
+TEST(Heevd, WilkinsonW21KnownPairing) {
+  // Wilkinson's W21+ matrix: pairs of close eigenvalues; classic hard case.
+  const Index n = 21;
+  Matrix<double> a(n, n);
+  for (Index i = 0; i < n; ++i) a(i, i) = std::abs(double(i) - 10.0);
+  for (Index i = 0; i < n - 1; ++i) {
+    a(i, i + 1) = 1.0;
+    a(i + 1, i) = 1.0;
+  }
+  auto work = clone(a.cview());
+  std::vector<double> w;
+  Matrix<double> v(n, n);
+  heevd(work.view(), w, v.view());
+  // Largest eigenvalue of W21+ is about 10.746; the top two nearly coincide.
+  EXPECT_NEAR(w[20], 10.746194182903393, 1e-10);
+  EXPECT_NEAR(w[19], 10.746194182903322, 1e-9);
+  expect_valid_eigendecomposition(a.cview(), w, v.cview(), 20.0);
+}
+
+TEST(Heevd, ClementMatrixIntegerSpectrum) {
+  // Clement matrix of size n has eigenvalues -(n-1), -(n-3), ..., (n-1).
+  const Index n = 11;
+  Matrix<double> a(n, n);
+  for (Index i = 0; i < n - 1; ++i) {
+    const double v = std::sqrt(double((i + 1) * (n - 1 - i)));
+    a(i, i + 1) = v;
+    a(i + 1, i) = v;
+  }
+  auto work = clone(a.cview());
+  std::vector<double> w;
+  Matrix<double> vv(n, n);
+  heevd(work.view(), w, vv.view());
+  for (Index j = 0; j < n; ++j) {
+    EXPECT_NEAR(w[std::size_t(j)], double(2 * j) - double(n - 1), 1e-10);
+  }
+}
+
+TYPED_TEST(HeevdTyped, TridiagonalizationPreservesSpectrumShape) {
+  using T = TypeParam;
+  const Index n = 25;
+  auto a = random_hermitian<T>(n, 9);
+  auto work = clone(a.cview());
+  std::vector<RealType<T>> d, e;
+  Matrix<T> q(n, n);
+  hetrd_lower(work.view(), d, e, q.view());
+  // Q must be unitary and Q T Q^H must reproduce A.
+  EXPECT_LE(orthogonality_error(q.cview()), tol<T>(RealType<T>(200)));
+  Matrix<T> t(n, n);
+  for (Index j = 0; j < n; ++j) t(j, j) = T(d[std::size_t(j)]);
+  for (Index j = 0; j < n - 1; ++j) {
+    t(j + 1, j) = T(e[std::size_t(j)]);
+    t(j, j + 1) = T(e[std::size_t(j)]);
+  }
+  Matrix<T> qt(n, n), rec(n, n);
+  gemm(T(1), q.cview(), t.cview(), T(0), qt.view());
+  gemm(T(1), Op::kNoTrans, qt.cview(), Op::kConjTrans, q.cview(), T(0),
+       rec.view());
+  EXPECT_LE(max_abs_diff(rec.cview(), a.cview()),
+            tol<T>(RealType<T>(2000)));
+}
+
+}  // namespace
+}  // namespace chase::la

@@ -1,0 +1,98 @@
+#include "la/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdio>
+#include <filesystem>
+
+#include "la/norms.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::la {
+namespace {
+
+using chase::testing::random_hermitian;
+using chase::testing::random_matrix;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+template <typename T>
+class IoTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(IoTyped, chase::testing::ScalarTypes);
+
+TYPED_TEST(IoTyped, BinaryRoundTrip) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(17, 9, 1);
+  const auto path = temp_path("chase_io_bin.mat");
+  save_binary(a.cview(), path);
+  auto b = load_binary<T>(path);
+  EXPECT_EQ(b.rows(), 17);
+  EXPECT_EQ(b.cols(), 9);
+  EXPECT_EQ(max_abs_diff(a.cview(), b.cview()), RealType<T>(0));  // bitwise
+  std::remove(path.c_str());
+}
+
+TYPED_TEST(IoTyped, BinaryTypeMismatchThrows) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(4, 4, 2);
+  const auto path = temp_path("chase_io_mismatch.mat");
+  save_binary(a.cview(), path);
+  if constexpr (std::is_same_v<T, double>) {
+    EXPECT_THROW(load_binary<float>(path), Error);
+  } else {
+    EXPECT_THROW(load_binary<double>(path), Error);
+  }
+  std::remove(path.c_str());
+}
+
+TYPED_TEST(IoTyped, MatrixMarketGeneralRoundTrip) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(11, 7, 3);
+  const auto path = temp_path("chase_io_gen.mtx");
+  save_matrix_market(a.cview(), path);
+  auto b = load_matrix_market<T>(path);
+  EXPECT_LE(max_abs_diff(a.cview(), b.cview()), RealType<T>(1e-6));
+  std::remove(path.c_str());
+}
+
+TYPED_TEST(IoTyped, MatrixMarketHermitianRoundTrip) {
+  using T = TypeParam;
+  auto a = random_hermitian<T>(13, 4);
+  const auto path = temp_path("chase_io_herm.mtx");
+  save_matrix_market(a.cview(), path, /*hermitian=*/true);
+  auto b = load_matrix_market<T>(path);
+  EXPECT_LE(max_abs_diff(a.cview(), b.cview()), RealType<T>(1e-6));
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(load_binary<double>("/nonexistent/file.mat"), Error);
+  EXPECT_THROW(load_matrix_market<double>("/nonexistent/file.mtx"), Error);
+}
+
+TEST(Io, RejectsGarbage) {
+  const auto path = temp_path("chase_io_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a matrix";
+  }
+  EXPECT_THROW(load_binary<double>(path), Error);
+  EXPECT_THROW(load_matrix_market<double>(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Io, EmptyMatrixRoundTrip) {
+  Matrix<double> a(0, 0);
+  const auto path = temp_path("chase_io_empty.mat");
+  save_binary(a.cview(), path);
+  auto b = load_binary<double>(path);
+  EXPECT_EQ(b.rows(), 0);
+  EXPECT_EQ(b.cols(), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace chase::la

@@ -1,0 +1,99 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "tests/testing.hpp"
+
+namespace chase::la {
+namespace {
+
+TEST(Matrix, ConstructZeroInitialized) {
+  Matrix<double> a(3, 4);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 4);
+  for (Index j = 0; j < 4; ++j) {
+    for (Index i = 0; i < 3; ++i) EXPECT_EQ(a(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix<double> a(3, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(2, 0) = 3;
+  a(0, 1) = 4;
+  const double* p = a.data();
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[1], 2);
+  EXPECT_EQ(p[2], 3);
+  EXPECT_EQ(p[3], 4);
+}
+
+TEST(Matrix, BlockViewAliasesStorage) {
+  Matrix<double> a(4, 4);
+  auto blk = a.block(1, 2, 2, 2);
+  blk(0, 0) = 7.0;
+  EXPECT_EQ(a(1, 2), 7.0);
+  EXPECT_EQ(blk.ld(), a.ld());
+}
+
+TEST(Matrix, BlockOutOfRangeThrows) {
+  Matrix<double> a(4, 4);
+  EXPECT_THROW(a.block(2, 2, 3, 1), Error);
+  EXPECT_THROW(a.block(0, 0, 1, 5), Error);
+  EXPECT_THROW(a.view().block(-1, 0, 1, 1), Error);
+}
+
+TEST(Matrix, CopyRespectsLeadingDimension) {
+  Matrix<double> a(5, 5);
+  for (Index j = 0; j < 5; ++j)
+    for (Index i = 0; i < 5; ++i) a(i, j) = double(i + 10 * j);
+  Matrix<double> b(2, 2);
+  copy(a.block(1, 1, 2, 2).as_const(), b.view());
+  EXPECT_EQ(b(0, 0), 11.0);
+  EXPECT_EQ(b(1, 0), 12.0);
+  EXPECT_EQ(b(0, 1), 21.0);
+  EXPECT_EQ(b(1, 1), 22.0);
+}
+
+TEST(Matrix, SetIdentityRectangular) {
+  Matrix<double> a(4, 2);
+  set_identity(a.view());
+  for (Index j = 0; j < 2; ++j) {
+    for (Index i = 0; i < 4; ++i) {
+      EXPECT_EQ(a(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, ConjTranspose) {
+  using C = std::complex<double>;
+  Matrix<C> a(2, 3);
+  a(0, 0) = C(1, 2);
+  a(1, 2) = C(3, -4);
+  Matrix<C> at(3, 2);
+  conj_transpose(a.cview(), at.view());
+  EXPECT_EQ(at(0, 0), C(1, -2));
+  EXPECT_EQ(at(2, 1), C(3, 4));
+}
+
+TEST(Matrix, ResizeClearsContents) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 5.0;
+  a.resize(3, 3);
+  EXPECT_EQ(a(0, 0), 0.0);
+  EXPECT_EQ(a.rows(), 3);
+}
+
+TEST(Matrix, EmptyViewsAreLegal) {
+  Matrix<double> a(0, 0);
+  EXPECT_TRUE(a.view().empty());
+  Matrix<double> b(3, 3);
+  auto blk = b.block(1, 1, 0, 2);
+  EXPECT_TRUE(blk.empty());
+}
+
+}  // namespace
+}  // namespace chase::la

@@ -1,0 +1,110 @@
+#include "la/qr_blocked.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "la/norms.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::la {
+namespace {
+
+using chase::testing::random_matrix;
+
+template <typename T>
+class BlockedQrTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(BlockedQrTyped, chase::testing::ScalarTypes);
+
+TYPED_TEST(BlockedQrTyped, MatchesUnblockedFactorization) {
+  using T = TypeParam;
+  const Index m = 70, n = 23;
+  auto a = random_matrix<T>(m, n, 1);
+  auto a_ref = clone(a.cview());
+
+  std::vector<T> tau_blk, tau_ref;
+  geqrf_blocked(a.view(), tau_blk, /*nb=*/8);
+  geqrf(a_ref.view(), tau_ref);
+
+  // Same reflectors, same R (both follow the LAPACK conventions).
+  const RealType<T> tol = chase::testing::tol<T>(RealType<T>(5000));
+  EXPECT_LE(max_abs_diff(a.cview(), a_ref.cview()), tol);
+  for (Index j = 0; j < n; ++j) {
+    EXPECT_LE(abs_value(T(tau_blk[std::size_t(j)] - tau_ref[std::size_t(j)])),
+              tol);
+  }
+}
+
+TYPED_TEST(BlockedQrTyped, QrPropertyAcrossBlockSizes) {
+  using T = TypeParam;
+  const Index m = 96, n = 33;
+  for (Index nb : {1, 4, 16, 64}) {
+    auto a = random_matrix<T>(m, n, 2);
+    auto orig = clone(a.cview());
+    std::vector<T> tau;
+    geqrf_blocked(a.view(), tau, nb);
+    Matrix<T> r(n, n);
+    set_zero(r.view());
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i <= j; ++i) r(i, j) = a(i, j);
+    }
+    ungqr_blocked(a.view(), tau, nb);
+    EXPECT_LE(orthogonality_error(a.cview()),
+              chase::testing::tol<T>(RealType<T>(500)))
+        << "nb=" << nb;
+    Matrix<T> rec(m, n);
+    gemm(T(1), a.cview(), r.cview(), T(0), rec.view());
+    EXPECT_LE(max_abs_diff(rec.cview(), orig.cview()),
+              chase::testing::tol<T>(RealType<T>(5000)))
+        << "nb=" << nb;
+  }
+}
+
+TYPED_TEST(BlockedQrTyped, OrthonormalizeSquareAndSingleColumn) {
+  using T = TypeParam;
+  auto sq = random_matrix<T>(20, 20, 3);
+  householder_orthonormalize_blocked(sq.view(), 6);
+  EXPECT_LE(orthogonality_error(sq.cview()),
+            chase::testing::tol<T>(RealType<T>(500)));
+
+  auto col = random_matrix<T>(15, 1, 4);
+  householder_orthonormalize_blocked(col.view(), 6);
+  EXPECT_NEAR(double(nrm2(15, col.data())), 1.0,
+              double(chase::testing::tol<T>()));
+}
+
+TEST(BlockedQr, LarftMatchesReflectorProduct) {
+  // I - V T V^H must equal H_0 H_1 ... H_{k-1} applied to a probe matrix.
+  using T = std::complex<double>;
+  const Index m = 30, k = 5;
+  auto a = random_matrix<T>(m, k, 5);
+  std::vector<T> tau;
+  geqrf(a.view(), tau);
+  Matrix<T> v(m, k);
+  for (Index j = 0; j < k; ++j) {
+    for (Index i = 0; i < m; ++i) {
+      v(i, j) = i < j ? T(0) : (i == j ? T(1) : a(i, j));
+    }
+  }
+  Matrix<T> t(k, k);
+  detail::larft(v.cview(), tau, t.view());
+
+  auto probe = random_matrix<T>(m, 3, 6);
+  // Reference: apply H_{k-1}, ..., H_0 one at a time (left multiplication by
+  // the product applies the last factor first).
+  auto ref = clone(probe.cview());
+  std::vector<T> work(3);
+  for (Index j = k - 1; j >= 0; --j) {
+    std::vector<T> tail(static_cast<std::size_t>(m - j - 1));
+    for (Index i = j + 1; i < m; ++i) tail[std::size_t(i - j - 1)] = v(i, j);
+    auto block = ref.block(j, 0, m - j, 3);
+    larf_left(tau[std::size_t(j)], tail.data(), m - j, block, work.data());
+  }
+  // Blocked: probe <- (I - V T V^H) probe.
+  Matrix<T> w(k, 3);
+  larfb_left(v.cview(), t.cview(), /*conj=*/false, probe.view(), w.view());
+  EXPECT_LE(max_abs_diff(probe.cview(), ref.cview()), 1e-12);
+}
+
+}  // namespace
+}  // namespace chase::la

@@ -1,0 +1,105 @@
+#include "la/stebz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "la/heevd.hpp"
+#include "la/norms.hpp"
+
+namespace chase::la {
+namespace {
+
+std::pair<std::vector<double>, std::vector<double>> random_tridiag(
+    Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> d(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+  for (Index i = 0; i < n; ++i) d[std::size_t(i)] = rng.uniform(-2.0, 2.0);
+  for (Index i = 0; i + 1 < n; ++i) e[std::size_t(i)] = rng.uniform(-1.0, 1.0);
+  return {d, e};
+}
+
+/// Reference: all eigenvalues via the QL path.
+std::vector<double> all_eigs(std::vector<double> d, std::vector<double> e) {
+  Matrix<double> z(Index(d.size()), Index(d.size()));
+  set_identity(z.view());
+  EXPECT_TRUE(steql(d, e, z.view()));
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+TEST(Stebz, BisectionMatchesQlLowestEigenvalues) {
+  for (Index n : {4, 17, 60}) {
+    for (std::uint64_t seed : {1u, 2u}) {
+      auto [d, e] = random_tridiag(n, seed);
+      auto ref = all_eigs(d, e);
+      const Index k = std::min<Index>(n, 7);
+      auto lo = tridiag_lowest_eigenvalues(d, e, k);
+      for (Index j = 0; j < k; ++j) {
+        EXPECT_NEAR(lo[std::size_t(j)], ref[std::size_t(j)], 1e-11)
+            << "n=" << n << " seed=" << seed << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Stebz, SturmCountOnClementSpectrum) {
+  // Clement n=11: eigenvalues -10, -8, ..., 10 — exact counts at midpoints.
+  const Index n = 11;
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+  for (Index i = 0; i + 1 < n; ++i) {
+    e[std::size_t(i)] = std::sqrt(double((i + 1) * (n - 1 - i)));
+  }
+  EXPECT_EQ(stebz_detail::sturm_count(d, e, -11.0), 0);
+  EXPECT_EQ(stebz_detail::sturm_count(d, e, -9.0), 1);
+  EXPECT_EQ(stebz_detail::sturm_count(d, e, 0.5), 6);
+  EXPECT_EQ(stebz_detail::sturm_count(d, e, 11.0), 11);
+}
+
+TEST(Stebz, EigenpairsSatisfyTheTridiagonalEquation) {
+  const Index n = 80, k = 10;
+  auto [d, e] = random_tridiag(n, 5);
+  std::vector<double> w;
+  Matrix<double> z(n, k);
+  tridiag_lowest_eigenpairs(d, e, k, w, z.view());
+
+  EXPECT_LE(orthogonality_error(z.cview()), 1e-10);
+  for (Index j = 0; j < k; ++j) {
+    double err = 0;
+    for (Index i = 0; i < n; ++i) {
+      double acc = d[std::size_t(i)] * z(i, j) - w[std::size_t(j)] * z(i, j);
+      if (i > 0) acc += e[std::size_t(i - 1)] * z(i - 1, j);
+      if (i + 1 < n) acc += e[std::size_t(i)] * z(i + 1, j);
+      err += acc * acc;
+    }
+    EXPECT_LE(std::sqrt(err), 1e-9) << "pair " << j;
+  }
+}
+
+TEST(Stebz, ClusteredEigenvaluesStayOrthogonal) {
+  // Wilkinson W21+: the top pairs agree to ~1e-13; ask for the bottom pairs
+  // plus the near-degenerate ones and check orthogonality survives.
+  const Index n = 21;
+  std::vector<double> d(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(n), 1.0);
+  for (Index i = 0; i < n; ++i) d[std::size_t(i)] = std::abs(double(i) - 10.0);
+  e[std::size_t(n - 1)] = 0.0;
+
+  std::vector<double> w;
+  Matrix<double> z(n, n);
+  tridiag_lowest_eigenpairs(d, e, n, w, z.view());
+  EXPECT_LE(orthogonality_error(z.cview()), 1e-9);
+  EXPECT_NEAR(w.back(), 10.746194182903393, 1e-9);
+}
+
+TEST(Stebz, DiagonalMatrixExact) {
+  std::vector<double> d = {5.0, 1.0, 3.0, -2.0};
+  std::vector<double> e = {0.0, 0.0, 0.0, 0.0};
+  auto lo = tridiag_lowest_eigenvalues(d, e, 2);
+  EXPECT_NEAR(lo[0], -2.0, 1e-12);
+  EXPECT_NEAR(lo[1], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace chase::la

@@ -1,0 +1,170 @@
+#include "la/stedc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/rng.hpp"
+#include "la/norms.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::la {
+namespace {
+
+/// Validates Q diag(d) Q^T against the tridiagonal (d0, e0) and Q^T Q = I.
+template <typename R>
+void expect_valid_tridiag_eig(const std::vector<R>& d0,
+                              const std::vector<R>& e0,
+                              const std::vector<R>& lambda,
+                              const Matrix<R>& q, R tol) {
+  const Index n = Index(d0.size());
+  EXPECT_TRUE(std::is_sorted(lambda.begin(), lambda.end()));
+  EXPECT_LE(orthogonality_error(q.cview()), tol);
+  // T q_k = lambda_k q_k, applied directly through the tridiagonal stencil.
+  for (Index k = 0; k < n; ++k) {
+    R err = 0;
+    for (Index i = 0; i < n; ++i) {
+      R acc = d0[std::size_t(i)] * q(i, k);
+      if (i > 0) acc += e0[std::size_t(i - 1)] * q(i - 1, k);
+      if (i + 1 < n) acc += e0[std::size_t(i)] * q(i + 1, k);
+      acc -= lambda[std::size_t(k)] * q(i, k);
+      err += acc * acc;
+    }
+    EXPECT_LE(std::sqrt(err), tol) << "pair " << k;
+  }
+}
+
+std::pair<std::vector<double>, std::vector<double>> random_tridiag(
+    Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> d(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(n), 0.0);  // guard slot
+  for (Index i = 0; i < n; ++i) d[std::size_t(i)] = rng.uniform(-2.0, 2.0);
+  for (Index i = 0; i + 1 < n; ++i) {
+    e[std::size_t(i)] = rng.uniform(-1.0, 1.0);
+  }
+  return {d, e};
+}
+
+TEST(Stedc, MatchesQlOnRandomTridiagonals) {
+  for (Index n : {5, 24, 25, 64, 130}) {
+    for (std::uint64_t seed : {1u, 2u}) {
+      auto [d0, e0] = random_tridiag(n, seed);
+      // D&C path.
+      auto d_dc = d0;
+      auto e_dc = e0;
+      Matrix<double> q;
+      stedc(d_dc, e_dc, q);
+      expect_valid_tridiag_eig(d0, e0, d_dc, q, 1e-6);
+
+      // QL reference eigenvalues.
+      auto d_ql = d0;
+      auto e_ql = e0;
+      Matrix<double> z(n, n);
+      set_identity(z.view());
+      ASSERT_TRUE(steql(d_ql, e_ql, z.view()));
+      std::sort(d_ql.begin(), d_ql.end());
+      for (Index i = 0; i < n; ++i) {
+        EXPECT_NEAR(d_dc[std::size_t(i)], d_ql[std::size_t(i)], 1e-10)
+            << "n=" << n << " seed=" << seed << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Stedc, ClementMatrixIntegerSpectrum) {
+  const Index n = 41;  // crosses the recursion cutoff
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+  for (Index i = 0; i + 1 < n; ++i) {
+    e[std::size_t(i)] = std::sqrt(double((i + 1) * (n - 1 - i)));
+  }
+  auto d0 = d;
+  auto e0 = e;
+  Matrix<double> q;
+  stedc(d, e, q);
+  for (Index j = 0; j < n; ++j) {
+    EXPECT_NEAR(d[std::size_t(j)], double(2 * j) - double(n - 1), 1e-9);
+  }
+  expect_valid_tridiag_eig(d0, e0, d, q, 1e-6);
+}
+
+TEST(Stedc, DecoupledBlocksZeroOffDiagonal) {
+  // e crossing the split is exactly zero: full deflation in the merge.
+  const Index n = 60;
+  auto [d0, e0] = random_tridiag(n, 5);
+  e0[std::size_t(n / 2 - 1)] = 0.0;
+  auto d = d0;
+  auto e = e0;
+  Matrix<double> q;
+  stedc(d, e, q);
+  expect_valid_tridiag_eig(d0, e0, d, q, 1e-6);
+}
+
+TEST(Stedc, MultipleEigenvaluesViaDeflation) {
+  // diag(1,...,1,5) with zero off-diagonals except one tiny coupling:
+  // clusters exercise the duplicate-diagonal rotations.
+  const Index n = 50;
+  std::vector<double> d(static_cast<std::size_t>(n), 1.0);
+  d[std::size_t(n - 1)] = 5.0;
+  std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+  e[std::size_t(n / 2 - 1)] = 1e-3;
+  auto d0 = d;
+  auto e0 = e;
+  Matrix<double> q;
+  stedc(d, e, q);
+  expect_valid_tridiag_eig(d0, e0, d, q, 1e-6);
+}
+
+TEST(Stedc, WilkinsonPairs) {
+  const Index n = 21;
+  std::vector<double> d(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(n), 1.0);
+  for (Index i = 0; i < n; ++i) d[std::size_t(i)] = std::abs(double(i) - 10.0);
+  e[std::size_t(n - 1)] = 0.0;
+  auto d0 = d;
+  auto e0 = e;
+  Matrix<double> q;
+  stedc(d, e, q);
+  EXPECT_NEAR(d.back(), 10.746194182903393, 1e-9);
+  expect_valid_tridiag_eig(d0, e0, d, q, 1e-6);
+}
+
+template <typename T>
+class HeevdDcTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(HeevdDcTyped, chase::testing::DoubleScalarTypes);
+
+TYPED_TEST(HeevdDcTyped, MatchesQlPathOnHermitianMatrices) {
+  using T = TypeParam;
+  const Index n = 90;  // above the D&C cutoff after tridiagonalization
+  auto a = chase::testing::random_hermitian<T>(n, 11);
+
+  auto w1 = la::clone(a.cview());
+  std::vector<double> ev_ql;
+  Matrix<T> z_ql(n, n);
+  heevd(w1.view(), ev_ql, z_ql.view());
+
+  auto w2 = la::clone(a.cview());
+  std::vector<double> ev_dc;
+  Matrix<T> z_dc(n, n);
+  heevd_dc(w2.view(), ev_dc, z_dc.view());
+
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR(ev_dc[std::size_t(i)], ev_ql[std::size_t(i)], 1e-10);
+  }
+  EXPECT_LE(orthogonality_error(z_dc.view().as_const()), 1e-9);
+  // Eigen equation.
+  Matrix<T> av(n, n);
+  gemm(T(1), a.cview(), z_dc.view().as_const(), T(0), av.view());
+  for (Index k = 0; k < n; ++k) {
+    double err = 0;
+    for (Index i = 0; i < n; ++i) {
+      const T dlt = av(i, k) - T(ev_dc[std::size_t(k)]) * z_dc(i, k);
+      err += double(real_part(conjugate(dlt) * dlt));
+    }
+    EXPECT_LE(std::sqrt(err), 1e-6) << "pair " << k;
+  }
+}
+
+}  // namespace
+}  // namespace chase::la

@@ -1,0 +1,95 @@
+#include "la/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "la/gemm.hpp"
+#include "la/norms.hpp"
+#include "la/qr.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::la {
+namespace {
+
+using chase::testing::random_matrix;
+using chase::testing::tol;
+
+template <typename T>
+class SvdTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(SvdTyped, chase::testing::ScalarTypes);
+
+/// Builds a tall matrix with prescribed singular values via X = Q1 S Q2^H.
+template <typename T>
+Matrix<T> with_singular_values(Index m, Index n,
+                               const std::vector<RealType<T>>& s,
+                               std::uint64_t seed) {
+  auto q1 = random_matrix<T>(m, n, seed);
+  householder_orthonormalize(q1.view());
+  auto q2 = random_matrix<T>(n, n, seed + 1);
+  householder_orthonormalize(q2.view());
+  // scale columns of q1 by s, multiply by q2^H
+  for (Index j = 0; j < n; ++j) scal(m, T(s[std::size_t(j)]), q1.col(j));
+  Matrix<T> x(m, n);
+  gemm(T(1), Op::kNoTrans, q1.cview(), Op::kConjTrans, q2.cview(), T(0),
+       x.view());
+  return x;
+}
+
+TYPED_TEST(SvdTyped, RecoversPrescribedSingularValues) {
+  using T = TypeParam;
+  using R = RealType<T>;
+  const Index m = 60, n = 8;
+  std::vector<R> s = {R(9), R(7.5), R(5), R(3), R(1.5), R(1), R(0.25), R(0.1)};
+  auto x = with_singular_values<T>(m, n, s, 1);
+  auto sigma = singular_values_jacobi(x.view());
+  ASSERT_EQ(sigma.size(), std::size_t(n));
+  for (Index j = 0; j < n; ++j) {
+    EXPECT_NEAR(double(sigma[std::size_t(j)]), double(s[std::size_t(j)]),
+                double(tol<T>(R(2000))));
+  }
+}
+
+TYPED_TEST(SvdTyped, Cond2OfOrthonormalIsOne) {
+  using T = TypeParam;
+  auto q = random_matrix<T>(50, 10, 2);
+  householder_orthonormalize(q.view());
+  EXPECT_NEAR(double(cond2(q.cview())), 1.0, 1e-4);
+}
+
+TYPED_TEST(SvdTyped, Cond2TracksPrescribedRatio) {
+  using T = TypeParam;
+  using R = RealType<T>;
+  const R kappa = R(1000);
+  std::vector<R> s = {kappa, R(500), R(100), R(10), R(1)};
+  auto x = with_singular_values<T>(80, 5, s, 3);
+  const R got = cond2(x.cview());
+  EXPECT_NEAR(double(got / kappa), 1.0, 1e-3);
+}
+
+TEST(Svd, RankDeficientReportsHugeCondition) {
+  Matrix<double> x(20, 3);
+  for (Index i = 0; i < 20; ++i) {
+    x(i, 0) = double(i + 1);
+    x(i, 1) = 2.0 * double(i + 1);  // collinear with column 0
+    x(i, 2) = std::sin(double(i));
+  }
+  // Depending on FMA contraction the smallest singular value is either an
+  // exact zero (cond == inf) or O(eps * sigma_max); both mean "numerically
+  // rank deficient".
+  EXPECT_GE(cond2(x.cview()), 1e12);
+}
+
+TEST(Svd, SingularValuesOfDiagonal) {
+  Matrix<double> x(5, 3);
+  x(0, 0) = -4.0;  // sign must not matter
+  x(1, 1) = 2.0;
+  x(2, 2) = 1.0;
+  auto s = singular_values_jacobi(x.view());
+  EXPECT_DOUBLE_EQ(s[0], 4.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 1.0);
+}
+
+}  // namespace
+}  // namespace chase::la

@@ -1,0 +1,269 @@
+// Fidelity tests of the cluster-scale replayers: the model must emit the
+// same event stream (collective counts, payload bytes, flop counters,
+// staging copies) as a real run of the same configuration.
+#include "model/chase_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <map>
+
+#include "core/legacy_lms.hpp"
+#include "core/sequential.hpp"
+#include "gen/spectrum.hpp"
+#include "model/elpa_model.hpp"
+
+namespace chase::model {
+namespace {
+
+using perf::Backend;
+using perf::CollKind;
+using perf::Region;
+using perf::Tracker;
+
+/// (region, kind) -> (count, total bytes) summary of a tracker's collectives.
+std::map<std::pair<int, int>, std::pair<std::size_t, std::size_t>>
+collective_summary(const Tracker& t, Region skip = Region::kLanczos) {
+  std::map<std::pair<int, int>, std::pair<std::size_t, std::size_t>> out;
+  for (const auto& ev : t.collectives()) {
+    if (ev.region == skip) continue;
+    auto& slot = out[{int(ev.region), int(ev.kind)}];
+    slot.first += 1;
+    slot.second += ev.bytes;
+  }
+  return out;
+}
+
+/// Runs one real no-opt ChASE iteration on a pxp grid and returns rank 0's
+/// tracker.
+template <typename T>
+Tracker real_iteration_tracker(la::Index n, la::Index nev, la::Index nex,
+                               int p, int degree, Backend backend,
+                               bool lms) {
+  auto h_full = gen::hermitian_with_spectrum<T>(
+      gen::uniform_spectrum<double>(n, 1.0, 10.0), 31);
+  core::ChaseConfig cfg;
+  cfg.nev = nev;
+  cfg.nex = nex;
+  cfg.optimize_degree = false;
+  cfg.initial_degree = degree;
+  cfg.max_iterations = 1;
+  cfg.tol = 1e-30;
+
+  std::vector<Tracker> trackers(std::size_t(p) * std::size_t(p));
+  comm::Team team(p * p, backend);
+  team.run(
+      [&](comm::Communicator& world) {
+        comm::Grid2d grid(world, p, p);
+        auto map = dist::IndexMap::block(n, p);
+        dist::DistHermitianMatrix<T> hd(grid, map, map);
+        hd.fill_from_global(h_full.cview());
+        if (lms) {
+          core::solve_lms(hd, cfg);
+        } else {
+          core::solve(hd, cfg);
+        }
+      },
+      &trackers);
+  return trackers[0];
+}
+
+ChaseModelSetup setup_for(la::Index n, la::Index nev, la::Index nex, int p,
+                          Backend backend, Scheme scheme) {
+  ChaseModelSetup s;
+  s.n = n;
+  s.nev = nev;
+  s.nex = nex;
+  s.complex_scalar = true;
+  s.scalar_bytes = int(sizeof(std::complex<double>));
+  s.nprow = s.npcol = p;
+  s.backend = backend;
+  s.scheme = scheme;
+  return s;
+}
+
+class ModelFidelity : public ::testing::TestWithParam<std::tuple<int, bool>> {
+};
+
+TEST_P(ModelFidelity, EventStreamMatchesRealRun) {
+  using T = std::complex<double>;
+  const auto [p, lms] = GetParam();
+  const la::Index n = 64, nev = 8, nex = 6;
+  const int degree = 10;
+  const Backend backend = Backend::kStdGpu;
+
+  auto real = real_iteration_tracker<T>(n, nev, nex, p, degree, backend, lms);
+
+  auto s = setup_for(n, nev, nex, p, backend,
+                     lms ? Scheme::kLms : Scheme::kNew);
+  Tracker modeled;
+  // The real driver ran CholeskyQR2 (first-iteration estimate is moderate)
+  // unless it is the always-HHQR legacy scheme.
+  replay_iteration(s, uniform_iteration(nev + nex, degree), modeled);
+  modeled.flush();
+
+  // Collective counts and bytes must agree region by region.
+  EXPECT_EQ(collective_summary(real), collective_summary(modeled))
+      << "p=" << p << " lms=" << lms;
+
+  // Flop counters and staging bytes must agree per region.
+  for (int r = int(Region::kFilter); r < perf::kRegionCount; ++r) {
+    const auto& rc = real.costs(Region(r));
+    const auto& mc = modeled.costs(Region(r));
+    for (int c = 0; c < perf::kFlopClassCount; ++c) {
+      EXPECT_NEAR(rc.flops[std::size_t(c)], mc.flops[std::size_t(c)],
+                  1.0 + 1e-9 * rc.flops[std::size_t(c)])
+          << "region " << r << " class " << c << " lms=" << lms;
+    }
+    EXPECT_EQ(rc.memcpy_bytes, mc.memcpy_bytes) << "region " << r;
+    EXPECT_NEAR(rc.mem_bytes, mc.mem_bytes, 1.0) << "region " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ModelFidelity,
+                         ::testing::Combine(::testing::Values(1, 2),
+                                            ::testing::Values(false, true)),
+                         [](const auto& info) {
+                           return std::string("p") +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  (std::get<1>(info.param) ? "_lms" : "_new");
+                         });
+
+TEST(ModelFidelity, TsqrVariantEventStreamMatches) {
+  // The TSQR replay path must match a real force_tsqr run.
+  using T = std::complex<double>;
+  const la::Index n = 64, nev = 8, nex = 6;
+  const int p = 2, degree = 10;
+  auto h_full = gen::hermitian_with_spectrum<T>(
+      gen::uniform_spectrum<double>(n, 1.0, 10.0), 31);
+  core::ChaseConfig cfg;
+  cfg.nev = nev;
+  cfg.nex = nex;
+  cfg.optimize_degree = false;
+  cfg.initial_degree = degree;
+  cfg.max_iterations = 1;
+  cfg.tol = 1e-30;
+  cfg.qr.force_tsqr = true;
+
+  std::vector<Tracker> trackers(std::size_t(p) * std::size_t(p));
+  comm::Team team(p * p, Backend::kNcclGpu);
+  team.run(
+      [&](comm::Communicator& world) {
+        comm::Grid2d grid(world, p, p);
+        auto map = dist::IndexMap::block(n, p);
+        dist::DistHermitianMatrix<T> hd(grid, map, map);
+        hd.fill_from_global(h_full.cview());
+        core::solve(hd, cfg);
+      },
+      &trackers);
+
+  auto s = setup_for(n, nev, nex, p, Backend::kNcclGpu, Scheme::kNew);
+  Tracker modeled;
+  replay_iteration(s, uniform_iteration(nev + nex, degree,
+                                        qr::QrVariant::kTsqr),
+                   modeled);
+  modeled.flush();
+  EXPECT_EQ(collective_summary(trackers[0]), collective_summary(modeled));
+  for (int c = 0; c < perf::kFlopClassCount; ++c) {
+    const auto& rc = trackers[0].costs(Region::kQr);
+    const auto& mc = modeled.costs(Region::kQr);
+    EXPECT_NEAR(rc.flops[std::size_t(c)], mc.flops[std::size_t(c)],
+                1.0 + 1e-9 * rc.flops[std::size_t(c)])
+        << "class " << c;
+  }
+}
+
+TEST(ModelFidelity, LanczosEventStreamMatches) {
+  using T = std::complex<double>;
+  const la::Index n = 48;
+  const int p = 2, steps = 10, nvec = 3;
+  auto h_full = gen::hermitian_with_spectrum<T>(
+      gen::uniform_spectrum<double>(n, 0.0, 5.0), 33);
+
+  std::vector<Tracker> trackers(std::size_t(p) * std::size_t(p));
+  comm::Team team(p * p, Backend::kNcclGpu);
+  team.run(
+      [&](comm::Communicator& world) {
+        comm::Grid2d grid(world, p, p);
+        auto map = dist::IndexMap::block(n, p);
+        dist::DistHermitianMatrix<T> hd(grid, map, map);
+        hd.fill_from_global(h_full.cview());
+        core::lanczos_bounds(hd, 10, steps, nvec, 7);
+      },
+      &trackers);
+
+  auto s = setup_for(n, 6, 4, p, Backend::kNcclGpu, Scheme::kNew);
+  Tracker modeled;
+  replay_lanczos(s, steps, nvec, modeled);
+  modeled.flush();
+
+  auto real_sum = collective_summary(trackers[0], Region::kOther);
+  auto model_sum = collective_summary(modeled, Region::kOther);
+  EXPECT_EQ(real_sum, model_sum);
+}
+
+TEST(ModelMemory, Eq2FootprintAndLmsComparison) {
+  // Eq. (2) at the paper's weak-scaling endpoint: N = 900k, ne = 3000,
+  // 30x30 grid of nodes => 60x60 rank grid.
+  ChaseModelSetup s;
+  s.n = 900000;
+  s.nev = 2250;
+  s.nex = 750;
+  s.nprow = s.npcol = 60;
+  const double gib = double(memory_bytes_new(s)) / (1 << 30);
+  // H panel: (900k/60)^2 * 16B = 3.35 GiB; buffers ~ 2*2*15000*3000*16B.
+  EXPECT_GT(gib, 3.0);
+  EXPECT_LT(gib, 40.0);  // fits 40 GB A100 memory
+
+  // The LMS footprint at the same scale has two full N x ne buffers:
+  // 2 * 900k * 3000 * 16 B = 80 GiB >> 40 GB; this is why LMS stops at 144
+  // nodes in Figure 3a.
+  const double lms_gib = double(memory_bytes_lms(s)) / (1 << 30);
+  EXPECT_GT(lms_gib, 80.0);
+}
+
+TEST(ModelChase, PricedCostsArePositiveAndBackendSensitive) {
+  perf::MachineModel m;
+  auto s = setup_for(30000, 2250, 750, 2, Backend::kNcclGpu, Scheme::kNew);
+  auto it = uniform_iteration(3000, 20);
+  const auto nccl = perf::sum_costs(model_chase(m, s, {it}));
+  s.backend = Backend::kStdGpu;
+  const auto std_ = perf::sum_costs(model_chase(m, s, {it}));
+  EXPECT_GT(nccl.compute, 0.0);
+  EXPECT_EQ(nccl.movement, 0.0);
+  EXPECT_GT(std_.movement, 0.0);
+  EXPECT_LT(nccl.comm + nccl.movement, std_.comm + std_.movement);
+}
+
+TEST(ModelElpa, StrongScalingSaturates) {
+  perf::MachineModel m;
+  ElpaModelSetup s;
+  s.n = 115459;
+  s.nev = 1200;
+  s.stages = 2;
+  s.nranks = 16;
+  const double t16 = model_elpa(m, s).total();
+  s.nranks = 576;
+  const double t576 = model_elpa(m, s).total();
+  EXPECT_GT(t16 / t576, 3.0);   // it does scale...
+  EXPECT_LT(t16 / t576, 12.0);  // ...but far from the 36x rank ratio
+}
+
+TEST(ModelElpa, TwoStageBeatsOneStageAtModerateScale) {
+  // The GEMM-rich band reduction gives ELPA2 the edge while the per-GPU
+  // panel work dominates; at extreme scale its pipeline-bound bulge chase
+  // erodes the advantage (the GPU-ELPA papers report the same crossover).
+  perf::MachineModel m;
+  ElpaModelSetup s;
+  s.n = 115459;
+  s.nev = 1200;
+  s.nranks = 16;
+  s.stages = 1;
+  const double one16 = model_elpa(m, s).total();
+  s.stages = 2;
+  const double two16 = model_elpa(m, s).total();
+  EXPECT_LT(two16, 0.7 * one16);
+}
+
+}  // namespace
+}  // namespace chase::model

@@ -1,0 +1,59 @@
+#include "perf/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace chase::perf {
+namespace {
+
+TEST(CsvWriter, DisabledWithoutDirectory) {
+  // No env override, no explicit dir: inert.
+  unsetenv("CHASE_BENCH_CSV_DIR");
+  CsvWriter w("should_not_exist.csv");
+  EXPECT_FALSE(w.enabled());
+  w.header({"a", "b"});
+  w.row(1, 2.5, "x");  // must be a no-op, not a crash
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const auto dir = std::filesystem::temp_directory_path().string();
+  CsvWriter w("chase_report_test.csv", dir);
+  ASSERT_TRUE(w.enabled());
+  w.header({"name", "value", "flag"});
+  w.row("alpha", 1.25, 1);
+  w.row("beta", -3, 0);
+  const std::string path = w.path();
+  // Destructor-less flush: reopen after scope.
+  {
+    CsvWriter done = std::move(w);
+  }
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "name,value,flag");
+  EXPECT_EQ(l2, "alpha,1.25,1");
+  EXPECT_EQ(l3, "beta,-3,0");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, EnvironmentVariableSelectsDirectory) {
+  const auto dir = std::filesystem::temp_directory_path().string();
+  setenv("CHASE_BENCH_CSV_DIR", dir.c_str(), 1);
+  {
+    CsvWriter w("chase_env_test.csv");
+    EXPECT_TRUE(w.enabled());
+    w.header({"x"});
+  }
+  unsetenv("CHASE_BENCH_CSV_DIR");
+  const std::string path = dir + "/chase_env_test.csv";
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace chase::perf

@@ -1,0 +1,283 @@
+#include "qr/cholqr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "dist/multivector.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+#include "qr/hhqr_dist.hpp"
+#include "qr/qr_selector.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::qr {
+namespace {
+
+using chase::testing::random_matrix;
+using chase::testing::tol;
+using dist::IndexMap;
+using dist::scatter_rows;
+
+/// Tall matrix with prescribed condition number (singular values decay
+/// geometrically from 1 to 1/kappa).
+template <typename T>
+Matrix<T> with_condition(Index m, Index n, RealType<T> kappa,
+                         std::uint64_t seed) {
+  using R = RealType<T>;
+  auto q1 = random_matrix<T>(m, n, seed);
+  la::householder_orthonormalize(q1.view());
+  auto q2 = random_matrix<T>(n, n, seed + 1);
+  la::householder_orthonormalize(q2.view());
+  for (Index j = 0; j < n; ++j) {
+    const R sigma = std::pow(kappa, -R(j) / R(n - 1));
+    la::scal(m, T(sigma), q1.col(j));
+  }
+  Matrix<T> x(m, n);
+  la::gemm(T(1), la::Op::kNoTrans, q1.cview(), la::Op::kConjTrans, q2.cview(),
+           T(0), x.view());
+  return x;
+}
+
+/// || X0 - Q (Q^H X0) ||_F / ||X0||_F: the span must be preserved by any QR.
+template <typename T>
+RealType<T> span_loss(ConstMatrixView<T> q, ConstMatrixView<T> x0) {
+  Matrix<T> coeff(q.cols(), x0.cols());
+  la::gemm(T(1), la::Op::kConjTrans, q, la::Op::kNoTrans, x0, T(0),
+           coeff.view());
+  Matrix<T> rec(x0.rows(), x0.cols());
+  la::gemm(T(1), q, coeff.cview(), T(0), rec.view());
+  RealType<T> num = 0;
+  for (Index j = 0; j < x0.cols(); ++j) {
+    for (Index i = 0; i < x0.rows(); ++i) {
+      num += std::norm(std::complex<double>(
+          double(real_part(T(rec(i, j) - x0(i, j)))),
+          double(imag_part(T(rec(i, j) - x0(i, j))))));
+    }
+  }
+  return std::sqrt(num) / la::frobenius_norm(x0);
+}
+
+template <typename T>
+class CholQrTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(CholQrTyped, chase::testing::DoubleScalarTypes);
+
+TYPED_TEST(CholQrTyped, CholQr1WellConditioned) {
+  using T = TypeParam;
+  auto x = with_condition<T>(120, 12, RealType<T>(5), 1);
+  auto x0 = la::clone(x.cview());
+  ASSERT_EQ(cholqr(x.view(), nullptr, 1), 0);
+  EXPECT_LE(la::orthogonality_error(x.cview()), 1e-12);
+  EXPECT_LE(span_loss(x.cview(), x0.cview()), 1e-10);
+}
+
+TYPED_TEST(CholQrTyped, CholQr2RecoversModerateConditioning) {
+  using T = TypeParam;
+  auto x = with_condition<T>(200, 10, RealType<T>(1e6), 2);
+  auto x0 = la::clone(x.cview());
+  ASSERT_EQ(cholqr(x.view(), nullptr, 2), 0);
+  EXPECT_LE(la::orthogonality_error(x.cview()), 1e-13);
+  EXPECT_LE(span_loss(x.cview(), x0.cview()), 1e-8);
+}
+
+TYPED_TEST(CholQrTyped, CholQr1LosesOrthogonalityWhereCholQr2DoesNot) {
+  // The Section 3.2 motivation: one pass degrades like kappa^2 * u, the
+  // second pass repairs it.
+  using T = TypeParam;
+  auto x1 = with_condition<T>(200, 10, RealType<T>(1e6), 3);
+  auto x2 = la::clone(x1.cview());
+  ASSERT_EQ(cholqr(x1.view(), nullptr, 1), 0);
+  ASSERT_EQ(cholqr(x2.view(), nullptr, 2), 0);
+  const auto err1 = la::orthogonality_error(x1.cview());
+  const auto err2 = la::orthogonality_error(x2.cview());
+  EXPECT_GT(err1, 100 * err2);
+  EXPECT_GT(err1, 1e-8);  // visibly degraded
+}
+
+TYPED_TEST(CholQrTyped, CholQrFailsBeyondSqrtU) {
+  // kappa ~ 1e9 > u^{-1/2}: the Gram matrix is numerically indefinite.
+  using T = TypeParam;
+  auto x = with_condition<T>(300, 8, RealType<T>(1e9), 4);
+  EXPECT_NE(cholqr(x.view(), nullptr, 1), 0);
+}
+
+TYPED_TEST(CholQrTyped, ShiftedCholQr2HandlesIllConditioned) {
+  using T = TypeParam;
+  auto x = with_condition<T>(300, 8, RealType<T>(1e9), 5);
+  auto x0 = la::clone(x.cview());
+  ASSERT_EQ(shifted_cholqr_step(x.view(), nullptr, 300), 0);
+  ASSERT_EQ(cholqr(x.view(), nullptr, 2), 0);
+  EXPECT_LE(la::orthogonality_error(x.cview()), 1e-12);
+  EXPECT_LE(span_loss(x.cview(), x0.cview()), 1e-5);
+}
+
+TYPED_TEST(CholQrTyped, DistributedMatchesSequential) {
+  using T = TypeParam;
+  const Index m = 96, n = 7;
+  for (int p : {2, 3, 4}) {
+    auto x = with_condition<T>(m, n, RealType<T>(100), 6);
+    auto xs = la::clone(x.cview());
+    ASSERT_EQ(cholqr(xs.view(), nullptr, 2), 0);
+
+    comm::Team team(p);
+    team.run([&](comm::Communicator& comm) {
+      auto map = IndexMap::block(m, p);
+      Matrix<T> local(map.local_size(comm.rank()), n);
+      scatter_rows(map, comm.rank(), x.cview(), local.view());
+      ASSERT_EQ(cholqr(local.view(), &comm, 2), 0);
+      // The distributed result must match the sequential Q on my rows
+      // (CholeskyQR is deterministic: Q = X chol(X^H X)^{-1}).
+      Matrix<T> expect(map.local_size(comm.rank()), n);
+      scatter_rows(map, comm.rank(), xs.cview(), expect.view());
+      EXPECT_LE(la::max_abs_diff(local.cview(), expect.cview()), 1e-10);
+    });
+  }
+}
+
+TYPED_TEST(CholQrTyped, HhqrDistOrthonormalizesAndMatchesSpanSequential) {
+  using T = TypeParam;
+  const Index m = 64, n = 6;
+  for (int p : {1, 2, 4}) {
+    auto x = with_condition<T>(m, n, RealType<T>(1e8), 7);
+    auto x0 = la::clone(x.cview());
+    comm::Team team(p);
+    team.run([&](comm::Communicator& comm) {
+      auto map = IndexMap::block(m, p);
+      Matrix<T> local(map.local_size(comm.rank()), n);
+      scatter_rows(map, comm.rank(), x.cview(), local.view());
+      hhqr_dist(local.view(), map, comm);
+      // Reassemble the full Q on every rank and check its properties.
+      Matrix<T> full(m, n);
+      dist::gather_rows(comm, map, local.cview(), full.view());
+      EXPECT_LE(la::orthogonality_error(full.cview()), 1e-12);
+      EXPECT_LE(span_loss(full.cview(), x0.cview()), 1e-6);
+    });
+  }
+}
+
+TYPED_TEST(CholQrTyped, HhqrDistMatchesSequentialHouseholder) {
+  // Same larfg conventions sequentially and distributed => identical Q.
+  using T = TypeParam;
+  const Index m = 40, n = 5;
+  auto x = random_matrix<T>(m, n, 8);
+  auto xs = la::clone(x.cview());
+  la::householder_orthonormalize(xs.view());
+
+  const int p = 4;
+  comm::Team team(p);
+  team.run([&](comm::Communicator& comm) {
+    auto map = IndexMap::block(m, p);
+    Matrix<T> local(map.local_size(comm.rank()), n);
+    scatter_rows(map, comm.rank(), x.cview(), local.view());
+    hhqr_dist(local.view(), map, comm);
+    Matrix<T> expect(map.local_size(comm.rank()), n);
+    scatter_rows(map, comm.rank(), xs.cview(), expect.view());
+    EXPECT_LE(la::max_abs_diff(local.cview(), expect.cview()), 1e-11);
+  });
+}
+
+TYPED_TEST(CholQrTyped, HhqrDistBlockCyclicMap) {
+  using T = TypeParam;
+  const Index m = 50, n = 4;
+  auto x = random_matrix<T>(m, n, 9);
+  const int p = 3;
+  comm::Team team(p);
+  team.run([&](comm::Communicator& comm) {
+    auto map = IndexMap::block_cyclic(m, p, 4);
+    Matrix<T> local(map.local_size(comm.rank()), n);
+    scatter_rows(map, comm.rank(), x.cview(), local.view());
+    hhqr_dist(local.view(), map, comm);
+    Matrix<T> full(m, n);
+    dist::gather_rows(comm, map, local.cview(), full.view());
+    EXPECT_LE(la::orthogonality_error(full.cview()), 1e-12);
+  });
+}
+
+TEST(QrSelector, PicksVariantByEstimate) {
+  using T = double;
+  const Index m = 80, n = 6;
+  struct Case {
+    double est;
+    QrVariant expect;
+  };
+  for (const Case& c : {Case{5.0, QrVariant::kCholQr1},
+                        Case{1e4, QrVariant::kCholQr2},
+                        Case{1e10, QrVariant::kShiftedCholQr2}}) {
+    auto x = with_condition<T>(m, n, 10.0, 10);
+    comm::Team team(1);
+    team.run([&](comm::Communicator& comm) {
+      auto map = IndexMap::block(m, 1);
+      auto report = caqr_1d(x.view(), map, comm, c.est);
+      EXPECT_EQ(report.selected, c.expect);
+      EXPECT_FALSE(report.hhqr_fallback);
+    });
+    EXPECT_LE(la::orthogonality_error(x.cview()), 1e-12);
+  }
+}
+
+TEST(QrSelector, ForceHouseholder) {
+  using T = double;
+  auto x = with_condition<T>(60, 5, 100.0, 11);
+  comm::Team team(1);
+  team.run([&](comm::Communicator& comm) {
+    auto map = IndexMap::block(60, 1);
+    QrOptions opts;
+    opts.force_householder = true;
+    auto report = caqr_1d(x.view(), map, comm, 1.0, opts);
+    EXPECT_EQ(report.selected, QrVariant::kHouseholder);
+  });
+  EXPECT_LE(la::orthogonality_error(x.cview()), 1e-13);
+}
+
+TEST(QrSelector, FallsBackToHouseholderOnRankDeficiency) {
+  // Exactly repeated columns defeat any CholeskyQR; Algorithm 4 line 9 must
+  // engage and still return an orthonormal basis.
+  using T = double;
+  const Index m = 40, n = 4;
+  auto x = random_matrix<T>(m, n, 12);
+  for (Index i = 0; i < m; ++i) x(i, 2) = x(i, 1);  // rank deficient
+  comm::Team team(1);
+  team.run([&](comm::Communicator& comm) {
+    auto map = IndexMap::block(m, 1);
+    // Mis-estimated as moderately conditioned: CholeskyQR2 will fail POTRF.
+    auto report = caqr_1d(x.view(), map, comm, 1e4);
+    EXPECT_EQ(report.selected, QrVariant::kCholQr2);
+    EXPECT_TRUE(report.hhqr_fallback);
+  });
+  EXPECT_LE(la::orthogonality_error(x.cview()), 1e-12);
+}
+
+TEST(QrSelector, CommunicationCountsCholQrVsHhqr) {
+  // The communication-avoiding claim, checked on the event stream: CholeskyQR2
+  // needs 2 allreduces total; HHQR needs O(n) per-column rounds.
+  using T = double;
+  const Index m = 64, n = 8;
+  const int p = 4;
+  auto x = random_matrix<T>(m, n, 13);
+
+  auto count_allreduce = [&](bool hh) {
+    std::vector<perf::Tracker> trackers(static_cast<std::size_t>(p));
+    comm::Team team(p);
+    team.run(
+        [&](comm::Communicator& comm) {
+          auto map = IndexMap::block(m, p);
+          Matrix<T> local(map.local_size(comm.rank()), n);
+          scatter_rows(map, comm.rank(), x.cview(), local.view());
+          QrOptions opts;
+          opts.force_householder = hh;
+          caqr_1d(local.view(), map, comm, 1e3, opts);
+        },
+        &trackers);
+    std::size_t count = 0;
+    for (const auto& ev : trackers[0].collectives()) {
+      if (ev.kind == perf::CollKind::kAllReduce) ++count;
+    }
+    return count;
+  };
+
+  EXPECT_EQ(count_allreduce(false), 2u);         // CholeskyQR2
+  EXPECT_GE(count_allreduce(true), std::size_t(2 * n));  // HHQR
+}
+
+}  // namespace
+}  // namespace chase::qr

@@ -1,0 +1,88 @@
+#include "qr/condest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chase::qr {
+namespace {
+
+TEST(ChebyshevGrowth, InsideIntervalIsOne) {
+  EXPECT_DOUBLE_EQ(chebyshev_growth(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(chebyshev_growth(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(chebyshev_growth(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(chebyshev_growth(0.5), 1.0);
+}
+
+TEST(ChebyshevGrowth, OutsideIntervalKnownValues) {
+  // |t| + sqrt(t^2 - 1): for t = -2 this is 2 + sqrt(3).
+  EXPECT_NEAR(chebyshev_growth(-2.0), 2.0 + std::sqrt(3.0), 1e-14);
+  EXPECT_NEAR(chebyshev_growth(2.0), 2.0 + std::sqrt(3.0), 1e-14);
+  EXPECT_NEAR(chebyshev_growth(-1.5), 1.5 + std::sqrt(1.25), 1e-14);
+}
+
+TEST(ChebyshevGrowth, MonotoneInDistanceFromInterval) {
+  double prev = chebyshev_growth(-1.0);
+  for (double t = -1.2; t > -5.0; t -= 0.4) {
+    const double g = chebyshev_growth(t);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(CondEst, UniformDegreesReduceToSingleRatio) {
+  // All degrees equal d: cond = rho(t_first_unconverged)^d.
+  std::vector<double> ritz = {-3.0, -2.0, -1.5, -0.5};
+  std::vector<int> degs = {20, 20, 20, 20};
+  const double c = 0.0, e = 1.0;
+  const double est = estimate_filtered_cond(ritz, c, e, degs, 0);
+  EXPECT_NEAR(est, std::pow(chebyshev_growth(-3.0), 20), est * 1e-12);
+}
+
+TEST(CondEst, LockingMovesTheReferenceRitzValue) {
+  std::vector<double> ritz = {-3.0, -2.0, -1.5, -0.5};
+  std::vector<int> degs = {20, 20, 20, 20};
+  const double none = estimate_filtered_cond(ritz, 0.0, 1.0, degs, 0);
+  const double one = estimate_filtered_cond(ritz, 0.0, 1.0, degs, 1);
+  // After locking the most extremal vector the estimate must drop: the first
+  // unconverged Ritz value is closer to the damped interval.
+  EXPECT_LT(one, none);
+  EXPECT_NEAR(one, std::pow(chebyshev_growth(-2.0), 20), one * 1e-12);
+}
+
+TEST(CondEst, DegreeOptimizationTermEngages) {
+  // Mixed degrees: the d_M - d excess multiplies the extremal growth factor.
+  std::vector<double> ritz = {-3.0, -2.0, -0.5};
+  std::vector<int> degs = {10, 10, 14};
+  const double est = estimate_filtered_cond(ritz, 0.0, 1.0, degs, 0);
+  const double rho = chebyshev_growth(-3.0);
+  EXPECT_NEAR(est, std::pow(rho, 10) * std::pow(rho, 4), est * 1e-12);
+}
+
+TEST(CondEst, InsideIntervalGivesConditionOne) {
+  // All remaining Ritz values inside the damped interval: no amplification
+  // spread, cond estimate 1 (the last-iterations regime of Figure 1).
+  std::vector<double> ritz = {-0.9, -0.5, 0.3};
+  std::vector<int> degs = {8, 8, 8};
+  EXPECT_DOUBLE_EQ(estimate_filtered_cond(ritz, 0.0, 1.0, degs, 0), 1.0);
+}
+
+TEST(CondEst, HugeDegreesSaturateInsteadOfOverflow) {
+  std::vector<double> ritz = {-50.0, -0.5};
+  std::vector<int> degs = {10000, 10000};
+  const double est = estimate_filtered_cond(ritz, 0.0, 1.0, degs, 0);
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_EQ(est, std::numeric_limits<double>::max());
+}
+
+TEST(CondEst, PreconditionsChecked) {
+  std::vector<double> ritz = {-2.0, -1.0};
+  std::vector<int> degs = {10, 10};
+  EXPECT_THROW(estimate_filtered_cond(ritz, 0.0, -1.0, degs, 0), Error);
+  EXPECT_THROW(estimate_filtered_cond(ritz, 0.0, 1.0, degs, 2), Error);
+  std::vector<int> short_degs = {10};
+  EXPECT_THROW(estimate_filtered_cond(ritz, 0.0, 1.0, short_degs, 0), Error);
+}
+
+}  // namespace
+}  // namespace chase::qr

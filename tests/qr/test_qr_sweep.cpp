@@ -1,0 +1,146 @@
+// Parameterized property sweep over the full QR family: every variant must
+// preserve the column span; orthogonality must meet the variant's documented
+// stability envelope across condition numbers, shapes and rank counts.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <tuple>
+
+#include "dist/multivector.hpp"
+#include "la/norms.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+#include "qr/cholqr.hpp"
+#include "qr/hhqr_dist.hpp"
+#include "qr/tsqr.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::qr {
+namespace {
+
+using chase::testing::random_matrix;
+using dist::IndexMap;
+using la::Index;
+
+enum class Variant { kCholQr1, kCholQr2, kShifted, kHhqr, kTsqr };
+
+const char* name_of(Variant v) {
+  switch (v) {
+    case Variant::kCholQr1:
+      return "CholQR1";
+    case Variant::kCholQr2:
+      return "CholQR2";
+    case Variant::kShifted:
+      return "sCholQR2";
+    case Variant::kHhqr:
+      return "HHQR";
+    case Variant::kTsqr:
+    default:
+      return "TSQR";
+  }
+}
+
+/// Largest log10(kappa) the variant is documented to handle.
+double kappa_envelope(Variant v) {
+  switch (v) {
+    case Variant::kCholQr1:
+      return 2.0;   // only well-conditioned blocks
+    case Variant::kCholQr2:
+      return 7.0;   // up to ~u^{-1/2}
+    case Variant::kShifted:
+    case Variant::kHhqr:
+    case Variant::kTsqr:
+      return 11.0;  // up to ~u^{-1}
+  }
+  return 0;
+}
+
+using Param = std::tuple<int /*Variant*/, int /*log10 kappa*/, int /*ranks*/>;
+
+class QrSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(QrSweep, OrthogonalityAndSpanWithinEnvelope) {
+  using T = std::complex<double>;
+  const auto [vi, logk, p] = GetParam();
+  const Variant variant = Variant(vi);
+  if (double(logk) > kappa_envelope(variant)) {
+    GTEST_SKIP() << name_of(variant) << " not rated for kappa=1e" << logk;
+  }
+
+  const Index m = 120, n = 10;
+  // Conditioned input: geometric singular values 1 .. 10^-logk.
+  auto q1 = random_matrix<T>(m, n, 31);
+  la::householder_orthonormalize(q1.view());
+  auto q2 = random_matrix<T>(n, n, 32);
+  la::householder_orthonormalize(q2.view());
+  for (Index j = 0; j < n; ++j) {
+    la::scal(m, T(std::pow(10.0, -double(logk) * double(j) / double(n - 1))),
+             q1.col(j));
+  }
+  la::Matrix<T> x(m, n);
+  la::gemm(T(1), la::Op::kNoTrans, q1.cview(), la::Op::kConjTrans, q2.cview(),
+           T(0), x.view());
+  auto x0 = la::clone(x.cview());
+
+  comm::Team team(p);
+  team.run([&, vi = vi](comm::Communicator& comm) {
+    const Variant v = Variant(vi);
+    auto map = IndexMap::block(m, p);
+    la::Matrix<T> local(map.local_size(comm.rank()), n);
+    dist::scatter_rows(map, comm.rank(), x.cview(), local.view());
+    const comm::Communicator* reduce = p > 1 ? &comm : nullptr;
+    int info = 0;
+    switch (v) {
+      case Variant::kCholQr1:
+        info = cholqr(local.view(), reduce, 1);
+        break;
+      case Variant::kCholQr2:
+        info = cholqr(local.view(), reduce, 2);
+        break;
+      case Variant::kShifted:
+        info = shifted_cholqr_step(local.view(), reduce, m);
+        if (info == 0) info = cholqr(local.view(), reduce, 2);
+        break;
+      case Variant::kHhqr:
+        hhqr_dist(local.view(), map, comm);
+        break;
+      case Variant::kTsqr:
+        tsqr(local.view(), comm);
+        break;
+    }
+    ASSERT_EQ(info, 0);
+
+    la::Matrix<T> full(m, n);
+    dist::gather_rows(comm, map, local.cview(), full.view());
+    if (comm.rank() == 0) {
+      EXPECT_LE(la::orthogonality_error(full.cview()), 1e-10);
+      // Span preservation: || X0 - Q Q^H X0 || / ||X0|| small relative to
+      // what the conditioning allows.
+      la::Matrix<T> coeff(n, n), rec(m, n);
+      la::gemm(T(1), la::Op::kConjTrans, full.cview(), la::Op::kNoTrans,
+               x0.cview(), T(0), coeff.view());
+      la::gemm(T(1), full.cview(), coeff.cview(), T(0), rec.view());
+      double num = 0;
+      for (Index j = 0; j < n; ++j) {
+        for (Index i = 0; i < m; ++i) {
+          num += std::norm(rec(i, j) - x0(i, j));
+        }
+      }
+      EXPECT_LE(std::sqrt(num) / la::frobenius_norm(x0.cview()),
+                1e-12 * std::pow(10.0, double(logk)) + 1e-10);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, QrSweep,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Values(1, 4, 7, 10),
+                       ::testing::Values(1, 3)),
+    [](const auto& info) {
+      return std::string(name_of(Variant(std::get<0>(info.param)))) +
+             "_k1e" + std::to_string(std::get<1>(info.param)) + "_p" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace chase::qr

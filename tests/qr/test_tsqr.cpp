@@ -1,0 +1,150 @@
+#include "qr/tsqr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "dist/multivector.hpp"
+#include "la/norms.hpp"
+#include "la/svd.hpp"
+#include "qr/cholqr.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::qr {
+namespace {
+
+using chase::testing::random_matrix;
+using dist::IndexMap;
+using dist::scatter_rows;
+using la::Index;
+
+/// Tall matrix with geometric singular-value decay down to 1/kappa.
+template <typename T>
+la::Matrix<T> conditioned(Index m, Index n, double kappa, std::uint64_t seed) {
+  using R = RealType<T>;
+  auto q1 = random_matrix<T>(m, n, seed);
+  la::householder_orthonormalize(q1.view());
+  auto q2 = random_matrix<T>(n, n, seed + 1);
+  la::householder_orthonormalize(q2.view());
+  for (Index j = 0; j < n; ++j) {
+    la::scal(m, T(R(std::pow(kappa, -double(j) / double(n - 1)))), q1.col(j));
+  }
+  la::Matrix<T> x(m, n);
+  la::gemm(T(1), la::Op::kNoTrans, q1.cview(), la::Op::kConjTrans, q2.cview(),
+           T(0), x.view());
+  return x;
+}
+
+template <typename T>
+class TsqrTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(TsqrTyped, chase::testing::DoubleScalarTypes);
+
+TYPED_TEST(TsqrTyped, SequentialOrthonormalAndReconstructs) {
+  using T = TypeParam;
+  const Index m = 90, n = 12;
+  auto x = random_matrix<T>(m, n, 1);
+  auto x0 = la::clone(x.cview());
+  comm::Communicator self;
+  la::Matrix<T> r;
+  tsqr(x.view(), self, &r);
+  EXPECT_LE(la::orthogonality_error(x.cview()), 1e-13);
+  la::Matrix<T> rec(m, n);
+  la::gemm(T(1), x.cview(), r.cview(), T(0), rec.view());
+  EXPECT_LE(la::max_abs_diff(rec.cview(), x0.cview()), 1e-12);
+}
+
+TYPED_TEST(TsqrTyped, DistributedMatchesPropertiesAcrossRanks) {
+  using T = TypeParam;
+  const Index m = 96, n = 8;
+  for (int p : {2, 3, 4}) {
+    auto x = random_matrix<T>(m, n, 2);
+    comm::Team team(p);
+    team.run([&](comm::Communicator& comm) {
+      auto map = IndexMap::block(m, p);
+      la::Matrix<T> local(map.local_size(comm.rank()), n);
+      scatter_rows(map, comm.rank(), x.cview(), local.view());
+      la::Matrix<T> r;
+      tsqr(local.view(), comm, &r);
+      // R must be identical on all ranks and upper triangular.
+      for (Index j = 0; j < n; ++j) {
+        for (Index i = j + 1; i < n; ++i) {
+          EXPECT_LE(abs_value(r(i, j)), 1e-13);
+        }
+      }
+      la::Matrix<T> full(m, n);
+      dist::gather_rows(comm, map, local.cview(), full.view());
+      EXPECT_LE(la::orthogonality_error(full.cview()), 1e-13) << "p=" << p;
+      // Q R reconstructs the input.
+      la::Matrix<T> rec(m, n);
+      la::gemm(T(1), full.cview(), r.cview(), T(0), rec.view());
+      EXPECT_LE(la::max_abs_diff(rec.cview(), x.cview()), 1e-12) << "p=" << p;
+    });
+  }
+}
+
+TYPED_TEST(TsqrTyped, StableWhereCholQrBreaks) {
+  // kappa ~ 1e12 > u^{-1/2}: plain CholeskyQR must fail its POTRF while
+  // TSQR still returns an orthonormal basis — the stability/performance
+  // trade-off of Section 3.2.
+  using T = TypeParam;
+  const Index m = 240, n = 8;
+  auto x = conditioned<T>(m, n, 1e12, 3);
+  auto x_chol = la::clone(x.cview());
+  EXPECT_NE(cholqr(x_chol.view(), nullptr, 1), 0);
+
+  comm::Communicator self;
+  tsqr(x.view(), self);
+  EXPECT_LE(la::orthogonality_error(x.cview()), 1e-12);
+}
+
+TYPED_TEST(TsqrTyped, RaggedBlockDistribution) {
+  // Uneven local row counts, including a rank owning fewer rows than
+  // columns.
+  using T = TypeParam;
+  const Index m = 26, n = 6;
+  const int p = 4;  // blocks of 7,7,7,5
+  auto x = random_matrix<T>(m, n, 4);
+  comm::Team team(p);
+  team.run([&](comm::Communicator& comm) {
+    auto map = IndexMap::block(m, p);
+    la::Matrix<T> local(map.local_size(comm.rank()), n);
+    scatter_rows(map, comm.rank(), x.cview(), local.view());
+    tsqr(local.view(), comm);
+    la::Matrix<T> full(m, n);
+    dist::gather_rows(comm, map, local.cview(), full.view());
+    EXPECT_LE(la::orthogonality_error(full.cview()), 1e-13);
+  });
+}
+
+TEST(Tsqr, CommunicationVolumeMatchesCholQrGram) {
+  // The Section 3.2 comparison: both exchange one n x n block per rank.
+  using T = double;
+  const Index m = 64, n = 8;
+  const int p = 4;
+  auto x = random_matrix<T>(m, n, 5);
+
+  auto volume = [&](bool use_tsqr) {
+    std::vector<perf::Tracker> trackers(static_cast<std::size_t>(p));
+    comm::Team team(p);
+    team.run(
+        [&](comm::Communicator& comm) {
+          auto map = IndexMap::block(m, p);
+          la::Matrix<T> local(map.local_size(comm.rank()), n);
+          scatter_rows(map, comm.rank(), x.cview(), local.view());
+          if (use_tsqr) {
+            tsqr(local.view(), comm);
+          } else {
+            cholqr(local.view(), &comm, 1);
+          }
+        },
+        &trackers);
+    std::size_t bytes = 0;
+    for (const auto& ev : trackers[0].collectives()) bytes += ev.bytes;
+    return bytes;
+  };
+
+  EXPECT_EQ(volume(true), volume(false));  // n*n scalars either way
+}
+
+}  // namespace
+}  // namespace chase::qr

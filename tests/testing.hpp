@@ -1,0 +1,75 @@
+// Shared helpers for the test suite: random matrices, Hermitian generators,
+// typed-test scalar lists and tolerance scaling per precision.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/rng.hpp"
+#include "la/gemm.hpp"
+#include "la/matrix.hpp"
+#include "la/norms.hpp"
+
+namespace chase::testing {
+
+using ScalarTypes =
+    ::testing::Types<float, double, std::complex<float>, std::complex<double>>;
+using RealScalarTypes = ::testing::Types<float, double>;
+using DoubleScalarTypes = ::testing::Types<double, std::complex<double>>;
+
+/// Baseline tolerance: a small multiple of the scalar's epsilon.
+template <typename T>
+RealType<T> tol(RealType<T> factor = RealType<T>(100)) {
+  return factor * std::numeric_limits<RealType<T>>::epsilon();
+}
+
+/// Dense m x n matrix with iid Gaussian entries.
+template <typename T>
+la::Matrix<T> random_matrix(la::Index m, la::Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix<T> a(m, n);
+  for (la::Index j = 0; j < n; ++j) {
+    for (la::Index i = 0; i < m; ++i) a(i, j) = rng.gaussian<T>();
+  }
+  return a;
+}
+
+/// Random Hermitian matrix: (G + G^H) / 2.
+template <typename T>
+la::Matrix<T> random_hermitian(la::Index n, std::uint64_t seed) {
+  auto g = random_matrix<T>(n, n, seed);
+  la::Matrix<T> a(n, n);
+  for (la::Index j = 0; j < n; ++j) {
+    for (la::Index i = 0; i < n; ++i) {
+      a(i, j) = (g(i, j) + conjugate(g(j, i))) / RealType<T>(2);
+    }
+  }
+  return a;
+}
+
+/// Reference (unblocked, triple-loop) gemm to validate the blocked kernel.
+template <typename T>
+void naive_gemm(T alpha, la::Op opa, la::ConstMatrixView<T> a, la::Op opb,
+                la::ConstMatrixView<T> b, T beta, la::MatrixView<T> c) {
+  using la::Index;
+  const Index m = la::op_rows(opa, a);
+  const Index k = la::op_cols(opa, a);
+  const Index n = la::op_cols(opb, b);
+  auto elem = [](la::Op op, la::ConstMatrixView<T> x, Index i, Index j) {
+    if (op == la::Op::kNoTrans) return x(i, j);
+    if (op == la::Op::kTrans) return x(j, i);
+    return conjugate(x(j, i));
+  };
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < m; ++i) {
+      T acc(0);
+      for (Index l = 0; l < k; ++l) {
+        acc += elem(opa, a, i, l) * elem(opb, b, l, j);
+      }
+      c(i, j) = alpha * acc + (beta == T(0) ? T(0) : beta * c(i, j));
+    }
+  }
+}
+
+}  // namespace chase::testing
