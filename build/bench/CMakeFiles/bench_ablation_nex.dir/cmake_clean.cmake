@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nex.dir/bench_ablation_nex.cpp.o"
+  "CMakeFiles/bench_ablation_nex.dir/bench_ablation_nex.cpp.o.d"
+  "bench_ablation_nex"
+  "bench_ablation_nex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

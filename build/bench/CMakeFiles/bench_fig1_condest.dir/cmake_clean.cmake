@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_condest.dir/bench_fig1_condest.cpp.o"
+  "CMakeFiles/bench_fig1_condest.dir/bench_fig1_condest.cpp.o.d"
+  "bench_fig1_condest"
+  "bench_fig1_condest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_condest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

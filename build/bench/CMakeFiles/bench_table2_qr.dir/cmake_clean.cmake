@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_qr.dir/bench_table2_qr.cpp.o"
+  "CMakeFiles/bench_table2_qr.dir/bench_table2_qr.cpp.o.d"
+  "bench_table2_qr"
+  "bench_table2_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_qr_variants.dir/micro_qr_variants.cpp.o"
+  "CMakeFiles/micro_qr_variants.dir/micro_qr_variants.cpp.o.d"
+  "micro_qr_variants"
+  "micro_qr_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_qr_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

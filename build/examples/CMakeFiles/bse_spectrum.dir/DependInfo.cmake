@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bse_spectrum.cpp" "examples/CMakeFiles/bse_spectrum.dir/bse_spectrum.cpp.o" "gcc" "examples/CMakeFiles/bse_spectrum.dir/bse_spectrum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chase_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/chase_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/chase_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/chase_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/chase_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/chase_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/chase_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bse_spectrum.dir/bse_spectrum.cpp.o"
+  "CMakeFiles/bse_spectrum.dir/bse_spectrum.cpp.o.d"
+  "bse_spectrum"
+  "bse_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bse_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_sequence.dir/dft_sequence.cpp.o"
+  "CMakeFiles/dft_sequence.dir/dft_sequence.cpp.o.d"
+  "dft_sequence"
+  "dft_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

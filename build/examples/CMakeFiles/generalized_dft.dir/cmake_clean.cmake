@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalized_dft.dir/generalized_dft.cpp.o"
+  "CMakeFiles/generalized_dft.dir/generalized_dft.cpp.o.d"
+  "generalized_dft"
+  "generalized_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalized_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplacian3d.dir/laplacian3d.cpp.o"
+  "CMakeFiles/laplacian3d.dir/laplacian3d.cpp.o.d"
+  "laplacian3d"
+  "laplacian3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplacian3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

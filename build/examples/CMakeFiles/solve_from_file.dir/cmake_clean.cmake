@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_from_file.dir/solve_from_file.cpp.o"
+  "CMakeFiles/solve_from_file.dir/solve_from_file.cpp.o.d"
+  "solve_from_file"
+  "solve_from_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_from_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

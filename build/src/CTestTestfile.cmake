@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("la")
+subdirs("comm")
+subdirs("perf")
+subdirs("dist")
+subdirs("qr")
+subdirs("core")
+subdirs("baseline")
+subdirs("gen")
+subdirs("model")
+subdirs("capi")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_capi.dir/chase_c.cpp.o"
+  "CMakeFiles/chase_capi.dir/chase_c.cpp.o.d"
+  "libchase_capi.a"
+  "libchase_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

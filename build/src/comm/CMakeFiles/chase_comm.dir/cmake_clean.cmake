@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_comm.dir/communicator.cpp.o"
+  "CMakeFiles/chase_comm.dir/communicator.cpp.o.d"
+  "libchase_comm.a"
+  "libchase_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_common.dir/log.cpp.o"
+  "CMakeFiles/chase_common.dir/log.cpp.o.d"
+  "libchase_common.a"
+  "libchase_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_dist.dir/index_map.cpp.o"
+  "CMakeFiles/chase_dist.dir/index_map.cpp.o.d"
+  "libchase_dist.a"
+  "libchase_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

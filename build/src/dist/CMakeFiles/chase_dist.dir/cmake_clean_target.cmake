@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchase_dist.a"
+)

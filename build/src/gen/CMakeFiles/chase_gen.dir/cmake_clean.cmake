@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_gen.dir/suite.cpp.o"
+  "CMakeFiles/chase_gen.dir/suite.cpp.o.d"
+  "libchase_gen.a"
+  "libchase_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_la.dir/la.cpp.o"
+  "CMakeFiles/chase_la.dir/la.cpp.o.d"
+  "libchase_la.a"
+  "libchase_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_model.dir/chase_model.cpp.o"
+  "CMakeFiles/chase_model.dir/chase_model.cpp.o.d"
+  "CMakeFiles/chase_model.dir/elpa_model.cpp.o"
+  "CMakeFiles/chase_model.dir/elpa_model.cpp.o.d"
+  "libchase_model.a"
+  "libchase_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

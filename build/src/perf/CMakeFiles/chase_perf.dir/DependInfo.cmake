@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/cost_model.cpp" "src/perf/CMakeFiles/chase_perf.dir/cost_model.cpp.o" "gcc" "src/perf/CMakeFiles/chase_perf.dir/cost_model.cpp.o.d"
+  "/root/repo/src/perf/machine.cpp" "src/perf/CMakeFiles/chase_perf.dir/machine.cpp.o" "gcc" "src/perf/CMakeFiles/chase_perf.dir/machine.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/perf/CMakeFiles/chase_perf.dir/report.cpp.o" "gcc" "src/perf/CMakeFiles/chase_perf.dir/report.cpp.o.d"
+  "/root/repo/src/perf/tracker.cpp" "src/perf/CMakeFiles/chase_perf.dir/tracker.cpp.o" "gcc" "src/perf/CMakeFiles/chase_perf.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chase_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_perf.dir/cost_model.cpp.o"
+  "CMakeFiles/chase_perf.dir/cost_model.cpp.o.d"
+  "CMakeFiles/chase_perf.dir/machine.cpp.o"
+  "CMakeFiles/chase_perf.dir/machine.cpp.o.d"
+  "CMakeFiles/chase_perf.dir/report.cpp.o"
+  "CMakeFiles/chase_perf.dir/report.cpp.o.d"
+  "CMakeFiles/chase_perf.dir/tracker.cpp.o"
+  "CMakeFiles/chase_perf.dir/tracker.cpp.o.d"
+  "libchase_perf.a"
+  "libchase_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

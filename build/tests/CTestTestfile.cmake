@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("la")
+subdirs("comm")
+subdirs("dist")
+subdirs("qr")
+subdirs("core")
+subdirs("baseline")
+subdirs("gen")
+subdirs("perf")
+subdirs("model")
+subdirs("capi")

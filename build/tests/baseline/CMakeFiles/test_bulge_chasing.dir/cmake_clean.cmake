@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bulge_chasing.dir/test_bulge_chasing.cpp.o"
+  "CMakeFiles/test_bulge_chasing.dir/test_bulge_chasing.cpp.o.d"
+  "test_bulge_chasing"
+  "test_bulge_chasing.pdb"
+  "test_bulge_chasing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bulge_chasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

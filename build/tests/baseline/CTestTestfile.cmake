@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/baseline
+# Build directory: /root/repo/build/tests/baseline
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/baseline/test_direct[1]_include.cmake")
+include("/root/repo/build/tests/baseline/test_bulge_chasing[1]_include.cmake")

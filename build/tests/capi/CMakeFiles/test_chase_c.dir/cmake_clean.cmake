@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chase_c.dir/test_chase_c.cpp.o"
+  "CMakeFiles/test_chase_c.dir/test_chase_c.cpp.o.d"
+  "test_chase_c"
+  "test_chase_c.pdb"
+  "test_chase_c[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chase_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

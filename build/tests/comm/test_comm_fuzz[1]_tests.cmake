@@ -1,0 +1,3 @@
+add_test([=[CommFuzz.RandomCollectiveSequencesMatchOracle]=]  /root/repo/build/tests/comm/test_comm_fuzz [==[--gtest_filter=CommFuzz.RandomCollectiveSequencesMatchOracle]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[CommFuzz.RandomCollectiveSequencesMatchOracle]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests/comm SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_comm_fuzz_TESTS CommFuzz.RandomCollectiveSequencesMatchOracle)

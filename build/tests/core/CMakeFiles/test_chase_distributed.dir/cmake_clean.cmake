@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chase_distributed.dir/test_chase_distributed.cpp.o"
+  "CMakeFiles/test_chase_distributed.dir/test_chase_distributed.cpp.o.d"
+  "test_chase_distributed"
+  "test_chase_distributed.pdb"
+  "test_chase_distributed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chase_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chase_properties.dir/test_chase_properties.cpp.o"
+  "CMakeFiles/test_chase_properties.dir/test_chase_properties.cpp.o.d"
+  "test_chase_properties"
+  "test_chase_properties.pdb"
+  "test_chase_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chase_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

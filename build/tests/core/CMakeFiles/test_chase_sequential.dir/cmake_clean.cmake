@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chase_sequential.dir/test_chase_sequential.cpp.o"
+  "CMakeFiles/test_chase_sequential.dir/test_chase_sequential.cpp.o.d"
+  "test_chase_sequential"
+  "test_chase_sequential.pdb"
+  "test_chase_sequential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chase_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

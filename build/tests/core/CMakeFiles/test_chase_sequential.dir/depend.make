@@ -1,0 +1,2 @@
+# Empty dependencies file for test_chase_sequential.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_custom_bounds.dir/test_custom_bounds.cpp.o"
+  "CMakeFiles/test_custom_bounds.dir/test_custom_bounds.cpp.o.d"
+  "test_custom_bounds"
+  "test_custom_bounds.pdb"
+  "test_custom_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_custom_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operator.dir/test_operator.cpp.o"
+  "CMakeFiles/test_operator.dir/test_operator.cpp.o.d"
+  "test_operator"
+  "test_operator.pdb"
+  "test_operator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solve_sweep.dir/test_solve_sweep.cpp.o"
+  "CMakeFiles/test_solve_sweep.dir/test_solve_sweep.cpp.o.d"
+  "test_solve_sweep"
+  "test_solve_sweep.pdb"
+  "test_solve_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solve_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_chase_sequential[1]_include.cmake")
+include("/root/repo/build/tests/core/test_chase_distributed[1]_include.cmake")
+include("/root/repo/build/tests/core/test_dos[1]_include.cmake")
+include("/root/repo/build/tests/core/test_chase_properties[1]_include.cmake")
+include("/root/repo/build/tests/core/test_operator[1]_include.cmake")
+include("/root/repo/build/tests/core/test_sequence[1]_include.cmake")
+include("/root/repo/build/tests/core/test_lanczos[1]_include.cmake")
+include("/root/repo/build/tests/core/test_solve_sweep[1]_include.cmake")
+include("/root/repo/build/tests/core/test_generalized[1]_include.cmake")
+include("/root/repo/build/tests/core/test_custom_bounds[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_matrix.dir/test_dist_matrix.cpp.o"
+  "CMakeFiles/test_dist_matrix.dir/test_dist_matrix.cpp.o.d"
+  "test_dist_matrix"
+  "test_dist_matrix.pdb"
+  "test_dist_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_map.dir/test_index_map.cpp.o"
+  "CMakeFiles/test_index_map.dir/test_index_map.cpp.o.d"
+  "test_index_map"
+  "test_index_map.pdb"
+  "test_index_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redistribute.dir/test_redistribute.cpp.o"
+  "CMakeFiles/test_redistribute.dir/test_redistribute.cpp.o.d"
+  "test_redistribute"
+  "test_redistribute.pdb"
+  "test_redistribute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redistribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

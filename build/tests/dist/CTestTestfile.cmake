@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dist
+# Build directory: /root/repo/build/tests/dist
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dist/test_index_map[1]_include.cmake")
+include("/root/repo/build/tests/dist/test_dist_matrix[1]_include.cmake")
+include("/root/repo/build/tests/dist/test_redistribute[1]_include.cmake")

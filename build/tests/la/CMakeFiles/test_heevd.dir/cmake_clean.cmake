@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heevd.dir/test_heevd.cpp.o"
+  "CMakeFiles/test_heevd.dir/test_heevd.cpp.o.d"
+  "test_heevd"
+  "test_heevd.pdb"
+  "test_heevd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heevd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

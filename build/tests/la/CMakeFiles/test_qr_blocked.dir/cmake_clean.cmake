@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qr_blocked.dir/test_qr_blocked.cpp.o"
+  "CMakeFiles/test_qr_blocked.dir/test_qr_blocked.cpp.o.d"
+  "test_qr_blocked"
+  "test_qr_blocked.pdb"
+  "test_qr_blocked[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qr_blocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stebz.dir/test_stebz.cpp.o"
+  "CMakeFiles/test_stebz.dir/test_stebz.cpp.o.d"
+  "test_stebz"
+  "test_stebz.pdb"
+  "test_stebz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stebz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/la
+# Build directory: /root/repo/build/tests/la
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/la/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/la/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/la/test_factorizations[1]_include.cmake")
+include("/root/repo/build/tests/la/test_heevd[1]_include.cmake")
+include("/root/repo/build/tests/la/test_svd[1]_include.cmake")
+include("/root/repo/build/tests/la/test_qr_blocked[1]_include.cmake")
+include("/root/repo/build/tests/la/test_io[1]_include.cmake")
+include("/root/repo/build/tests/la/test_stedc[1]_include.cmake")
+include("/root/repo/build/tests/la/test_stebz[1]_include.cmake")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/perf
+# Build directory: /root/repo/build/tests/perf
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/perf/test_tracker[1]_include.cmake")
+include("/root/repo/build/tests/perf/test_report[1]_include.cmake")

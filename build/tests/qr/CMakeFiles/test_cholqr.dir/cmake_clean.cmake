@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cholqr.dir/test_cholqr.cpp.o"
+  "CMakeFiles/test_cholqr.dir/test_cholqr.cpp.o.d"
+  "test_cholqr"
+  "test_cholqr.pdb"
+  "test_cholqr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cholqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

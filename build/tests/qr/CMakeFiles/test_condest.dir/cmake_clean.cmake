@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_condest.dir/test_condest.cpp.o"
+  "CMakeFiles/test_condest.dir/test_condest.cpp.o.d"
+  "test_condest"
+  "test_condest.pdb"
+  "test_condest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_condest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

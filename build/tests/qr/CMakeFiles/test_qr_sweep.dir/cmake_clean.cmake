@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qr_sweep.dir/test_qr_sweep.cpp.o"
+  "CMakeFiles/test_qr_sweep.dir/test_qr_sweep.cpp.o.d"
+  "test_qr_sweep"
+  "test_qr_sweep.pdb"
+  "test_qr_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qr_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

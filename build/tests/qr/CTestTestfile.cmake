@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/qr
+# Build directory: /root/repo/build/tests/qr
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/qr/test_cholqr[1]_include.cmake")
+include("/root/repo/build/tests/qr/test_condest[1]_include.cmake")
+include("/root/repo/build/tests/qr/test_tsqr[1]_include.cmake")
+include("/root/repo/build/tests/qr/test_qr_sweep[1]_include.cmake")
