@@ -1,37 +1,120 @@
 #include "comm/communicator.hpp"
 
 #include <algorithm>
-#include <exception>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
 #include <thread>
 
 namespace chase::comm {
 
+namespace {
+
+std::atomic<long>& timeout_ms() {
+  static std::atomic<long> ms = [] {
+    long v = 120000;  // generous: legitimate waits cover imbalanced compute
+    if (const char* env = std::getenv("CHASE_BARRIER_TIMEOUT_MS")) {
+      const long parsed = std::atol(env);
+      if (parsed > 0) v = parsed;
+    }
+    return v;
+  }();
+  return ms;
+}
+
+}  // namespace
+
+std::chrono::milliseconds barrier_timeout() {
+  return std::chrono::milliseconds(timeout_ms().load(std::memory_order_relaxed));
+}
+
+void set_barrier_timeout(std::chrono::milliseconds t) {
+  timeout_ms().store(t.count(), std::memory_order_relaxed);
+}
+
 namespace detail {
 
-CommState::CommState(int sz)
+CommState::CommState(int sz, std::shared_ptr<ErrorState> es)
     : size(sz),
-      barrier(sz),
+      errors(es ? std::move(es) : std::make_shared<ErrorState>()),
       slots(std::size_t(sz)),
-      split_requests(std::size_t(sz)) {}
+      split_requests(std::size_t(sz)) {
+  errors->register_waiter(&bar_cv);
+}
+
+CommState::~CommState() { errors->unregister_waiter(&bar_cv); }
+
+void CommState::barrier_wait(int rank) {
+  std::unique_lock<std::mutex> lock(bar_mutex);
+  if (errors->poisoned()) errors->raise();
+  const std::uint64_t gen = bar_generation;
+  if (++bar_arrived == size) {
+    bar_arrived = 0;
+    ++bar_generation;
+    bar_cv.notify_all();
+    return;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + barrier_timeout();
+  // Poll-bounded wait: ErrorState::record notifies this cv, but a
+  // notification sent between our poison check and the wait would be lost,
+  // so the poll interval bounds the detection latency instead of relying on
+  // perfect wakeup ordering.
+  while (bar_generation == gen) {
+    bar_cv.wait_for(lock, std::chrono::milliseconds(50));
+    if (bar_generation != gen) break;
+    if (errors->poisoned()) {
+      --bar_arrived;  // leave the count consistent for any later arrival
+      errors->raise();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      --bar_arrived;
+      std::ostringstream os;
+      os << "no barrier progress within " << barrier_timeout().count()
+         << " ms (" << bar_arrived + 1 << "/" << size
+         << " ranks arrived; a sibling likely died outside any collective)";
+      errors->record(RankError{rank, "barrier.watchdog", os.str()});
+      errors->raise();
+    }
+  }
+}
 
 }  // namespace detail
 
 void Communicator::barrier() const {
+  fault::check("rank.die");
   if (size() == 1) return;
-  state_->barrier.arrive_and_wait();
+  state_->barrier_wait(rank_);
+}
+
+void Communicator::raise_error(std::string site, std::string message) const {
+  RankError e{rank_, std::move(site), std::move(message)};
+  if (state_ != nullptr) {
+    state_->errors->record(e);
+    state_->errors->raise();
+  }
+  throw TeamAborted(std::move(e));
 }
 
 void Communicator::publish_and_sync(const void* ptr, std::size_t bytes,
                                     int tag) const {
+  fault::check("rank.die");
   auto& slot = state_->slots[std::size_t(rank_)];
   slot.ptr = ptr;
   slot.bytes = bytes;
   slot.tag = tag;
-  state_->barrier.arrive_and_wait();
-  // SPMD-mismatch detection: every rank must be in the same collective.
+  state_->barrier_wait(rank_);
+  // SPMD-mismatch detection: every rank must be in the same collective. A
+  // mismatch poisons the team (diagnosable on every rank) instead of
+  // aborting the process.
   for (int r = 0; r < size(); ++r) {
-    CHASE_ABORT_IF(state_->slots[std::size_t(r)].tag != tag,
-                   "ranks disagree on the collective being executed");
+    if (state_->slots[std::size_t(r)].tag != tag) {
+      std::ostringstream os;
+      os << "ranks disagree on the collective being executed (rank " << rank_
+         << " tag " << tag << ", rank " << r << " tag "
+         << state_->slots[std::size_t(r)].tag << ")";
+      raise_error("collective.mismatch", os.str());
+    }
   }
 }
 
@@ -39,14 +122,16 @@ void Communicator::account_begin() const {
   if (auto* t = perf::thread_tracker()) t->begin_collective();
 }
 
-void Communicator::account_end(perf::CollKind kind, std::size_t bytes) const {
+void Communicator::account_end(perf::CollKind kind, std::size_t bytes,
+                               std::size_t local_bytes) const {
   auto* t = perf::thread_tracker();
   if (t == nullptr) return;
   // ChASE(STD): the payload lives on the device, so the MPI collective is
-  // bracketed by explicit staging copies (Section 3.3). ChASE(NCCL) and the
+  // bracketed by explicit staging copies (Section 3.3) — D2H for what this
+  // rank contributes, H2D for what it ends up holding. ChASE(NCCL) and the
   // CPU build communicate in place.
   if (backend_ == Backend::kStdGpu) {
-    t->record_memcpy(bytes, /*to_device=*/false);
+    t->record_memcpy(local_bytes, /*to_device=*/false);
   }
   t->end_collective(kind, bytes, size());
   if (backend_ == Backend::kStdGpu) {
@@ -55,17 +140,25 @@ void Communicator::account_end(perf::CollKind kind, std::size_t bytes) const {
 }
 
 Communicator Communicator::split(int color, int key) const {
+  fault::check("rank.die");
   if (size() == 1) {
-    return Communicator(std::make_shared<detail::CommState>(1), 0, backend_);
+    auto errors = state_ != nullptr ? state_->errors : nullptr;
+    return Communicator(
+        std::make_shared<detail::CommState>(1, std::move(errors)), 0,
+        backend_);
   }
   auto& st = *state_;
   st.split_requests[std::size_t(rank_)] = {color, key};
-  st.barrier.arrive_and_wait();
+  st.barrier_wait(rank_);
 
   // split_requests is stable only between the two barriers (a fast rank may
   // overwrite its slot for a subsequent split immediately after the second
   // one), so both the group construction and the membership scan happen here.
   if (rank_ == 0) {
+    ++st.split_generation;
+    // Children of earlier split() calls have all been adopted (every rank
+    // finished that call before arriving here), so only the new generation
+    // must stay alive in the cache.
     st.split_children.clear();
     std::map<int, int> group_sizes;
     for (const auto& [c, k] : st.split_requests) {
@@ -73,7 +166,8 @@ Communicator Communicator::split(int color, int key) const {
       group_sizes[c] += 1;
     }
     for (const auto& [c, sz] : group_sizes) {
-      st.split_children[c] = std::make_shared<detail::CommState>(sz);
+      st.split_children[{st.split_generation, c}] =
+          std::make_shared<detail::CommState>(sz, st.errors);
     }
   }
   // My rank in the child: position of (key, old rank) among my color group.
@@ -90,9 +184,12 @@ Communicator Communicator::split(int color, int key) const {
       break;
     }
   }
-  st.barrier.arrive_and_wait();
+  st.barrier_wait(rank_);
 
-  auto child = st.split_children.at(color);
+  // Safe to read after the second barrier: rank 0 can only bump the
+  // generation again from inside a *later* split() call, whose first barrier
+  // needs this rank too.
+  auto child = st.split_children.at({st.split_generation, color});
   return Communicator(std::move(child), my_child_rank, backend_);
 }
 
@@ -103,24 +200,32 @@ Team::Team(int nranks, Backend backend) : nranks_(nranks), backend_(backend) {
 void Team::run(const std::function<void(Communicator&)>& fn,
                std::vector<perf::Tracker>* trackers) {
   CHASE_CHECK(trackers == nullptr || int(trackers->size()) == nranks_);
-  auto state = std::make_shared<detail::CommState>(nranks_);
+  auto errors = std::make_shared<ErrorState>();
+  auto state = std::make_shared<detail::CommState>(nranks_, errors);
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
   threads.reserve(std::size_t(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([&, r] {
+      fault::set_thread_rank(r);
       perf::Tracker* tracker =
           trackers != nullptr ? &(*trackers)[std::size_t(r)] : nullptr;
       if (tracker != nullptr) perf::set_thread_tracker(tracker);
       try {
         Communicator comm(state, r, backend_);
         fn(comm);
+      } catch (const TeamAborted&) {
+        // Sibling notification: the originating rank's error is already in
+        // the slot; recording ours would only race for first place.
+      } catch (const fault::Injected& e) {
+        errors->record(RankError{r, e.site(), e.what()});
+      } catch (const Error& e) {
+        errors->record(RankError{r, "rank.error", e.what()});
+      } catch (const std::exception& e) {
+        errors->record(RankError{r, "rank.exception", e.what()});
       } catch (...) {
-        // Throwing between matching collectives would deadlock siblings; the
-        // SPMD code is written not to throw, so this only fires for
-        // symmetric failures (e.g. a precondition all ranks violate).
-        errors[std::size_t(r)] = std::current_exception();
+        errors->record(RankError{r, "rank.exception", "unknown exception"});
       }
+      fault::set_thread_rank(0);
       if (tracker != nullptr) {
         tracker->flush();
         perf::set_thread_tracker(nullptr);
@@ -128,9 +233,10 @@ void Team::run(const std::function<void(Communicator&)>& fn,
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  // All threads are joined, so state is quiescent; rethrow the originating
+  // rank's failure with full context. The Team (and the process) stays
+  // usable: the next run() starts from fresh CommState + ErrorState.
+  if (errors->poisoned()) throw TeamAborted(errors->error());
 }
 
 Grid2d::Grid2d(const Communicator& world, int nprow, int npcol)

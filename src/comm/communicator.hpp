@@ -17,18 +17,34 @@
 // The data path is identical for all three; the difference is recorded in
 // the thread-local perf::Tracker (staging MemcpyEvents + which collective
 // cost model applies), which is what the Figure 2/3 benches consume.
+//
+// Fault tolerance (rank_error.hpp): every synchronization point is a
+// "poisoned barrier" — when one rank records a RankError, all siblings
+// unblock at their next barrier arrival and raise TeamAborted instead of
+// waiting forever, and barrier waits carry a watchdog timeout that detects
+// ranks dying outside any collective. Team::run rethrows the originating
+// rank's error after join, so an invariant violation inside an SPMD region
+// may now simply throw (see check.hpp) instead of aborting the process.
 #pragma once
 
-#include <barrier>
+#include <algorithm>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "comm/rank_error.hpp"
 #include "common/check.hpp"
+#include "common/faultinject.hpp"
+#include "common/scalar.hpp"
 #include "la/matrix.hpp"
 #include "perf/backend.hpp"
 #include "perf/tracker.hpp"
@@ -43,13 +59,29 @@ enum class Reduction { kSum, kMax, kMin };
 
 namespace detail {
 
-/// Shared state of one communicator: a barrier plus per-rank publication
-/// slots used by the collectives.
+/// Shared state of one communicator: a poisonable barrier plus per-rank
+/// publication slots used by the collectives. All CommStates of one team
+/// (world + split children) share the team's ErrorState.
 struct CommState {
-  explicit CommState(int size);
+  CommState(int size, std::shared_ptr<ErrorState> errors);
+  ~CommState();
 
   int size;
-  std::barrier<> barrier;
+  std::shared_ptr<ErrorState> errors;
+
+  // Poisoned barrier: a classic generation-counting barrier whose waits also
+  // watch the team's poison flag and a watchdog deadline (std::barrier has
+  // neither an interruptible nor a timed wait, which is exactly what made
+  // rank failure fatal before).
+  std::mutex bar_mutex;
+  std::condition_variable bar_cv;
+  int bar_arrived = 0;
+  std::uint64_t bar_generation = 0;
+
+  /// Arrive and wait for the team. Throws TeamAborted if the team is (or
+  /// becomes) poisoned; records a barrier.watchdog error and throws if
+  /// siblings fail to arrive within the watchdog timeout.
+  void barrier_wait(int rank);
 
   struct Slot {
     const void* ptr = nullptr;
@@ -58,10 +90,15 @@ struct CommState {
   };
   std::vector<Slot> slots;
 
-  // split() coordination.
+  // split() coordination. Children are keyed by (generation, color): the
+  // generation is bumped once per collective split() call, so a later
+  // split() on the same parent with the same color can never observe or
+  // hand back a child state from an earlier call (rank 0 prunes older
+  // generations when it populates the new one).
   std::vector<std::pair<int, int>> split_requests;  // (color, key) per rank
-  std::map<int, std::shared_ptr<CommState>> split_children;
-  std::mutex split_mutex;
+  std::uint64_t split_generation = 0;
+  std::map<std::pair<std::uint64_t, int>, std::shared_ptr<CommState>>
+      split_children;
 };
 
 }  // namespace detail
@@ -75,6 +112,10 @@ class Communicator {
   Backend backend() const { return backend_; }
 
   void barrier() const;
+
+  /// Record a rank-local failure in the team's error slot and raise
+  /// TeamAborted; sibling ranks unblock at their next synchronization point.
+  [[noreturn]] void raise_error(std::string site, std::string message) const;
 
   /// In-place elementwise reduction; every rank ends with the identical
   /// result, accumulated in rank order (deterministic, like a fixed-topology
@@ -109,11 +150,16 @@ class Communicator {
 
   void publish_and_sync(const void* ptr, std::size_t bytes, int tag) const;
   const void* peer_ptr(int r) const { return state_->slots[std::size_t(r)].ptr; }
+  void sync() const { state_->barrier_wait(rank_); }
 
   // Perf accounting around a collective body, including the STD backend's
-  // staging copies (Section 3.3): D2H before, H2D after.
+  // staging copies (Section 3.3): D2H before, H2D after. `bytes` is the
+  // *total* payload the collective moves (per-rank payload for
+  // reduce/broadcast, the full gathered buffer for allgather), matching the
+  // cost model's conventions; `local_bytes` is what this rank stages.
   void account_begin() const;
-  void account_end(perf::CollKind kind, std::size_t bytes) const;
+  void account_end(perf::CollKind kind, std::size_t bytes,
+                   std::size_t local_bytes) const;
 
   std::shared_ptr<detail::CommState> state_;
   int rank_ = 0;
@@ -121,8 +167,11 @@ class Communicator {
 };
 
 /// SPMD launcher: runs fn(comm) on `nranks` threads, each with its own
-/// world Communicator. Rethrows the first rank exception after all threads
-/// joined (ranks must not throw between matching collectives; see check.hpp).
+/// world Communicator. A rank failure (exception or injected death) poisons
+/// the team: siblings unblock with TeamAborted at their next collective, all
+/// threads are joined, and the *originating* rank's error is rethrown as
+/// TeamAborted (rank / site / message preserved). The process survives; a
+/// subsequent Team runs on fresh state.
 class Team {
  public:
   explicit Team(int nranks, Backend backend = Backend::kHostMpi);
@@ -184,14 +233,14 @@ void reduce_assign(Reduction op, T& acc, const T& x) {
       break;
     case Reduction::kMax:
       if constexpr (kIsComplex<T>) {
-        CHASE_ABORT_IF(true, "max reduction on complex type");
+        CHASE_CHECK_MSG(false, "max reduction on complex type");
       } else {
         acc = std::max(acc, x);
       }
       break;
     case Reduction::kMin:
       if constexpr (kIsComplex<T>) {
-        CHASE_ABORT_IF(true, "min reduction on complex type");
+        CHASE_CHECK_MSG(false, "min reduction on complex type");
       } else {
         acc = std::min(acc, x);
       }
@@ -199,11 +248,32 @@ void reduce_assign(Reduction op, T& acc, const T& x) {
   }
 }
 
+/// The allreduce.corrupt fault: overwrite one reduced element with the most
+/// damaging representable value (NaN where available). Armed with rank -1
+/// every rank corrupts its own copy identically, keeping SPMD state
+/// consistent while exercising the downstream non-finite guards.
+template <typename T>
+void corrupt_reduced(T* data, Index count) {
+  if (count <= 0 || !fault::fired("allreduce.corrupt")) return;
+  if constexpr (kIsComplex<T>) {
+    using R = RealType<T>;
+    data[0] = T(std::numeric_limits<R>::quiet_NaN(),
+                std::numeric_limits<R>::quiet_NaN());
+  } else if constexpr (std::is_floating_point_v<T>) {
+    data[0] = std::numeric_limits<T>::quiet_NaN();
+  } else {
+    data[0] = std::numeric_limits<T>::max();
+  }
+}
+
 }  // namespace detail
 
 template <typename T>
 void Communicator::all_reduce(T* data, Index count, Reduction op) const {
-  if (size() == 1) return;
+  if (size() == 1) {
+    detail::corrupt_reduced(data, count);
+    return;
+  }
   account_begin();
   const std::size_t bytes = std::size_t(count) * sizeof(T);
   publish_and_sync(data, bytes, 100 + int(op));
@@ -215,63 +285,70 @@ void Communicator::all_reduce(T* data, Index count, Reduction op) const {
       detail::reduce_assign(op, acc[std::size_t(i)], src[i]);
     }
   }
-  state_->barrier.arrive_and_wait();  // all ranks done reading
+  sync();  // all ranks done reading
   std::copy_n(acc.data(), count, data);
-  account_end(perf::CollKind::kAllReduce, bytes);
+  detail::corrupt_reduced(data, count);
+  account_end(perf::CollKind::kAllReduce, bytes, bytes);
 }
 
 template <typename T>
 void Communicator::broadcast(T* data, Index count, int root) const {
   if (size() == 1) return;
-  CHASE_ABORT_IF(root < 0 || root >= size(), "broadcast root out of range");
+  CHASE_CHECK_MSG(root >= 0 && root < size(), "broadcast root out of range");
   account_begin();
   const std::size_t bytes = std::size_t(count) * sizeof(T);
   publish_and_sync(data, bytes, 200 + root);
   if (rank_ != root) {
     std::copy_n(static_cast<const T*>(peer_ptr(root)), count, data);
   }
-  state_->barrier.arrive_and_wait();  // root's buffer free again
-  account_end(perf::CollKind::kBroadcast, bytes);
+  sync();  // root's buffer free again
+  account_end(perf::CollKind::kBroadcast, bytes, bytes);
 }
 
 template <typename T>
 void Communicator::all_gather(const T* send, Index count, T* recv) const {
   account_begin();
-  const std::size_t bytes = std::size_t(count) * sizeof(T);
+  const std::size_t local_bytes = std::size_t(count) * sizeof(T);
+  // The gathered payload every rank ends up holding — what the Figure 2/3
+  // communication-volume model prices (a ring allgather moves total - local
+  // bytes through every rank, not just the local contribution).
+  const std::size_t total_bytes = std::size_t(size()) * local_bytes;
   if (size() == 1) {
     std::copy_n(send, count, recv);
   } else {
-    publish_and_sync(send, bytes, 300);
+    publish_and_sync(send, local_bytes, 300);
     for (int r = 0; r < size(); ++r) {
       std::copy_n(static_cast<const T*>(peer_ptr(r)), count,
                   recv + Index(r) * count);
     }
-    state_->barrier.arrive_and_wait();
+    sync();
   }
-  account_end(perf::CollKind::kAllGather, bytes);
+  account_end(perf::CollKind::kAllGather, total_bytes, local_bytes);
 }
 
 template <typename T>
 void Communicator::all_gather_v(const T* send, Index count, T* recv,
                                 const std::vector<Index>& counts,
                                 const std::vector<Index>& displs) const {
-  CHASE_ABORT_IF(int(counts.size()) != size() || int(displs.size()) != size(),
-                 "all_gather_v: counts/displs size mismatch");
-  CHASE_ABORT_IF(counts[std::size_t(rank_)] != count,
-                 "all_gather_v: local count disagrees with counts[rank]");
+  CHASE_CHECK_MSG(int(counts.size()) == size() && int(displs.size()) == size(),
+                  "all_gather_v: counts/displs size mismatch");
+  CHASE_CHECK_MSG(counts[std::size_t(rank_)] == count,
+                  "all_gather_v: local count disagrees with counts[rank]");
   account_begin();
-  const std::size_t bytes = std::size_t(count) * sizeof(T);
+  const std::size_t local_bytes = std::size_t(count) * sizeof(T);
+  std::size_t total_bytes = 0;
+  for (const Index c : counts) total_bytes += std::size_t(c) * sizeof(T);
   if (size() == 1) {
     std::copy_n(send, count, recv + displs[0]);
   } else {
-    publish_and_sync(send, bytes, 400);
+    publish_and_sync(send, local_bytes, 400);
     for (int r = 0; r < size(); ++r) {
       std::copy_n(static_cast<const T*>(peer_ptr(r)), counts[std::size_t(r)],
                   recv + displs[std::size_t(r)]);
     }
-    state_->barrier.arrive_and_wait();
+    sync();
   }
-  account_end(perf::CollKind::kAllGather, bytes);
+  account_end(perf::CollKind::kAllGather, total_bytes, local_bytes);
 }
 
 }  // namespace chase::comm

@@ -1,6 +1,13 @@
 // Error handling: precondition checks that throw, and a fatal abort for
-// invariant violations inside SPMD regions (throwing across rank threads
-// would deadlock the team barrier, so those use CHASE_ABORT_IF).
+// truly unrecoverable states.
+//
+// Throwing is collective-safe, including inside SPMD regions: comm::Team
+// catches a rank's exception, records it in the team's shared ErrorState,
+// and every sibling rank unblocks at its next synchronization point (the
+// poisoned-barrier protocol of comm/rank_error.hpp) — so invariant checks in
+// rank code use CHASE_CHECK/CHASE_CHECK_MSG like everywhere else.
+// CHASE_ABORT_IF is reserved for states where even unwinding cannot be
+// trusted (e.g. corrupted accounting bookkeeping in perf::Tracker).
 #pragma once
 
 #include <cstdio>
@@ -51,8 +58,9 @@ namespace detail {
     }                                                                        \
   } while (0)
 
-// For invariants inside rank threads: aborts instead of throwing so a broken
-// invariant never leaves sibling ranks blocked in a collective.
+// Last resort: for states where even unwinding cannot be trusted. Everything
+// else — including invariants inside rank threads — should throw via
+// CHASE_CHECK*; the poisoned-barrier protocol unblocks sibling ranks.
 #define CHASE_ABORT_IF(cond, msg)                                            \
   do {                                                                       \
     if (cond) ::chase::detail::abort_failure(#cond, __FILE__, __LINE__, msg); \

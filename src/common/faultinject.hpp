@@ -1,0 +1,202 @@
+// Deterministic fault injection for robustness tests and the bench harness.
+//
+// Named sites are compiled into the code paths they perturb; checking a site
+// costs one relaxed atomic load while nothing is armed, so the hooks stay in
+// production builds. The registered sites:
+//
+//   potrf.breakdown   — CholeskyQR's POTRF reports a simulated breakdown,
+//                       forcing the Algorithm 4 recovery ladder
+//                       (src/qr/cholqr.hpp);
+//   filter.nan        — the Chebyshev filter corrupts one output entry with
+//                       a NaN, exercising the re-randomization guard
+//                       (src/core/filter.hpp);
+//   allreduce.corrupt — the local all_reduce result is overwritten with a
+//                       NaN (max value for integral scalars), modelling an
+//                       undetected transport corruption
+//                       (src/comm/communicator.hpp);
+//   rank.die          — the next collective the armed rank enters throws
+//                       fault::Injected, simulating a rank dying mid-run
+//                       (src/comm/communicator.cpp).
+//
+// Sites are armed programmatically (arm / disarm_all) or through the
+// environment:
+//
+//   CHASE_FAULT_INJECT=site[@rank][:times],...
+//
+// where rank -1 (default) matches every rank and times -1 fires on every
+// hit (default 1). Trigger budgets are tracked *per rank* so that arming a
+// site with rank -1 fires identically on every rank of an SPMD region —
+// collective-consistent injection, the only kind that keeps ranks in step.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace chase::fault {
+
+/// Thrown by check() when a site fires; Team::run recognizes it and records
+/// the site name as the failure context of the dying rank.
+class Injected : public Error {
+ public:
+  explicit Injected(std::string_view site)
+      : Error("fault injected: " + std::string(site)), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+namespace detail {
+
+struct Site {
+  std::string name;
+  int rank = -1;   // -1: matches every rank
+  int times = 1;   // per-rank trigger budget; -1: unlimited
+  int skip = 0;    // per-rank: let this many matching checks pass first
+  std::map<int, int> remaining;  // per-rank budget left (seeded from times)
+  std::map<int, int> to_skip;    // per-rank skips left (seeded from skip)
+  std::map<int, long> hits;      // per-rank fire count (observability)
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<Site> sites;
+  std::atomic<int> armed{0};
+
+  Registry() { load_env(); }
+
+  // CHASE_FAULT_INJECT=site[@rank][:times],...
+  void load_env() {
+    const char* env = std::getenv("CHASE_FAULT_INJECT");
+    if (env == nullptr) return;
+    std::string_view rest(env);
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      std::string_view entry = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(comma + 1);
+      if (entry.empty()) continue;
+      Site site;
+      const auto colon = entry.find(':');
+      if (colon != std::string_view::npos) {
+        site.times = std::atoi(std::string(entry.substr(colon + 1)).c_str());
+        entry = entry.substr(0, colon);
+      }
+      const auto at = entry.find('@');
+      if (at != std::string_view::npos) {
+        site.rank = std::atoi(std::string(entry.substr(at + 1)).c_str());
+        entry = entry.substr(0, at);
+      }
+      site.name = std::string(entry);
+      sites.push_back(std::move(site));
+      armed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+inline Registry& registry() {
+  static Registry reg;
+  return reg;
+}
+
+/// SPMD rank of the calling thread (set by comm::Team::run; 0 outside any
+/// team, which is what sequential drivers expect).
+inline int& thread_rank() {
+  thread_local int rank = 0;
+  return rank;
+}
+
+}  // namespace detail
+
+inline void set_thread_rank(int rank) { detail::thread_rank() = rank; }
+
+/// Arm `site` to fire `times` times per matching rank (-1: every hit) on
+/// `rank` (-1: every rank — the collective-consistent choice for SPMD code).
+/// `skip` lets the first `skip` matching checks on each rank pass unharmed,
+/// which places a failure deep inside a run (e.g. past the split() a test
+/// needs to succeed before the death it stages).
+inline void arm(std::string_view site, int rank = -1, int times = 1,
+                int skip = 0) {
+  auto& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  detail::Site s;
+  s.name = std::string(site);
+  s.rank = rank;
+  s.times = times;
+  s.skip = skip;
+  reg.sites.push_back(std::move(s));
+  reg.armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void disarm_all() {
+  auto& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.sites.clear();
+  reg.armed.store(0, std::memory_order_relaxed);
+}
+
+/// Total number of times `site` fired, summed over ranks.
+inline long fire_count(std::string_view site) {
+  auto& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  long total = 0;
+  for (const auto& s : reg.sites) {
+    if (s.name != site) continue;
+    for (const auto& [rank, hits] : s.hits) total += hits;
+  }
+  return total;
+}
+
+/// True (consuming one trigger) if `site` is armed for this thread's rank
+/// and has budget left. One relaxed atomic load when nothing is armed.
+inline bool fired(std::string_view site) {
+  auto& reg = detail::registry();
+  if (reg.armed.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const int me = detail::thread_rank();
+  for (auto& s : reg.sites) {
+    if (s.name != site) continue;
+    if (s.rank >= 0 && s.rank != me) continue;
+    if (s.skip > 0) {
+      auto [it, fresh] = s.to_skip.try_emplace(me, s.skip);
+      if (it->second > 0) {
+        --it->second;
+        continue;
+      }
+    }
+    if (s.times >= 0) {
+      auto [it, fresh] = s.remaining.try_emplace(me, s.times);
+      if (it->second == 0) continue;
+      --it->second;
+    }
+    ++s.hits[me];
+    return true;
+  }
+  return false;
+}
+
+/// Throw Injected if the site fires — for sites that simulate failures with
+/// no in-band return value (rank death).
+inline void check(std::string_view site) {
+  if (fired(site)) throw Injected(site);
+}
+
+/// RAII arming for tests: disarms everything on scope exit.
+class Scoped {
+ public:
+  Scoped(std::string_view site, int rank = -1, int times = 1, int skip = 0) {
+    arm(site, rank, times, skip);
+  }
+  ~Scoped() { disarm_all(); }
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+};
+
+}  // namespace chase::fault

@@ -168,6 +168,7 @@ ChaseResult<T> solve(HOp& h, const ChaseConfig& cfg,
   std::vector<R> resid(std::size_t(ne), R(1));
   std::vector<int> degs(std::size_t(ne), round_up_even(cfg.initial_degree));
   Index locked = 0;
+  int nan_recoveries = 0;  // bounded per solve; see the filter guard below
 
   for (int iter = 1; iter <= cfg.max_iterations; ++iter) {
     IterationStats stats;
@@ -216,27 +217,66 @@ ChaseResult<T> solve(HOp& h, const ChaseConfig& cfg,
         act_degs, center, half, mu_1);
     result.matvecs += stats.matvecs;
 
-    // Filter divergence guard: if b_sup underestimated the spectrum the
-    // recurrence blows up; detect it by consensus and stop cleanly. (C is
-    // identical across grid columns, so a column-communicator reduction
-    // yields the same verdict on every rank.)
+    // Filter divergence guard, by consensus so every rank takes the same
+    // branch (C is identical across grid columns and the column-communicator
+    // reduction covers the row distribution). Two distinct failure shapes:
+    //  * every active column is non-finite — the recurrence itself blew up,
+    //    i.e. b_sup underestimated the spectrum; no amount of re-randomizing
+    //    can fix a wrong damping interval, so stop cleanly;
+    //  * some columns are corrupt (a flipped bit, a transport corruption, an
+    //    injected filter.nan) — re-randomize exactly those columns and rerun
+    //    the iteration, bounded per solve so persistent corruption still
+    //    terminates.
     {
       perf::RegionScope guard_scope(perf::Region::kFilter);
-      R finite = R(1);
-      for (Index j = locked; j < ne && finite > R(0); ++j) {
+      std::vector<R> col_ok(std::size_t(act), R(1));
+      for (Index j = 0; j < act; ++j) {
         for (Index i = 0; i < mloc; ++i) {
-          const R mag = abs_value(c(i, j));
+          const R mag = abs_value(c(i, locked + j));
           if (!std::isfinite(mag) || mag > R(1e140)) {
-            finite = R(0);
+            col_ok[std::size_t(j)] = R(0);
             break;
           }
         }
       }
-      grid.col_comm().all_reduce(&finite, 1, comm::Reduction::kMin);
-      if (finite == R(0)) {
+      grid.col_comm().all_reduce(col_ok.data(), act, comm::Reduction::kMin);
+      const Index bad = act - Index(std::count(col_ok.begin(), col_ok.end(),
+                                               R(1)));
+      if (bad == act) {
         CHASE_LOG_INFO("filter diverged (b_sup too small?); aborting solve");
         result.iterations = iter;
         break;
+      }
+      if (bad > 0) {
+        if (nan_recoveries >= 3) {
+          CHASE_LOG_INFO(
+              "filter output corrupt after repeated re-randomization; "
+              "aborting solve");
+          result.iterations = iter;
+          break;
+        }
+        // Replace the corrupt columns with fresh deterministic random
+        // vectors (a salted stream so retries never reuse a seed) and rerun
+        // the iteration; the healthy columns keep their filtered state and
+        // the next QR re-orthogonalizes everything.
+        for (Index j = 0; j < act; ++j) {
+          if (col_ok[std::size_t(j)] == R(1)) continue;
+          const auto stream = std::uint64_t(500000 + nan_recoveries * ne +
+                                            (locked + j));
+          for (const auto& run : rmap.runs(grid.my_row())) {
+            for (Index k = 0; k < run.length; ++k) {
+              c(run.local_begin + k, locked + j) =
+                  lanczos_entry<T>(cfg.seed, stream, run.global_begin + k);
+            }
+          }
+          resid[std::size_t(locked + j)] = R(1);
+        }
+        ++nan_recoveries;
+        perf::bump_counter("filter.nan_recovery", double(bad));
+        CHASE_LOG_INFO("filter produced non-finite columns; re-randomized");
+        result.stats.push_back(stats);
+        result.iterations = iter;
+        continue;
       }
     }
 
@@ -254,7 +294,9 @@ ChaseResult<T> solve(HOp& h, const ChaseConfig& cfg,
     auto qr_report =
         qr::caqr_1d(c.view(), rmap, grid.col_comm(), stats.est_cond, cfg.qr);
     stats.qr_variant = qr_report.selected;
+    stats.qr_used = qr_report.used;
     stats.qr_fallback = qr_report.hhqr_fallback;
+    stats.qr_potrf_failures = qr_report.potrf_failures;
     if (locked > 0) {
       la::copy(c2.block(0, 0, mloc, locked).as_const(),
                c.block(0, 0, mloc, locked));

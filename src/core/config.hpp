@@ -62,8 +62,10 @@ struct IterationStats {
   int locked_after = 0;
   long matvecs = 0;           // MatVec count of this iteration's filter
   double est_cond = 0;        // Algorithm 5 estimate for the filtered block
-  qr::QrVariant qr_variant = qr::QrVariant::kCholQr2;
+  qr::QrVariant qr_variant = qr::QrVariant::kCholQr2;  // heuristic pick
+  qr::QrVariant qr_used = qr::QrVariant::kCholQr2;     // ladder outcome
   bool qr_fallback = false;
+  int qr_potrf_failures = 0;  // POTRF breakdowns escalated this iteration
   double min_residual = 0;
   double max_residual = 0;
   /// Filter degrees of the active columns (ascending). Used by the strong-

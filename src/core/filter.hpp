@@ -17,9 +17,11 @@
 #pragma once
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/faultinject.hpp"
 #include "dist/dist_matrix.hpp"
 #include "perf/tracker.hpp"
 
@@ -41,17 +43,18 @@ long chebyshev_filter(HOp& h, la::MatrixView<T> c,
   using R = RealType<T>;
   perf::RegionScope scope(perf::Region::kFilter);
   const la::Index nact = c.cols();
-  CHASE_ABORT_IF(la::Index(degs.size()) != nact, "filter: degree count");
+  CHASE_CHECK_MSG(la::Index(degs.size()) == nact, "filter: degree count");
   if (nact == 0) return 0;
-  CHASE_ABORT_IF(!std::is_sorted(degs.begin(), degs.end()),
-                 "filter: degrees must be sorted ascending");
+  CHASE_CHECK_MSG(std::is_sorted(degs.begin(), degs.end()),
+                  "filter: degrees must be sorted ascending");
   for (int d : degs) {
-    CHASE_ABORT_IF(d < 2 || d % 2 != 0, "filter: degrees must be even, >= 2");
+    CHASE_CHECK_MSG(d >= 2 && d % 2 == 0,
+                    "filter: degrees must be even, >= 2");
   }
   const int max_deg = degs.back();
   const R e = half_width;
-  CHASE_ABORT_IF(!(e > R(0)), "filter: empty damping interval");
-  CHASE_ABORT_IF(mu_1 >= center, "filter: mu_1 must lie below the interval");
+  CHASE_CHECK_MSG(e > R(0), "filter: empty damping interval");
+  CHASE_CHECK_MSG(mu_1 < center, "filter: mu_1 must lie below the interval");
 
   // Shift the local diagonal once: every recurrence step applies (H - c I).
   h.shift_diagonal(-center);
@@ -89,6 +92,14 @@ long chebyshev_filter(HOp& h, la::MatrixView<T> c,
   }
 
   h.shift_diagonal(center);
+
+  // filter.nan fault: corrupt one entry of the filtered output. Arm with
+  // rank -1 so every replica of C is corrupted identically (C is replicated
+  // across grid columns) and the solver's consensus guard sees one corrupt
+  // column, not diverged replicas.
+  if (c.rows() > 0 && fault::fired("filter.nan")) {
+    c(0, 0) = T(std::numeric_limits<R>::quiet_NaN());
+  }
   return matvecs;
 }
 

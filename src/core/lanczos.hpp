@@ -82,39 +82,65 @@ LanczosQuadrature<RealType<T>> lanczos_quadrature(
   R mu_1 = std::numeric_limits<R>::infinity();
 
   for (int run = 0; run < nvec; ++run) {
-    // Random normalized start vector.
-    for (const auto& r : rmap.runs(grid.my_row())) {
-      for (la::Index k = 0; k < r.length; ++k) {
-        v(r.local_begin + k, 0) =
-            lanczos_entry<T>(seed, std::uint64_t(run), r.global_begin + k);
-      }
-    }
-    R nrm = std::sqrt(real_part(global_dotc(v, v)));
-    la::scal(mloc, T(R(1) / nrm), v.data());
-    v_prev.set_zero();
-
+    // Non-finite recurrence coefficients (an Inf/NaN in H, or corruption in
+    // transit) would silently poison the DoS estimate and hence every bound
+    // derived from it. Since alpha/beta come out of allreduces they are
+    // identical on all ranks, so every rank restarts the run with the same
+    // salted random stream; persistent breakdown means H itself contains
+    // non-finite entries and is reported as an error.
     std::vector<R> alpha, beta;
-    for (int j = 0; j < steps; ++j) {
-      // w = H v (apply once: C -> B, then pure redistribution back to C).
-      h.apply_c2b(T(1), v.cview(), T(0), wb.view());
-      dist::redistribute_b2c<T>(grid, rmap, cmap, wb.cview(), w.view());
-      if (j > 0) {
-        la::axpy(mloc, T(-beta.back()), v_prev.data(), w.data());
+    bool run_ok = false;
+    for (int attempt = 0; attempt < 3 && !run_ok; ++attempt) {
+      const auto stream = std::uint64_t(run) + std::uint64_t(attempt) * 100003;
+      // Random normalized start vector.
+      for (const auto& r : rmap.runs(grid.my_row())) {
+        for (la::Index k = 0; k < r.length; ++k) {
+          v(r.local_begin + k, 0) =
+              lanczos_entry<T>(seed, stream, r.global_begin + k);
+        }
       }
-      const R a = real_part(global_dotc(v, w));
-      alpha.push_back(a);
-      la::axpy(mloc, T(-a), v.data(), w.data());
-      const R b = std::sqrt(real_part(global_dotc(w, w)));
-      if (j + 1 < steps) {
-        beta.push_back(b);
-        if (b == R(0)) break;  // invariant subspace found
-        std::swap(v_prev, v);
-        la::copy(w.cview(), v.view());
-        la::scal(mloc, T(R(1) / b), v.data());
-      } else {
-        beta.push_back(b);  // trailing beta: residual of the last step
+      R nrm = std::sqrt(real_part(global_dotc(v, v)));
+      la::scal(mloc, T(R(1) / nrm), v.data());
+      v_prev.set_zero();
+
+      alpha.clear();
+      beta.clear();
+      bool finite = std::isfinite(nrm) && nrm > R(0);
+      for (int j = 0; finite && j < steps; ++j) {
+        // w = H v (apply once: C -> B, then pure redistribution back to C).
+        h.apply_c2b(T(1), v.cview(), T(0), wb.view());
+        dist::redistribute_b2c<T>(grid, rmap, cmap, wb.cview(), w.view());
+        if (j > 0) {
+          la::axpy(mloc, T(-beta.back()), v_prev.data(), w.data());
+        }
+        const R a = real_part(global_dotc(v, w));
+        if (!std::isfinite(a)) {
+          finite = false;
+          break;
+        }
+        alpha.push_back(a);
+        la::axpy(mloc, T(-a), v.data(), w.data());
+        const R b = std::sqrt(real_part(global_dotc(w, w)));
+        if (!std::isfinite(b)) {
+          finite = false;
+          break;
+        }
+        if (j + 1 < steps) {
+          beta.push_back(b);
+          if (b == R(0)) break;  // invariant subspace found
+          std::swap(v_prev, v);
+          la::copy(w.cview(), v.view());
+          la::scal(mloc, T(R(1) / b), v.data());
+        } else {
+          beta.push_back(b);  // trailing beta: residual of the last step
+        }
       }
+      run_ok = finite;
+      if (!run_ok) perf::bump_counter("lanczos.restart");
     }
+    CHASE_CHECK_MSG(run_ok,
+                    "lanczos: non-finite recurrence coefficients persist "
+                    "after re-randomized restarts (does H contain Inf/NaN?)");
 
     // Ritz values/weights of the tridiagonal (tiny, solved redundantly).
     const int m = int(alpha.size());

@@ -116,21 +116,23 @@ ChaseResult<T> solve_lms(HOp& h,
         act_degs, center, half, mu_1);
     result.matvecs += stats.matvecs;
 
-    // Same filter divergence guard as the new scheme (chase.hpp).
+    // Same per-column consensus guard as the new scheme (chase.hpp), but
+    // with the v1.2 semantics: any corrupt column aborts the solve (no
+    // re-randomization recovery in the legacy scheme).
     {
       perf::RegionScope guard_scope(perf::Region::kFilter);
-      R finite = R(1);
-      for (Index j = locked; j < ne && finite > R(0); ++j) {
+      std::vector<R> col_ok(std::size_t(act), R(1));
+      for (Index j = 0; j < act; ++j) {
         for (Index i = 0; i < mloc; ++i) {
-          const R mag = abs_value(c(i, j));
+          const R mag = abs_value(c(i, locked + j));
           if (!std::isfinite(mag) || mag > R(1e140)) {
-            finite = R(0);
+            col_ok[std::size_t(j)] = R(0);
             break;
           }
         }
       }
-      grid.col_comm().all_reduce(&finite, 1, comm::Reduction::kMin);
-      if (finite == R(0)) {
+      grid.col_comm().all_reduce(col_ok.data(), act, comm::Reduction::kMin);
+      if (std::count(col_ok.begin(), col_ok.end(), R(1)) != act) {
         CHASE_LOG_INFO("filter diverged (b_sup too small?); aborting solve");
         result.iterations = iter;
         break;

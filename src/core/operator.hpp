@@ -69,11 +69,11 @@ class MatrixFreeOperator {
                   la::MatrixView<T> y, const comm::Communicator& comm,
                   const dist::IndexMap& in_map, int in_part,
                   const dist::IndexMap& out_map, int out_part) {
-    CHASE_ABORT_IF(x.rows() != in_map.local_size(in_part),
-                   "matrix-free apply: input rows mismatch");
-    CHASE_ABORT_IF(y.rows() != out_map.local_size(out_part) ||
-                       y.cols() != x.cols(),
-                   "matrix-free apply: output shape mismatch");
+    CHASE_CHECK_MSG(x.rows() == in_map.local_size(in_part),
+                    "matrix-free apply: input rows mismatch");
+    CHASE_CHECK_MSG(y.rows() == out_map.local_size(out_part) &&
+                        y.cols() == x.cols(),
+                    "matrix-free apply: output shape mismatch");
     const la::Index n = global_size();
     const la::Index ncols = x.cols();
     if (full_.rows() != n || full_.cols() < ncols) {

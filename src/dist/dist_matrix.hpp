@@ -113,11 +113,11 @@ class DistHermitianMatrix {
                   la::MatrixView<T> y, const comm::Communicator& reduce_comm) {
     const Index ncols = x.cols();
     const Index out_rows = op == la::Op::kNoTrans ? local_.rows() : local_.cols();
-    CHASE_ABORT_IF(x.rows() !=
-                       (op == la::Op::kNoTrans ? local_.cols() : local_.rows()),
-                   "apply: input rows do not match the local H panel");
-    CHASE_ABORT_IF(y.rows() != out_rows || y.cols() != ncols,
-                   "apply: output shape mismatch");
+    CHASE_CHECK_MSG(
+        x.rows() == (op == la::Op::kNoTrans ? local_.cols() : local_.rows()),
+        "apply: input rows do not match the local H panel");
+    CHASE_CHECK_MSG(y.rows() == out_rows && y.cols() == ncols,
+                    "apply: output shape mismatch");
 
     // The workspace must have ld == out_rows so the allreduce sees one
     // contiguous payload; keep one exact-height workspace per direction.

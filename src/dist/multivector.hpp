@@ -53,10 +53,10 @@ void redistribute_rows(const comm::Communicator& comm, const IndexMap& src_map,
                        la::ConstMatrixView<T> src_local,
                        const IndexMap& dst_map, int dst_part,
                        la::MatrixView<T> dst_local) {
-  CHASE_ABORT_IF(src_local.cols() != dst_local.cols(),
-                 "redistribute: column count mismatch");
-  CHASE_ABORT_IF(src_map.parts() != comm.size(),
-                 "redistribute: src map does not match communicator");
+  CHASE_CHECK_MSG(src_local.cols() == dst_local.cols(),
+                  "redistribute: column count mismatch");
+  CHASE_CHECK_MSG(src_map.parts() == comm.size(),
+                  "redistribute: src map does not match communicator");
   const Index ncols = src_local.cols();
   if (ncols == 0) return;
 
@@ -134,10 +134,10 @@ void redistribute_b2c(const comm::Grid2d& grid, const IndexMap& row_map,
 template <typename T>
 void gather_rows(const comm::Communicator& comm, const IndexMap& map,
                  la::ConstMatrixView<T> local, la::MatrixView<T> full) {
-  CHASE_ABORT_IF(map.parts() != comm.size(), "gather: map/comm mismatch");
-  CHASE_ABORT_IF(full.rows() != map.global_size() ||
-                     full.cols() != local.cols(),
-                 "gather: output shape mismatch");
+  CHASE_CHECK_MSG(map.parts() == comm.size(), "gather: map/comm mismatch");
+  CHASE_CHECK_MSG(full.rows() == map.global_size() &&
+                      full.cols() == local.cols(),
+                  "gather: output shape mismatch");
   const Index ncols = local.cols();
   std::vector<T> buf;
   for (int part = 0; part < comm.size(); ++part) {
@@ -173,10 +173,10 @@ void gather_rows(const comm::Communicator& comm, const IndexMap& map,
 template <typename T>
 void scatter_rows(const IndexMap& map, int part, la::ConstMatrixView<T> full,
                   la::MatrixView<T> local) {
-  CHASE_ABORT_IF(full.rows() != map.global_size() ||
-                     full.cols() != local.cols() ||
-                     local.rows() != map.local_size(part),
-                 "scatter: shape mismatch");
+  CHASE_CHECK_MSG(full.rows() == map.global_size() &&
+                      full.cols() == local.cols() &&
+                      local.rows() == map.local_size(part),
+                  "scatter: shape mismatch");
   for (const auto& run : map.runs(part)) {
     for (Index j = 0; j < full.cols(); ++j) {
       const T* src = full.col(j) + run.global_begin;

@@ -34,6 +34,18 @@ struct ModelComm {
   void broadcast(std::size_t bytes, int nranks) {
     collective(CollKind::kBroadcast, bytes, nranks);
   }
+  /// `local_bytes` is one rank's contribution; the event records the total
+  /// gathered payload, and the STD staging is asymmetric (D2H the local
+  /// share, H2D the whole gathered buffer) — mirroring
+  /// Communicator::all_gather's accounting.
+  void all_gather(std::size_t local_bytes, int nranks) {
+    if (nranks <= 1) return;
+    const std::size_t total = std::size_t(nranks) * local_bytes;
+    if (backend == Backend::kStdGpu) t.record_memcpy(local_bytes, false);
+    t.begin_collective();
+    t.end_collective(CollKind::kAllGather, total, nranks);
+    if (backend == Backend::kStdGpu) t.record_memcpy(total, true);
+  }
 };
 
 struct Sizes {
@@ -208,8 +220,9 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
       if (ncols == 0) break;
       hemm_apply(s, sz, comm, t, ncols, /*c2b=*/step % 2 != 0);
     }
-    // Divergence-guard consensus (one tiny allreduce per iteration).
-    comm.all_reduce(std::size_t(s.real_bytes), s.nprow);
+    // Divergence-guard consensus: per-column finiteness flags (one real per
+    // active column) reduced over the column communicator each iteration.
+    comm.all_reduce(std::size_t(act) * std::size_t(s.real_bytes), s.nprow);
     t.set_region(prev);
   }
 
@@ -261,8 +274,7 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
                       4.0 * sz.z1 * double(s.nprow) * double(ne) *
                           double(ne) * double(ne));
           if (s.nprow > 1) {
-            comm.collective(CollKind::kAllGather,
-                            std::size_t(ne) * std::size_t(ne) *
+            comm.all_gather(std::size_t(ne) * std::size_t(ne) *
                                 std::size_t(s.scalar_bytes),
                             s.nprow);
           }

@@ -42,8 +42,9 @@ double MachineModel::mpi_broadcast_seconds(std::size_t bytes, int nranks) const 
 
 double MachineModel::mpi_allgather_seconds(std::size_t bytes, int nranks) const {
   if (nranks <= 1) return 0;
-  // Ring allgather: P-1 steps, each moving one rank's payload.
-  return (nranks - 1) * (mpi_latency + double(bytes) / mpi_bw);
+  // Ring allgather: P-1 steps, each moving one rank's share of the total
+  // gathered payload `bytes`.
+  return (nranks - 1) * (mpi_latency + double(bytes) / nranks / mpi_bw);
 }
 
 double MachineModel::nccl_allreduce_seconds(std::size_t bytes, int nranks) const {
@@ -60,7 +61,10 @@ double MachineModel::nccl_broadcast_seconds(std::size_t bytes, int nranks) const
 
 double MachineModel::nccl_allgather_seconds(std::size_t bytes, int nranks) const {
   if (nranks <= 1) return 0;
-  const double traffic = double(nranks - 1) * double(bytes);
+  // `bytes` is the total gathered payload; each rank receives all but its
+  // own 1/P share over the ring.
+  const double traffic =
+      double(nranks - 1) / double(nranks) * double(bytes);
   return (nranks - 1) * nccl_latency + traffic / nccl_bw(nranks);
 }
 

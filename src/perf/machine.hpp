@@ -50,7 +50,8 @@ struct MachineModel {
   /// Binomial-tree MPI broadcast.
   double mpi_broadcast_seconds(std::size_t bytes, int nranks) const;
 
-  /// Ring allgather (per-rank payload `bytes`).
+  /// Ring allgather (`bytes` is the *total* gathered payload, matching the
+  /// Tracker's CollectiveEvent convention for kAllGather).
   double mpi_allgather_seconds(std::size_t bytes, int nranks) const;
 
   /// NCCL ring allreduce: 2 (P-1)/P * bytes of traffic per rank.
@@ -59,7 +60,7 @@ struct MachineModel {
   /// NCCL ring broadcast.
   double nccl_broadcast_seconds(std::size_t bytes, int nranks) const;
 
-  /// NCCL ring allgather.
+  /// NCCL ring allgather (`bytes` is the total gathered payload).
   double nccl_allgather_seconds(std::size_t bytes, int nranks) const;
 };
 

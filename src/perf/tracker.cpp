@@ -69,6 +69,20 @@ void Tracker::end_collective(CollKind kind, std::size_t bytes, int nranks) {
   colls_.push_back(CollectiveEvent{region_, kind, bytes, nranks});
 }
 
+void Tracker::bump(std::string_view name, double amount) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), amount);
+  } else {
+    it->second += amount;
+  }
+}
+
+double Tracker::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
 void Tracker::record_memcpy(std::size_t bytes, bool to_device) {
   auto& c = costs_[std::size_t(int(region_))];
   c.memcpy_count += 1;
@@ -98,6 +112,14 @@ void Tracker::merge_max_times(const Tracker& other) {
     }
     mine.mem_bytes = std::max(mine.mem_bytes, theirs.mem_bytes);
   }
+  for (const auto& [name, value] : other.counters_) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      counters_.emplace(name, value);
+    } else {
+      it->second = std::max(it->second, value);
+    }
+  }
   if (colls_.empty()) colls_ = other.colls_;
   if (copies_.empty()) copies_ = other.copies_;
 }
@@ -105,5 +127,9 @@ void Tracker::merge_max_times(const Tracker& other) {
 void set_thread_tracker(Tracker* t) { tls_tracker = t; }
 
 Tracker* thread_tracker() { return tls_tracker; }
+
+void bump_counter(std::string_view name, double amount) {
+  if (tls_tracker != nullptr) tls_tracker->bump(name, amount);
+}
 
 }  // namespace chase::perf

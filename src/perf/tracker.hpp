@@ -22,6 +22,8 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -52,7 +54,9 @@ inline constexpr int kCollKindCount = int(CollKind::kCount_);
 struct CollectiveEvent {
   Region region;
   CollKind kind;
-  std::size_t bytes;  // payload per rank
+  std::size_t bytes;  // total payload moved: per-rank buffer for
+                      // reduce/broadcast, the full gathered buffer for
+                      // allgather
   int nranks;         // communicator size
 };
 
@@ -99,6 +103,18 @@ class Tracker {
 
   void record_memcpy(std::size_t bytes, bool to_device);
 
+  /// Named event counters for rare, qualitative events the fixed cost
+  /// decomposition cannot express — recovery-ladder escalations
+  /// ("qr.potrf_breakdown", "qr.hhqr_fallback", "qr.variant.<name>"),
+  /// numerical-breakdown recoveries ("filter.nan_recovery",
+  /// "lanczos.restart"), and whatever future subsystems need observable.
+  void bump(std::string_view name, double amount = 1.0);
+  /// Value of a named counter; 0 if never bumped.
+  double counter(std::string_view name) const;
+  const std::map<std::string, double, std::less<>>& counters() const {
+    return counters_;
+  }
+
   /// Flush the running CPU timer into the current region.
   void flush();
 
@@ -120,6 +136,7 @@ class Tracker {
   std::array<RegionCosts, std::size_t(kRegionCount)> costs_{};
   std::vector<CollectiveEvent> colls_;
   std::vector<MemcpyEvent> copies_;
+  std::map<std::string, double, std::less<>> counters_;
   double last_cpu_ = 0;
   bool in_collective_ = false;
 };
@@ -128,6 +145,9 @@ class Tracker {
 /// a null tracker (no accounting requested).
 void set_thread_tracker(Tracker* t);
 Tracker* thread_tracker();
+
+/// Bump a named counter on the calling thread's tracker; no-op without one.
+void bump_counter(std::string_view name, double amount = 1.0);
 
 /// RAII region scope: sets the region on construction, restores on exit.
 class RegionScope {

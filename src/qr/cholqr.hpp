@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "comm/communicator.hpp"
+#include "common/faultinject.hpp"
 #include "la/gemm.hpp"
 #include "la/norms.hpp"
 #include "la/potrf.hpp"
@@ -61,6 +62,10 @@ int cholqr_step(MatrixView<T> x, const Communicator* comm) {
   if (comm != nullptr) {
     comm->all_reduce(gram.data(), n * n);
   }
+  // Simulated breakdown before the factorization: X is untouched (no trsm),
+  // exactly like a real POTRF failure, so the recovery ladder restarts from
+  // an intact X.
+  if (fault::fired("potrf.breakdown")) return int(n);
   // Near-breakdown pivots mean kappa(X) exceeded what CholeskyQR can handle;
   // report failure so Algorithm 4's fallback engages.
   const int info =
@@ -106,6 +111,7 @@ int shifted_cholqr_step(MatrixView<T> x, const Communicator* comm,
   const R shift =
       R(11) * (R(m_global) * R(n) + R(n) * R(n + 1)) * u * norm2;
   for (Index j = 0; j < n; ++j) gram(j, j) += T(shift);
+  if (fault::fired("potrf.breakdown")) return int(n);
   const int info = la::potrf_upper(gram.view());
   if (info != 0) return info;
   la::trsm_right_upper(gram.view().as_const(), x);

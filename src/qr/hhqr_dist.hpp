@@ -30,9 +30,9 @@ void hhqr_dist(la::MatrixView<T> x, const IndexMap& map,
   using R = RealType<T>;
   const Index n = x.cols();
   const Index m = map.global_size();
-  CHASE_ABORT_IF(m < n, "hhqr_dist expects a tall matrix");
-  CHASE_ABORT_IF(x.rows() != map.local_size(comm.rank()),
-                 "hhqr_dist: local rows do not match the map");
+  CHASE_CHECK_MSG(m >= n, "hhqr_dist expects a tall matrix");
+  CHASE_CHECK_MSG(x.rows() == map.local_size(comm.rank()),
+                  "hhqr_dist: local rows do not match the map");
   if (comm.size() == 1) {
     la::householder_orthonormalize(x);
     return;

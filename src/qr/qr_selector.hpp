@@ -6,6 +6,14 @@
 //                                        if even the shifted POTRF fails;
 //   est <  20                         -> a single CholeskyQR pass;
 //   otherwise                         -> CholeskyQR2.
+//
+// A runtime POTRF breakdown escalates the initial pick one rung at a time —
+// CholQR1/CholQR2 -> shifted CholQR2 -> HHQR — because a failed repetition
+// leaves X untouched (trsm is never applied on failure), so each rung
+// restarts from an intact X. Every escalation is observable: the report
+// records the rung that actually produced Q and the breakdown count, and the
+// thread tracker carries qr.potrf_breakdown / qr.hhqr_fallback /
+// qr.variant.<name> counters.
 #pragma once
 
 #include "dist/index_map.hpp"
@@ -41,7 +49,9 @@ inline std::string_view qr_variant_name(QrVariant v) {
 
 struct QrReport {
   QrVariant selected = QrVariant::kCholQr2;  // what the heuristic picked
+  QrVariant used = QrVariant::kCholQr2;      // the rung that produced Q
   bool hhqr_fallback = false;                // POTRF failed, reverted to HHQR
+  int potrf_failures = 0;                    // breakdowns along the ladder
 };
 
 struct QrOptions {
@@ -59,6 +69,21 @@ struct QrOptions {
 /// variant per Algorithm 4. `map`/`comm` describe the 1D row distribution
 /// (comm may be a self-communicator for the sequential build); `est_cond` is
 /// the Algorithm 5 estimate for the current iteration.
+namespace detail {
+
+inline void account_qr_report(const QrReport& report) {
+  if (auto* t = perf::thread_tracker()) {
+    t->bump(std::string("qr.variant.") +
+            std::string(qr_variant_name(report.used)));
+    if (report.potrf_failures > 0) {
+      t->bump("qr.potrf_breakdown", report.potrf_failures);
+    }
+    if (report.hhqr_fallback) t->bump("qr.hhqr_fallback");
+  }
+}
+
+}  // namespace detail
+
 template <typename T>
 QrReport caqr_1d(la::MatrixView<T> x, const dist::IndexMap& map,
                  const comm::Communicator& comm, double est_cond,
@@ -69,33 +94,60 @@ QrReport caqr_1d(la::MatrixView<T> x, const dist::IndexMap& map,
   const double shift_threshold = 1.0 / std::sqrt(double(unit_roundoff<T>()));
 
   if (opts.force_householder) {
-    report.selected = QrVariant::kHouseholder;
+    report.selected = report.used = QrVariant::kHouseholder;
     hhqr_dist(x, map, comm);
+    detail::account_qr_report(report);
     return report;
   }
   if (opts.force_tsqr) {
-    report.selected = QrVariant::kTsqr;
+    report.selected = report.used = QrVariant::kTsqr;
     tsqr(x, comm);
+    detail::account_qr_report(report);
     return report;
   }
 
   if (est_cond > shift_threshold) {
     report.selected = QrVariant::kShiftedCholQr2;
-    if (shifted_cholqr_step(x, reduce, map.global_size()) != 0 ||
-        cholqr(x, reduce, 2) != 0) {
-      // Corner-case safety net (Algorithm 4 line 9).
-      report.hhqr_fallback = true;
-      hhqr_dist(x, map, comm);
-    }
-    return report;
+  } else if (est_cond < opts.cholqr1_threshold) {
+    report.selected = QrVariant::kCholQr1;
+  } else {
+    report.selected = QrVariant::kCholQr2;
   }
 
-  const int reps = est_cond < opts.cholqr1_threshold ? 1 : 2;
-  report.selected = reps == 1 ? QrVariant::kCholQr1 : QrVariant::kCholQr2;
-  if (cholqr(x, reduce, reps) != 0) {
-    report.hhqr_fallback = true;
-    hhqr_dist(x, map, comm);
+  // Escalation ladder (Algorithm 4 line 9 generalized to every rung): a
+  // breakdown in a CholQR1/CholQR2 repetition escalates to the shifted
+  // variant — its first repetition factors the *same* Gram matrix, so
+  // retrying the unshifted rung could only fail again — and a breakdown in
+  // the shifted variant falls back to Householder QR, which cannot break.
+  QrVariant rung = report.selected;
+  for (;;) {
+    if (rung == QrVariant::kHouseholder) {
+      report.hhqr_fallback = true;
+      hhqr_dist(x, map, comm);
+      break;
+    }
+    int info = 0;
+    switch (rung) {
+      case QrVariant::kCholQr1:
+        info = cholqr(x, reduce, 1);
+        break;
+      case QrVariant::kCholQr2:
+        info = cholqr(x, reduce, 2);
+        break;
+      case QrVariant::kShiftedCholQr2:
+        info = shifted_cholqr_step(x, reduce, map.global_size());
+        if (info == 0) info = cholqr(x, reduce, 2);
+        break;
+      default:
+        break;
+    }
+    if (info == 0) break;
+    ++report.potrf_failures;
+    rung = rung == QrVariant::kShiftedCholQr2 ? QrVariant::kHouseholder
+                                              : QrVariant::kShiftedCholQr2;
   }
+  report.used = rung;
+  detail::account_qr_report(report);
   return report;
 }
 

@@ -1,0 +1,154 @@
+// The Algorithm 4 recovery ladder driven by the potrf.breakdown fault site:
+// escalation is deterministic, observable in QrReport and in perf::Tracker
+// counters, and ends at Householder QR, which cannot break.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/faultinject.hpp"
+#include "core/sequential.hpp"
+#include "dist/multivector.hpp"
+#include "gen/spectrum.hpp"
+#include "la/norms.hpp"
+#include "qr/qr_selector.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::qr {
+namespace {
+
+using chase::testing::random_matrix;
+using dist::IndexMap;
+using dist::scatter_rows;
+
+TEST(QrRecovery, SingleBreakdownEscalatesToShifted) {
+  // One injected POTRF failure: CholeskyQR2 breaks, the shifted rung factors
+  // the same (now shifted) Gram matrix and succeeds — no HHQR needed.
+  using T = double;
+  const Index m = 80, n = 6;
+  auto x = random_matrix<T>(m, n, 31);
+  fault::Scoped armed("potrf.breakdown", /*rank=*/-1, /*times=*/1);
+  std::vector<perf::Tracker> trackers(1);
+  comm::Team team(1);
+  team.run(
+      [&](comm::Communicator& comm) {
+        auto map = IndexMap::block(m, 1);
+        auto report = caqr_1d(x.view(), map, comm, /*est_cond=*/1e3);
+        EXPECT_EQ(report.selected, QrVariant::kCholQr2);
+        EXPECT_EQ(report.used, QrVariant::kShiftedCholQr2);
+        EXPECT_FALSE(report.hhqr_fallback);
+        EXPECT_EQ(report.potrf_failures, 1);
+      },
+      &trackers);
+  EXPECT_LE(la::orthogonality_error(x.cview()), 1e-12);
+  EXPECT_DOUBLE_EQ(trackers[0].counter("qr.potrf_breakdown"), 1.0);
+  EXPECT_DOUBLE_EQ(trackers[0].counter("qr.hhqr_fallback"), 0.0);
+  EXPECT_DOUBLE_EQ(trackers[0].counter("qr.variant.sCholQR2"), 1.0);
+}
+
+TEST(QrRecovery, PersistentBreakdownFallsBackToHouseholder) {
+  // times=-1: every POTRF attempt fails, walking the whole ladder
+  // CholQR2 -> shifted CholQR2 -> HHQR.
+  using T = std::complex<double>;
+  const Index m = 80, n = 6;
+  auto x = random_matrix<T>(m, n, 32);
+  fault::Scoped armed("potrf.breakdown", /*rank=*/-1, /*times=*/-1);
+  std::vector<perf::Tracker> trackers(1);
+  comm::Team team(1);
+  team.run(
+      [&](comm::Communicator& comm) {
+        auto map = IndexMap::block(m, 1);
+        auto report = caqr_1d(x.view(), map, comm, /*est_cond=*/1e3);
+        EXPECT_EQ(report.selected, QrVariant::kCholQr2);
+        EXPECT_EQ(report.used, QrVariant::kHouseholder);
+        EXPECT_TRUE(report.hhqr_fallback);
+        EXPECT_EQ(report.potrf_failures, 2);
+      },
+      &trackers);
+  EXPECT_LE(la::orthogonality_error(x.cview()), 1e-12);
+  EXPECT_DOUBLE_EQ(trackers[0].counter("qr.potrf_breakdown"), 2.0);
+  EXPECT_DOUBLE_EQ(trackers[0].counter("qr.hhqr_fallback"), 1.0);
+  EXPECT_DOUBLE_EQ(trackers[0].counter("qr.variant.HHQR"), 1.0);
+}
+
+TEST(QrRecovery, DistributedLadderStaysOrthonormal) {
+  // rank=-1 arming fires identically on every rank, so the 4-rank ladder
+  // walks the same rungs everywhere and the distributed HHQR result is a
+  // global orthonormal basis.
+  using T = double;
+  const Index m = 96, n = 5;
+  const int p = 4;
+  auto x = random_matrix<T>(m, n, 33);
+  fault::Scoped armed("potrf.breakdown", /*rank=*/-1, /*times=*/-1);
+  std::vector<perf::Tracker> trackers(4);
+  comm::Team team(p);
+  team.run(
+      [&](comm::Communicator& comm) {
+        auto map = IndexMap::block(m, p);
+        Matrix<T> local(map.local_size(comm.rank()), n);
+        scatter_rows(map, comm.rank(), x.cview(), local.view());
+        auto report = caqr_1d(local.view(), map, comm, /*est_cond=*/1e3);
+        EXPECT_TRUE(report.hhqr_fallback);
+        EXPECT_EQ(report.used, QrVariant::kHouseholder);
+        Matrix<T> full(m, n);
+        dist::gather_rows(comm, map, local.cview(), full.view());
+        EXPECT_LE(la::orthogonality_error(full.cview()), 1e-12);
+      },
+      &trackers);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_DOUBLE_EQ(trackers[std::size_t(r)].counter("qr.hhqr_fallback"), 1.0)
+        << "rank " << r;
+  }
+}
+
+TEST(QrRecovery, SolverCompletesViaHhqrFallbackUnderPersistentBreakdown) {
+  // The acceptance scenario: with POTRF permanently broken the full solver
+  // must still converge (via HHQR every iteration) to residual-accurate
+  // eigenpairs, and the fallback must be visible in the tracker counters.
+  using T = double;
+  const Index n = 100;
+  auto h = gen::hermitian_with_spectrum<T>(
+      gen::uniform_spectrum<double>(n, -2.0, 6.0), 35);
+  core::ChaseConfig cfg;
+  cfg.nev = 8;
+  cfg.nex = 6;
+  cfg.tol = 1e-9;
+
+  fault::Scoped armed("potrf.breakdown", /*rank=*/-1, /*times=*/-1);
+  perf::Tracker tracker;
+  perf::set_thread_tracker(&tracker);
+  auto r = core::solve_sequential<T>(h.cview(), cfg);
+  perf::set_thread_tracker(nullptr);
+
+  ASSERT_TRUE(r.converged);
+  for (const auto& s : r.stats) {
+    EXPECT_TRUE(s.qr_fallback);
+    EXPECT_EQ(s.qr_used, QrVariant::kHouseholder);
+    // 1 breakdown when the estimate already picked the shifted rung, 2 when
+    // the ladder started from CholQR2.
+    EXPECT_GE(s.qr_potrf_failures, 1);
+  }
+  EXPECT_DOUBLE_EQ(tracker.counter("qr.hhqr_fallback"), double(r.iterations));
+  EXPECT_DOUBLE_EQ(tracker.counter("qr.variant.HHQR"), double(r.iterations));
+  EXPECT_GE(tracker.counter("qr.potrf_breakdown"), 1.0);
+
+  // Residuals: ||H v - lambda v|| <= 10*tol * ||H||_est, the standard bound
+  // the clean solver is held to.
+  la::Matrix<T> hv(n, cfg.nev);
+  la::gemm(T(1), h.cview(), r.eigenvectors.cview(), T(0), hv.view());
+  const double scale =
+      std::max(std::abs(r.bounds.b_sup), std::abs(r.bounds.mu_1));
+  for (Index j = 0; j < cfg.nev; ++j) {
+    double acc = 0;
+    for (Index i = 0; i < n; ++i) {
+      const T d =
+          hv(i, j) - T(r.eigenvalues[std::size_t(j)]) * r.eigenvectors(i, j);
+      acc += real_part(conjugate(d) * d);
+    }
+    EXPECT_LE(std::sqrt(acc) / scale, cfg.tol * 10) << "pair " << j;
+  }
+  EXPECT_LE(la::orthogonality_error(r.eigenvectors.cview()), 1e-10);
+}
+
+}  // namespace
+}  // namespace chase::qr
