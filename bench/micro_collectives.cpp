@@ -1,14 +1,68 @@
-// Ablation: collective cost models across communicator sizes and payloads.
+// Ablation: collective cost models, plus a wall-clock sweep of the src/coll
+// algorithmic engine.
 //
-// Prints the modeled MPI-tree vs NCCL-ring costs that drive Figures 2/3:
-// the power-of-two dips of the tree allreduce, the staging penalty of the
-// STD path, and where NCCL's ring overtakes host-staged MPI. (This is a
-// model study, not a wall-clock benchmark: the in-process transport of the
-// SPMD runtime has no wire to measure.)
+// Part 1 prints the modeled MPI-tree vs NCCL-ring costs that drive Figures
+// 2/3: the power-of-two dips of the tree allreduce, the staging penalty of
+// the STD path, and where NCCL's ring overtakes host-staged MPI (a model
+// study — the in-process transport has no wire).
+//
+// Part 2 *measures* the in-process engine: allreduce wall time per
+// CHASE_COLL_ALGO policy x team size x payload x chunk size, emitted to
+// results/bench_collectives.json so the algorithm crossover points are
+// tracked across PRs. The channel algorithms move O(bytes) per rank versus
+// the naive path's O(P * bytes) reads + folds, which is the crossover the
+// auto policy's alpha-beta-gamma model predicts.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
 
+#include "coll/engine.hpp"
+#include "comm/communicator.hpp"
 #include "perf/cost_model.hpp"
 #include "perf/machine.hpp"
+
+namespace {
+
+using chase::comm::Communicator;
+using chase::comm::Team;
+using chase::la::Index;
+
+struct Point {
+  const char* collective;
+  std::string algo;   // policy + chunk, e.g. "ring/32KiB"
+  chase::coll::Algorithm policy;
+  std::size_t chunk_bytes;  // 0: irrelevant (naive)
+  int ranks;
+  std::size_t bytes;
+  double seconds_per_op;
+};
+
+double time_allreduce(int p, std::size_t bytes, int iters) {
+  const Index count = Index(bytes / sizeof(double));
+  double elapsed = 0;
+  Team team(p);
+  team.run([&](Communicator& comm) {
+    std::vector<double> x(std::size_t(count), double(comm.rank() + 1));
+    comm.all_reduce(x.data(), count);  // warmup
+    comm.barrier();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int it = 0; it < iters; ++it) {
+      comm.all_reduce(x.data(), count);
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      elapsed = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    }
+  });
+  return elapsed / iters;
+}
+
+}  // namespace
 
 int main() {
   using namespace chase::perf;
@@ -48,5 +102,93 @@ int main() {
                 m.mpi_broadcast_seconds(mid, p) * 1e3,
                 m.nccl_broadcast_seconds(mid, p) * 1e3);
   }
+
+  // ---- wall-clock sweep of the src/coll engine ----
+
+  std::printf("\nMeasured in-process allreduce (seconds/op) by "
+              "CHASE_COLL_ALGO policy:\n");
+  std::printf("%6s %12s %18s %14s\n", "ranks", "bytes", "algo/chunk",
+              "sec/op");
+
+  std::vector<Point> points;
+  const std::size_t sizes[] = {std::size_t(16) << 10, std::size_t(256) << 10,
+                               std::size_t(4) << 20};
+  const std::size_t chunks[] = {std::size_t(32) << 10, std::size_t(256) << 10};
+  for (const int p : {2, 4, 8}) {
+    for (const std::size_t bytes : sizes) {
+      const int iters =
+          int(std::clamp<std::size_t>((std::size_t(8) << 20) / bytes, 3, 24));
+      {
+        chase::coll::ScopedAlgorithm policy(chase::coll::Algorithm::kNaive);
+        points.push_back({"allreduce", "naive", chase::coll::Algorithm::kNaive,
+                          0, p, bytes, time_allreduce(p, bytes, iters)});
+      }
+      for (const auto policy_kind :
+           {chase::coll::Algorithm::kRing, chase::coll::Algorithm::kTree}) {
+        for (const std::size_t chunk : chunks) {
+          chase::coll::ScopedAlgorithm policy(policy_kind);
+          chase::coll::ScopedChunkBytes chunk_scope(chunk);
+          std::string label(chase::coll::algorithm_name(policy_kind));
+          label += "/" + std::to_string(chunk >> 10) + "KiB";
+          points.push_back({"allreduce", label, policy_kind, chunk, p, bytes,
+                            time_allreduce(p, bytes, iters)});
+        }
+      }
+      for (std::size_t i = points.size() - 5; i < points.size(); ++i) {
+        std::printf("%6d %12zu %18s %14.6f\n", points[i].ranks,
+                    points[i].bytes, points[i].algo.c_str(),
+                    points[i].seconds_per_op);
+      }
+    }
+  }
+
+  // JSON emission: every point, plus the per-(ranks, bytes) winner and its
+  // margin over naive — the acceptance signal tracked across PRs.
+  std::filesystem::create_directories("results");
+  std::FILE* f = std::fopen("results/bench_collectives.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open results/bench_collectives.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"collective\": \"allreduce\",\n  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    std::fprintf(f,
+                 "    {\"algo\": \"%s\", \"ranks\": %d, \"bytes\": %zu, "
+                 "\"chunk_bytes\": %zu, \"seconds_per_op\": %.9f}%s\n",
+                 pt.algo.c_str(), pt.ranks, pt.bytes, pt.chunk_bytes,
+                 pt.seconds_per_op, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"winners\": [\n");
+  bool first = true;
+  for (const int p : {2, 4, 8}) {
+    for (const std::size_t bytes : sizes) {
+      const Point* naive = nullptr;
+      const Point* best = nullptr;
+      for (const auto& pt : points) {
+        if (pt.ranks != p || pt.bytes != bytes) continue;
+        if (pt.policy == chase::coll::Algorithm::kNaive) {
+          naive = &pt;
+        } else if (best == nullptr ||
+                   pt.seconds_per_op < best->seconds_per_op) {
+          best = &pt;
+        }
+      }
+      if (naive == nullptr || best == nullptr) continue;
+      const double speedup = naive->seconds_per_op / best->seconds_per_op;
+      std::fprintf(f,
+                   "%s    {\"ranks\": %d, \"bytes\": %zu, \"best_algo\": "
+                   "\"%s\", \"naive_seconds\": %.9f, \"best_seconds\": %.9f, "
+                   "\"speedup_vs_naive\": %.3f}",
+                   first ? "" : ",\n", p, bytes, best->algo.c_str(),
+                   naive->seconds_per_op, best->seconds_per_op, speedup);
+      first = false;
+      std::printf("p=%d bytes=%zu: best=%s speedup %.2fx vs naive\n", p,
+                  bytes, best->algo.c_str(), speedup);
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote results/bench_collectives.json\n");
   return 0;
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Build the tsan preset and run the thread-per-rank comm and fault-tolerance
-# suites (ctest labels: comm, fault) under ThreadSanitizer. The in-process
-# SPMD runtime (comm::Team, the poisoned-barrier protocol, the fault
-# registry) is exactly the code a data race would corrupt silently, so these
+# Build the tsan preset and run the thread-per-rank comm, fault-tolerance
+# and collective-engine suites (ctest labels: comm, fault, coll) under
+# ThreadSanitizer. The in-process SPMD runtime (comm::Team, the
+# poisoned-barrier protocol, the fault registry) and the src/coll chunk
+# channels are exactly the code a data race would corrupt silently, so these
 # suites are the ones worth the ~10x tsan slowdown.
 set -euo pipefail
 cd "$(dirname "$0")/.."

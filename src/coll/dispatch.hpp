@@ -1,0 +1,216 @@
+// Dispatch glue: defines Communicator's collective member templates on top
+// of the src/coll engine. Included at the end of comm/communicator.hpp
+// (which owns the class definition and the naive publish-and-sync bodies);
+// everything here routes one call to either the naive reference or a chunk
+// channel algorithm, wrapped in the same perf accounting and fault-injection
+// hooks either way.
+#pragma once
+
+#ifndef CHASE_COMM_COMMUNICATOR_INCLUDED
+#error "coll/dispatch.hpp is glue for comm/communicator.hpp; include that"
+#endif
+
+#include <sstream>
+
+#include "coll/algorithms.hpp"
+#include "coll/engine.hpp"
+
+namespace chase::comm {
+
+namespace detail {
+
+inline Index coll_chunk_elems(std::size_t elem_size) {
+  return std::max<Index>(1, Index(coll::chunk_bytes() / elem_size));
+}
+
+}  // namespace detail
+
+template <typename T>
+void Communicator::all_reduce(T* data, Index count, Reduction op) const {
+  if (size() == 1) {
+    detail::corrupt_reduced(data, count);
+    return;
+  }
+  const std::size_t bytes = std::size_t(std::max<Index>(count, 0)) * sizeof(T);
+  const coll::Routine r =
+      coll::select(perf::CollKind::kAllReduce, bytes, size(), backend_);
+  if (r == coll::Routine::kNaive) {
+    naive_all_reduce(data, count, op);
+    return;
+  }
+  fault::check("rank.die");
+  account_begin();
+  const std::uint64_t seq = next_collective_seq();
+  if (count > 0) {
+    const Index ce = detail::coll_chunk_elems(sizeof(T));
+    if (r == coll::Routine::kRingAllReduce) {
+      coll::OrderedRingAllReduce<Communicator, T> alg(*this, data, count, op,
+                                                      ce, seq);
+      alg.wait();
+    } else {
+      coll::RabenseifnerAllReduce<Communicator, T> alg(*this, data, count, op,
+                                                       ce, seq);
+      alg.wait();
+    }
+  }
+  detail::corrupt_reduced(data, count);
+  account_end(perf::CollKind::kAllReduce, bytes, bytes);
+}
+
+template <typename T>
+void Communicator::broadcast(T* data, Index count, int root) const {
+  if (size() == 1) return;
+  CHASE_CHECK_MSG(root >= 0 && root < size(), "broadcast root out of range");
+  const std::size_t bytes = std::size_t(std::max<Index>(count, 0)) * sizeof(T);
+  const coll::Routine r =
+      coll::select(perf::CollKind::kBroadcast, bytes, size(), backend_);
+  if (r == coll::Routine::kNaive) {
+    naive_broadcast(data, count, root);
+    return;
+  }
+  fault::check("rank.die");
+  account_begin();
+  const std::uint64_t seq = next_collective_seq();
+  if (count > 0) {
+    coll::BinomialBroadcast<Communicator, T> alg(
+        *this, data, count, root, detail::coll_chunk_elems(sizeof(T)), seq);
+    alg.wait();
+  }
+  account_end(perf::CollKind::kBroadcast, bytes, bytes);
+}
+
+template <typename T>
+void Communicator::all_gather(const T* send, Index count, T* recv) const {
+  const std::size_t local_bytes = std::size_t(std::max<Index>(count, 0)) *
+                                  sizeof(T);
+  const std::size_t total_bytes = std::size_t(size()) * local_bytes;
+  const coll::Routine r =
+      coll::select(perf::CollKind::kAllGather, total_bytes, size(), backend_);
+  if (size() == 1 || r == coll::Routine::kNaive) {
+    naive_all_gather(send, count, recv);
+    return;
+  }
+  fault::check("rank.die");
+  account_begin();
+  const std::uint64_t seq = next_collective_seq();
+  if (count > 0) {
+    const Index ce = detail::coll_chunk_elems(sizeof(T));
+    if (r == coll::Routine::kBruckAllGather) {
+      coll::BruckAllGather<Communicator, T> alg(*this, send, recv, count, ce,
+                                                seq);
+      alg.wait();
+    } else {
+      std::vector<Index> counts(std::size_t(size()), count);
+      std::vector<Index> displs(counts.size());
+      for (int i = 0; i < size(); ++i) displs[std::size_t(i)] = Index(i) * count;
+      coll::RingAllGather<Communicator, T> alg(*this, send, recv,
+                                               std::move(counts),
+                                               std::move(displs), ce, seq);
+      alg.wait();
+    }
+  }
+  account_end(perf::CollKind::kAllGather, total_bytes, local_bytes);
+}
+
+template <typename T>
+void Communicator::all_gather_v(const T* send, Index count, T* recv,
+                                const std::vector<Index>& counts,
+                                const std::vector<Index>& displs) const {
+  CHASE_CHECK_MSG(int(counts.size()) == size() && int(displs.size()) == size(),
+                  "all_gather_v: counts/displs size mismatch");
+  CHASE_CHECK_MSG(counts[std::size_t(rank_)] == count,
+                  "all_gather_v: local count disagrees with counts[rank]");
+  validate_gather_layout(counts, displs);
+  const std::size_t local_bytes = std::size_t(std::max<Index>(count, 0)) *
+                                  sizeof(T);
+  std::size_t total_bytes = 0;
+  for (const Index c : counts) total_bytes += std::size_t(c) * sizeof(T);
+  const coll::Routine r =
+      coll::select(perf::CollKind::kAllGather, total_bytes, size(), backend_);
+  if (size() == 1 || r == coll::Routine::kNaive) {
+    naive_all_gather_v(send, count, recv, counts, displs);
+    return;
+  }
+  fault::check("rank.die");
+  account_begin();
+  const std::uint64_t seq = next_collective_seq();
+  // Bruck needs uniform blocks; the variable-count case rides the ring.
+  coll::RingAllGather<Communicator, T> alg(*this, send, recv, counts, displs,
+                                           detail::coll_chunk_elems(sizeof(T)),
+                                           seq);
+  alg.wait();
+  account_end(perf::CollKind::kAllGather, total_bytes, local_bytes);
+}
+
+template <typename T>
+coll::CollRequest Communicator::i_all_reduce(T* data, Index count,
+                                             Reduction op) const {
+  const std::size_t bytes = std::size_t(std::max<Index>(count, 0)) * sizeof(T);
+  const coll::Routine r =
+      size() == 1 || count <= 0
+          ? coll::Routine::kNaive
+          : coll::select(perf::CollKind::kAllReduce, bytes, size(), backend_);
+  if (r == coll::Routine::kNaive) {
+    // No channel algorithm to run asynchronously — complete eagerly (the
+    // naive path is one blocking publish-and-sync anyway).
+    all_reduce(data, count, op);
+    return {};
+  }
+  fault::check("rank.die");
+  const std::uint64_t seq = next_collective_seq();
+  const Index ce = detail::coll_chunk_elems(sizeof(T));
+  std::unique_ptr<coll::CollOp> alg;
+  if (r == coll::Routine::kRingAllReduce) {
+    alg = std::make_unique<coll::OrderedRingAllReduce<Communicator, T>>(
+        *this, data, count, op, ce, seq);
+  } else {
+    alg = std::make_unique<coll::RabenseifnerAllReduce<Communicator, T>>(
+        *this, data, count, op, ce, seq);
+  }
+  auto on_done = [this, data, count, bytes] {
+    detail::corrupt_reduced(data, count);
+    account_async(perf::CollKind::kAllReduce, bytes, bytes);
+  };
+  return coll::CollRequest(
+      std::make_unique<coll::WithCompletion<decltype(on_done)>>(
+          std::move(alg), std::move(on_done)));
+}
+
+template <typename T>
+coll::CollRequest Communicator::i_all_gather(const T* send, Index count,
+                                             T* recv) const {
+  const std::size_t local_bytes = std::size_t(std::max<Index>(count, 0)) *
+                                  sizeof(T);
+  const std::size_t total_bytes = std::size_t(size()) * local_bytes;
+  const coll::Routine r =
+      size() == 1 || count <= 0
+          ? coll::Routine::kNaive
+          : coll::select(perf::CollKind::kAllGather, total_bytes, size(),
+                         backend_);
+  if (r == coll::Routine::kNaive) {
+    all_gather(send, count, recv);
+    return {};
+  }
+  fault::check("rank.die");
+  const std::uint64_t seq = next_collective_seq();
+  const Index ce = detail::coll_chunk_elems(sizeof(T));
+  std::unique_ptr<coll::CollOp> alg;
+  if (r == coll::Routine::kBruckAllGather) {
+    alg = std::make_unique<coll::BruckAllGather<Communicator, T>>(
+        *this, send, recv, count, ce, seq);
+  } else {
+    std::vector<Index> counts(std::size_t(size()), count);
+    std::vector<Index> displs(counts.size());
+    for (int i = 0; i < size(); ++i) displs[std::size_t(i)] = Index(i) * count;
+    alg = std::make_unique<coll::RingAllGather<Communicator, T>>(
+        *this, send, recv, std::move(counts), std::move(displs), ce, seq);
+  }
+  auto on_done = [this, total_bytes, local_bytes] {
+    account_async(perf::CollKind::kAllGather, total_bytes, local_bytes);
+  };
+  return coll::CollRequest(
+      std::make_unique<coll::WithCompletion<decltype(on_done)>>(
+          std::move(alg), std::move(on_done)));
+}
+
+}  // namespace chase::comm

@@ -1,0 +1,190 @@
+#include "coll/engine.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <initializer_list>
+#include <limits>
+#include <string>
+
+#include "perf/cost_model.hpp"
+#include "perf/machine.hpp"
+
+// Build-time default policy, plumbed through the CMake cache variable
+// CHASE_DEFAULT_COLL_ALGO (CMakePresets.json).
+#ifndef CHASE_COLL_DEFAULT_ALGO
+#define CHASE_COLL_DEFAULT_ALGO "naive"
+#endif
+
+namespace chase::coll {
+
+namespace {
+
+constexpr std::size_t kDefaultChunkBytes = std::size_t(64) << 10;
+
+std::atomic<int>& algo_slot() {
+  static std::atomic<int> slot = [] {
+    Algorithm a = parse_algorithm(CHASE_COLL_DEFAULT_ALGO)
+                      .value_or(Algorithm::kNaive);
+    if (const char* env = std::getenv("CHASE_COLL_ALGO")) {
+      if (auto parsed = parse_algorithm(env)) a = *parsed;
+    }
+    return std::atomic<int>(int(a));
+  }();
+  return slot;
+}
+
+std::atomic<std::size_t>& chunk_slot() {
+  static std::atomic<std::size_t> slot = [] {
+    std::size_t bytes = kDefaultChunkBytes;
+    if (const char* env = std::getenv("CHASE_COLL_CHUNK_BYTES")) {
+      const long long parsed = std::atoll(env);
+      if (parsed > 0) bytes = std::size_t(parsed);
+    }
+    return std::atomic<std::size_t>(bytes);
+  }();
+  return slot;
+}
+
+perf::CollAlgo routine_algo(Routine r) {
+  switch (r) {
+    case Routine::kRingAllReduce:
+      return perf::CollAlgo::kRingAlgo;
+    case Routine::kRabenseifnerAllReduce:
+      return perf::CollAlgo::kRabenseifner;
+    case Routine::kRingAllGather:
+      return perf::CollAlgo::kRingAlgo;
+    case Routine::kBruckAllGather:
+      return perf::CollAlgo::kBruck;
+    case Routine::kBinomialBroadcast:
+      return perf::CollAlgo::kBinomial;
+    case Routine::kNaive:
+    default:
+      return perf::CollAlgo::kNaiveAlgo;
+  }
+}
+
+Routine cheapest(perf::CollKind kind, std::size_t bytes, int nranks,
+                 perf::Backend backend,
+                 std::initializer_list<Routine> candidates) {
+  static const perf::MachineModel model;
+  const std::size_t chunk = chunk_bytes();
+  Routine best = Routine::kNaive;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (Routine r : candidates) {
+    const double cost = perf::coll_algo_seconds(model, backend, kind,
+                                                routine_algo(r), bytes,
+                                                nranks, chunk);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = r;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string_view algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kRing:
+      return "ring";
+    case Algorithm::kTree:
+      return "tree";
+    case Algorithm::kAuto:
+      return "auto";
+    case Algorithm::kNaive:
+    default:
+      return "naive";
+  }
+}
+
+std::string_view routine_name(Routine r) {
+  switch (r) {
+    case Routine::kRingAllReduce:
+      return "ring_allreduce";
+    case Routine::kRabenseifnerAllReduce:
+      return "rabenseifner_allreduce";
+    case Routine::kRingAllGather:
+      return "ring_allgather";
+    case Routine::kBruckAllGather:
+      return "bruck_allgather";
+    case Routine::kBinomialBroadcast:
+      return "binomial_broadcast";
+    case Routine::kNaive:
+    default:
+      return "naive";
+  }
+}
+
+std::optional<Algorithm> parse_algorithm(std::string_view name) {
+  if (name == "naive") return Algorithm::kNaive;
+  if (name == "ring") return Algorithm::kRing;
+  if (name == "tree") return Algorithm::kTree;
+  if (name == "auto") return Algorithm::kAuto;
+  return std::nullopt;
+}
+
+Algorithm algorithm() {
+  return Algorithm(algo_slot().load(std::memory_order_relaxed));
+}
+
+void set_algorithm(Algorithm a) {
+  algo_slot().store(int(a), std::memory_order_relaxed);
+}
+
+std::size_t chunk_bytes() {
+  return chunk_slot().load(std::memory_order_relaxed);
+}
+
+void set_chunk_bytes(std::size_t bytes) {
+  chunk_slot().store(bytes == 0 ? 1 : bytes, std::memory_order_relaxed);
+}
+
+bool overlap_enabled() { return algorithm() == Algorithm::kAuto; }
+
+Routine select(perf::CollKind kind, std::size_t bytes, int nranks,
+               perf::Backend backend) {
+  if (nranks <= 1) return Routine::kNaive;
+  switch (algorithm()) {
+    case Algorithm::kNaive:
+      return Routine::kNaive;
+    case Algorithm::kRing:
+      switch (kind) {
+        case perf::CollKind::kAllReduce:
+          return Routine::kRingAllReduce;
+        case perf::CollKind::kAllGather:
+          return Routine::kRingAllGather;
+        case perf::CollKind::kBroadcast:
+        default:
+          return Routine::kBinomialBroadcast;
+      }
+    case Algorithm::kTree:
+      switch (kind) {
+        case perf::CollKind::kAllReduce:
+          return Routine::kRabenseifnerAllReduce;
+        case perf::CollKind::kAllGather:
+          return Routine::kBruckAllGather;
+        case perf::CollKind::kBroadcast:
+        default:
+          return Routine::kBinomialBroadcast;
+      }
+    case Algorithm::kAuto:
+    default:
+      switch (kind) {
+        case perf::CollKind::kAllReduce:
+          return cheapest(kind, bytes, nranks, backend,
+                          {Routine::kNaive, Routine::kRingAllReduce,
+                           Routine::kRabenseifnerAllReduce});
+        case perf::CollKind::kAllGather:
+          return cheapest(kind, bytes, nranks, backend,
+                          {Routine::kNaive, Routine::kRingAllGather,
+                           Routine::kBruckAllGather});
+        case perf::CollKind::kBroadcast:
+        default:
+          return cheapest(kind, bytes, nranks, backend,
+                          {Routine::kNaive, Routine::kBinomialBroadcast});
+      }
+  }
+}
+
+}  // namespace chase::coll

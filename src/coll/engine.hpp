@@ -1,0 +1,90 @@
+// Algorithm policy for the collective engine.
+//
+// Mirrors the paper's MPI -> NCCL switch: the naive publish-and-sync path
+// stands in for the single-shot MPI collective, while the chunked channel
+// algorithms (ring / Rabenseifner / bruck / binomial, src/coll) reproduce
+// the algorithmic side of NCCL. The policy is process-global:
+//
+//   CHASE_COLL_ALGO = naive | ring | tree | auto   (default: naive, or the
+//       CMake cache variable CHASE_DEFAULT_COLL_ALGO baked into the build)
+//   CHASE_COLL_CHUNK_BYTES = pipelining granularity (default 64 KiB)
+//
+// `auto` picks per call by minimizing the extended alpha-beta-gamma cost
+// model (perf::coll_algo_seconds) over the available routines — the
+// in-process analogue of NCCL's protocol/algorithm autotuner — and is also
+// the switch that arms the nonblocking overlap path in dist/core.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "perf/backend.hpp"
+#include "perf/tracker.hpp"
+
+namespace chase::coll {
+
+enum class Algorithm : int { kNaive = 0, kRing, kTree, kAuto };
+
+/// Concrete routine the dispatcher runs for one call.
+enum class Routine : int {
+  kNaive = 0,
+  kRingAllReduce,
+  kRabenseifnerAllReduce,
+  kRingAllGather,
+  kBruckAllGather,
+  kBinomialBroadcast,
+};
+
+std::string_view algorithm_name(Algorithm a);
+std::string_view routine_name(Routine r);
+std::optional<Algorithm> parse_algorithm(std::string_view name);
+
+/// Process-global policy; initialized from CHASE_COLL_ALGO (falling back to
+/// the build-time default) on first use.
+Algorithm algorithm();
+void set_algorithm(Algorithm a);
+
+/// Pipelining granularity in bytes (>= 1); from CHASE_COLL_CHUNK_BYTES.
+std::size_t chunk_bytes();
+void set_chunk_bytes(std::size_t bytes);
+
+/// True when the nonblocking overlap pipeline (dist_matrix::apply_impl
+/// splitting the HEMM into column blocks and overlapping block k+1's compute
+/// with block k's reduction) should run: policy auto.
+bool overlap_enabled();
+
+/// Pick the routine for one collective call. `bytes` follows the Tracker
+/// convention (per-rank payload for reduce/broadcast, total gathered buffer
+/// for allgather).
+Routine select(perf::CollKind kind, std::size_t bytes, int nranks,
+               perf::Backend backend);
+
+/// RAII policy override for tests and benches.
+class ScopedAlgorithm {
+ public:
+  explicit ScopedAlgorithm(Algorithm a) : prev_(algorithm()) {
+    set_algorithm(a);
+  }
+  ~ScopedAlgorithm() { set_algorithm(prev_); }
+  ScopedAlgorithm(const ScopedAlgorithm&) = delete;
+  ScopedAlgorithm& operator=(const ScopedAlgorithm&) = delete;
+
+ private:
+  Algorithm prev_;
+};
+
+class ScopedChunkBytes {
+ public:
+  explicit ScopedChunkBytes(std::size_t bytes) : prev_(chunk_bytes()) {
+    set_chunk_bytes(bytes);
+  }
+  ~ScopedChunkBytes() { set_chunk_bytes(prev_); }
+  ScopedChunkBytes(const ScopedChunkBytes&) = delete;
+  ScopedChunkBytes& operator=(const ScopedChunkBytes&) = delete;
+
+ private:
+  std::size_t prev_;
+};
+
+}  // namespace chase::coll

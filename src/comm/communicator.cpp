@@ -39,11 +39,22 @@ CommState::CommState(int sz, std::shared_ptr<ErrorState> es)
     : size(sz),
       errors(es ? std::move(es) : std::make_shared<ErrorState>()),
       slots(std::size_t(sz)),
+      coll_seq(std::size_t(sz), 0),
       split_requests(std::size_t(sz)) {
   errors->register_waiter(&bar_cv);
+  mailboxes.reserve(std::size_t(sz));
+  for (int r = 0; r < sz; ++r) {
+    mailboxes.push_back(std::make_unique<Mailbox>(sz));
+    // Chunk waiters must wake eagerly when the team poisons, exactly like
+    // barrier waiters.
+    errors->register_waiter(&mailboxes.back()->cv);
+  }
 }
 
-CommState::~CommState() { errors->unregister_waiter(&bar_cv); }
+CommState::~CommState() {
+  for (const auto& mb : mailboxes) errors->unregister_waiter(&mb->cv);
+  errors->unregister_waiter(&bar_cv);
+}
 
 void CommState::barrier_wait(int rank) {
   std::unique_lock<std::mutex> lock(bar_mutex);
@@ -118,6 +129,136 @@ void Communicator::publish_and_sync(const void* ptr, std::size_t bytes,
   }
 }
 
+void Communicator::send_chunk(int dst, std::uint64_t tag, const void* data,
+                              std::size_t bytes) const {
+  CHASE_CHECK_MSG(state_ != nullptr && dst >= 0 && dst < size() && dst != rank_,
+                  "send_chunk: bad destination");
+  auto& st = *state_;
+  if (st.errors->poisoned()) st.errors->raise();
+  if (fault::fired("p2p.stall")) {
+    // Simulated network stall: park the sender for up to two watchdog
+    // periods so a waiting receiver's p2p.watchdog fires first; once the
+    // team poisons, die like any other waiter.
+    const auto give_up = std::chrono::steady_clock::now() + 2 * barrier_timeout();
+    while (std::chrono::steady_clock::now() < give_up) {
+      if (st.errors->poisoned()) st.errors->raise();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  detail::Chunk chunk;
+  chunk.tag = tag;
+  const auto* p = static_cast<const unsigned char*>(data);
+  chunk.bytes.assign(p, p + bytes);
+  if (!chunk.bytes.empty() && fault::fired("p2p.corrupt")) {
+    // All-ones leading bytes: a NaN pattern for floating payloads, the kind
+    // of silent bit-flip the downstream non-finite guards must survive.
+    std::fill_n(chunk.bytes.data(), std::min<std::size_t>(8, bytes),
+                static_cast<unsigned char>(0xFF));
+  }
+  auto& box = *st.mailboxes[std::size_t(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.from[std::size_t(rank_)].push_back(std::move(chunk));
+    ++box.arrivals;
+  }
+  box.cv.notify_all();
+}
+
+bool Communicator::try_recv_chunk(int src, std::uint64_t tag, void* data,
+                                  std::size_t bytes) const {
+  CHASE_CHECK_MSG(state_ != nullptr && src >= 0 && src < size() && src != rank_,
+                  "try_recv_chunk: bad source");
+  auto& box = *state_->mailboxes[std::size_t(rank_)];
+  detail::Chunk got;
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    auto& q = box.from[std::size_t(src)];
+    const auto it = std::find_if(q.begin(), q.end(), [tag](const auto& c) {
+      return c.tag == tag;
+    });
+    if (it == q.end()) return false;
+    got = std::move(*it);
+    q.erase(it);
+  }
+  if (got.bytes.size() != bytes) {
+    std::ostringstream os;
+    os << "chunk size mismatch from rank " << src << " (tag " << tag
+       << "): sent " << got.bytes.size() << " bytes, expected " << bytes;
+    raise_error("p2p.mismatch", os.str());
+  }
+  std::copy(got.bytes.begin(), got.bytes.end(),
+            static_cast<unsigned char*>(data));
+  return true;
+}
+
+void Communicator::recv_chunk(int src, std::uint64_t tag, void* data,
+                              std::size_t bytes) const {
+  std::uint64_t seen = inbox_arrivals();
+  while (!try_recv_chunk(src, tag, data, bytes)) {
+    seen = wait_new_arrival(seen);
+  }
+}
+
+std::uint64_t Communicator::inbox_arrivals() const {
+  auto& box = *state_->mailboxes[std::size_t(rank_)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  return box.arrivals;
+}
+
+std::uint64_t Communicator::wait_new_arrival(std::uint64_t seen) const {
+  auto& st = *state_;
+  auto& box = *st.mailboxes[std::size_t(rank_)];
+  const auto deadline = std::chrono::steady_clock::now() + barrier_timeout();
+  std::unique_lock<std::mutex> lock(box.mutex);
+  while (box.arrivals == seen) {
+    if (st.errors->poisoned()) st.errors->raise();
+    // Poll-bounded wait, same rationale as barrier_wait: a poison
+    // notification between the check and the wait must not be lost forever.
+    box.cv.wait_for(lock, std::chrono::milliseconds(50));
+    if (box.arrivals != seen) break;
+    if (st.errors->poisoned()) st.errors->raise();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::ostringstream os;
+      os << "no chunk arrived within " << barrier_timeout().count()
+         << " ms (a peer of the collective likely died or stalled)";
+      lock.unlock();
+      st.errors->record(RankError{rank_, "p2p.watchdog", os.str()});
+      st.errors->raise();
+    }
+  }
+  return box.arrivals;
+}
+
+std::uint64_t Communicator::next_collective_seq() const {
+  return ++state_->coll_seq[std::size_t(rank_)];
+}
+
+void Communicator::validate_gather_layout(
+    const std::vector<Index>& counts, const std::vector<Index>& displs) const {
+  std::vector<std::pair<Index, int>> spans;  // (displ, rank), counts > 0
+  for (int r = 0; r < size(); ++r) {
+    const Index c = counts[std::size_t(r)];
+    CHASE_CHECK_MSG(c >= 0, "all_gather_v: negative count");
+    if (c == 0) continue;  // zero-count ranks own no receive range
+    CHASE_CHECK_MSG(displs[std::size_t(r)] >= 0,
+                    "all_gather_v: negative displacement");
+    spans.emplace_back(displs[std::size_t(r)], r);
+  }
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    const int a = spans[i - 1].second;
+    const int b = spans[i].second;
+    if (spans[i - 1].first + counts[std::size_t(a)] > spans[i].first) {
+      std::ostringstream os;
+      os << "receive ranges overlap: rank " << a << " [" << spans[i - 1].first
+         << ", " << spans[i - 1].first + counts[std::size_t(a)] << ") vs rank "
+         << b << " [" << spans[i].first << ", "
+         << spans[i].first + counts[std::size_t(b)] << ")";
+      raise_error("allgatherv.overlap", os.str());
+    }
+  }
+}
+
 void Communicator::account_begin() const {
   if (auto* t = perf::thread_tracker()) t->begin_collective();
 }
@@ -134,6 +275,19 @@ void Communicator::account_end(perf::CollKind kind, std::size_t bytes,
     t->record_memcpy(local_bytes, /*to_device=*/false);
   }
   t->end_collective(kind, bytes, size());
+  if (backend_ == Backend::kStdGpu) {
+    t->record_memcpy(bytes, /*to_device=*/true);
+  }
+}
+
+void Communicator::account_async(perf::CollKind kind, std::size_t bytes,
+                                 std::size_t local_bytes) const {
+  auto* t = perf::thread_tracker();
+  if (t == nullptr) return;
+  if (backend_ == Backend::kStdGpu) {
+    t->record_memcpy(local_bytes, /*to_device=*/false);
+  }
+  t->record_collective(kind, bytes, size());
   if (backend_ == Backend::kStdGpu) {
     t->record_memcpy(bytes, /*to_device=*/true);
   }

@@ -7,6 +7,16 @@
 // written exactly as the MPI/NCCL code of the paper would be; the only
 // difference is that the transport is shared memory.
 //
+// Two transports back the collectives:
+//  - the naive publish-and-sync path (one barrier-bracketed shared-memory
+//    copy), standing in for a single-shot MPI collective;
+//  - the algorithmic engine of src/coll (ring / Rabenseifner / bruck /
+//    binomial over chunked point-to-point channels, see chunk_channel.hpp),
+//    standing in for NCCL's pipelined algorithms. The CHASE_COLL_ALGO policy
+//    (coll/engine.hpp) picks per call; every algorithm is bitwise-identical
+//    to the naive reference. Nonblocking i_all_reduce / i_all_gather return
+//    a coll::CollRequest so callers can overlap communication with compute.
+//
 // The Backend tag reproduces the paper's three communication variants:
 //  - kHostMpi: buffers live on the host, plain MPI collectives
 //    (the CPU build of ChASE);
@@ -22,10 +32,14 @@
 // "poisoned barrier" — when one rank records a RankError, all siblings
 // unblock at their next barrier arrival and raise TeamAborted instead of
 // waiting forever, and barrier waits carry a watchdog timeout that detects
-// ranks dying outside any collective. Team::run rethrows the originating
-// rank's error after join, so an invariant violation inside an SPMD region
-// may now simply throw (see check.hpp) instead of aborting the process.
+// ranks dying outside any collective. The chunk channels follow the same
+// protocol (blocking receives watch the poison flag and diagnose a missing
+// sender as "p2p.watchdog"). Team::run rethrows the originating rank's
+// error after join, so an invariant violation inside an SPMD region may now
+// simply throw (see check.hpp) instead of aborting the process.
 #pragma once
+
+#define CHASE_COMM_COMMUNICATOR_INCLUDED 1
 
 #include <algorithm>
 #include <condition_variable>
@@ -41,7 +55,10 @@
 #include <utility>
 #include <vector>
 
+#include "coll/request.hpp"
+#include "comm/chunk_channel.hpp"
 #include "comm/rank_error.hpp"
+#include "comm/reduction.hpp"
 #include "common/check.hpp"
 #include "common/faultinject.hpp"
 #include "common/scalar.hpp"
@@ -55,12 +72,11 @@ using la::Index;
 using perf::Backend;
 using perf::backend_name;
 
-enum class Reduction { kSum, kMax, kMin };
-
 namespace detail {
 
-/// Shared state of one communicator: a poisonable barrier plus per-rank
-/// publication slots used by the collectives. All CommStates of one team
+/// Shared state of one communicator: a poisonable barrier, per-rank
+/// publication slots used by the naive collectives, and per-rank chunk
+/// mailboxes used by the src/coll algorithms. All CommStates of one team
 /// (world + split children) share the team's ErrorState.
 struct CommState {
   CommState(int size, std::shared_ptr<ErrorState> errors);
@@ -89,6 +105,13 @@ struct CommState {
     int tag = 0;  // collective kind + dtype, for SPMD-mismatch detection
   };
   std::vector<Slot> slots;
+
+  // Point-to-point transport of the src/coll algorithms: one inbox per rank
+  // (unique_ptr — Mailbox owns a mutex/cv and must not move), plus a
+  // per-rank sequence counter that keeps chunk tags of consecutive
+  // collectives distinct (channels are not drained between collectives).
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::vector<std::uint64_t> coll_seq;
 
   // split() coordination. Children are keyed by (generation, color): the
   // generation is bumped once per collective split() call, so a later
@@ -119,7 +142,8 @@ class Communicator {
 
   /// In-place elementwise reduction; every rank ends with the identical
   /// result, accumulated in rank order (deterministic, like a fixed-topology
-  /// MPI_Allreduce).
+  /// MPI_Allreduce). Dispatches on the CHASE_COLL_ALGO policy; every
+  /// algorithm reproduces the naive rank-ordered result bitwise.
   template <typename T>
   void all_reduce(T* data, Index count, Reduction op = Reduction::kSum) const;
 
@@ -132,21 +156,87 @@ class Communicator {
   template <typename T>
   void all_gather(const T* send, Index count, T* recv) const;
 
-  /// Variable-count allgather with explicit receive offsets.
+  /// Variable-count allgather with explicit receive offsets. Zero-count
+  /// ranks contribute (and copy) nothing; overlapping receive ranges poison
+  /// the team with an "allgatherv.overlap" RankError.
   template <typename T>
   void all_gather_v(const T* send, Index count, T* recv,
                     const std::vector<Index>& counts,
                     const std::vector<Index>& displs) const;
 
+  /// Nonblocking allreduce: returns immediately with a CollRequest; the
+  /// reduction completes during test()/wait() calls (poll-driven progress
+  /// over the chunk channels — there is no progress thread). Under the
+  /// naive policy (or trivial teams/payloads) it completes eagerly.
+  template <typename T>
+  coll::CollRequest i_all_reduce(T* data, Index count,
+                                 Reduction op = Reduction::kSum) const;
+
+  /// Nonblocking equal-count allgather; same contract as i_all_reduce.
+  template <typename T>
+  coll::CollRequest i_all_gather(const T* send, Index count, T* recv) const;
+
   /// Collective: partitions ranks by color; ranks sharing a color form a new
   /// communicator ordered by (key, old rank). Every rank must call.
   Communicator split(int color, int key) const;
+
+  // ---- point-to-point chunk channels (the primitive under src/coll) ----
+
+  /// Deliver `bytes` of `data` to rank `dst`'s inbox under `tag`. Never
+  /// blocks (unbounded queues). Fault hooks: p2p.corrupt flips the leading
+  /// bytes of the payload in flight, p2p.stall parks the sender until the
+  /// team poisons or ~2 watchdog periods elapse.
+  void send_chunk(int dst, std::uint64_t tag, const void* data,
+                  std::size_t bytes) const;
+
+  /// Nonblocking receive: if a chunk from `src` tagged `tag` is in my inbox
+  /// (matched anywhere in the per-source FIFO, so pipelined chunks may
+  /// arrive out of order), copy it into `data` and return true. A matching
+  /// chunk whose size differs from `bytes` poisons the team.
+  bool try_recv_chunk(int src, std::uint64_t tag, void* data,
+                      std::size_t bytes) const;
+
+  /// Blocking receive with the poisoned-error/watchdog protocol: diagnoses a
+  /// sender that never delivers as "p2p.watchdog" after barrier_timeout().
+  void recv_chunk(int src, std::uint64_t tag, void* data,
+                  std::size_t bytes) const;
+
+  /// Monotone count of chunks ever delivered to my inbox.
+  std::uint64_t inbox_arrivals() const;
+
+  /// Block until the arrival count differs from `seen` (poison-aware,
+  /// watchdog-diagnosed); returns the current count.
+  std::uint64_t wait_new_arrival(std::uint64_t seen) const;
+
+  /// Next per-rank collective sequence number (tag namespace of one
+  /// collective call). Every rank of a communicator must consume these in
+  /// lockstep — the dispatch layer draws one per collective.
+  std::uint64_t next_collective_seq() const;
 
  private:
   friend class Team;
   Communicator(std::shared_ptr<detail::CommState> state, int rank,
                Backend backend)
       : state_(std::move(state)), rank_(rank), backend_(backend) {}
+
+  // Naive publish-and-sync reference implementations (the deterministic
+  // baseline every src/coll algorithm must match bitwise).
+  template <typename T>
+  void naive_all_reduce(T* data, Index count, Reduction op) const;
+  template <typename T>
+  void naive_broadcast(T* data, Index count, int root) const;
+  template <typename T>
+  void naive_all_gather(const T* send, Index count, T* recv) const;
+  template <typename T>
+  void naive_all_gather_v(const T* send, Index count, T* recv,
+                          const std::vector<Index>& counts,
+                          const std::vector<Index>& displs) const;
+
+  /// Shared all_gather_v validation: rejects negative counts/displs and
+  /// overlapping receive ranges (diagnosed as a RankError, not silent
+  /// corruption).
+  void validate_gather_layout(const std::vector<Index>& counts,
+                              const std::vector<Index>& displs) const;
 
   void publish_and_sync(const void* ptr, std::size_t bytes, int tag) const;
   const void* peer_ptr(int r) const { return state_->slots[std::size_t(r)].ptr; }
@@ -160,6 +250,12 @@ class Communicator {
   void account_begin() const;
   void account_end(perf::CollKind kind, std::size_t bytes,
                    std::size_t local_bytes) const;
+  /// Completion-time accounting for nonblocking collectives: records the
+  /// CollectiveEvent (and STD staging copies) without the begin/end CPU-time
+  /// bracket — overlapped progress time deliberately stays in the compute
+  /// bucket.
+  void account_async(perf::CollKind kind, std::size_t bytes,
+                     std::size_t local_bytes) const;
 
   std::shared_ptr<detail::CommState> state_;
   int rank_ = 0;
@@ -225,29 +321,6 @@ class Grid2d {
 
 namespace detail {
 
-template <typename T>
-void reduce_assign(Reduction op, T& acc, const T& x) {
-  switch (op) {
-    case Reduction::kSum:
-      acc += x;
-      break;
-    case Reduction::kMax:
-      if constexpr (kIsComplex<T>) {
-        CHASE_CHECK_MSG(false, "max reduction on complex type");
-      } else {
-        acc = std::max(acc, x);
-      }
-      break;
-    case Reduction::kMin:
-      if constexpr (kIsComplex<T>) {
-        CHASE_CHECK_MSG(false, "min reduction on complex type");
-      } else {
-        acc = std::min(acc, x);
-      }
-      break;
-  }
-}
-
 /// The allreduce.corrupt fault: overwrite one reduced element with the most
 /// damaging representable value (NaN where available). Armed with rank -1
 /// every rank corrupts its own copy identically, keeping SPMD state
@@ -269,11 +342,7 @@ void corrupt_reduced(T* data, Index count) {
 }  // namespace detail
 
 template <typename T>
-void Communicator::all_reduce(T* data, Index count, Reduction op) const {
-  if (size() == 1) {
-    detail::corrupt_reduced(data, count);
-    return;
-  }
+void Communicator::naive_all_reduce(T* data, Index count, Reduction op) const {
   account_begin();
   const std::size_t bytes = std::size_t(count) * sizeof(T);
   publish_and_sync(data, bytes, 100 + int(op));
@@ -292,9 +361,7 @@ void Communicator::all_reduce(T* data, Index count, Reduction op) const {
 }
 
 template <typename T>
-void Communicator::broadcast(T* data, Index count, int root) const {
-  if (size() == 1) return;
-  CHASE_CHECK_MSG(root >= 0 && root < size(), "broadcast root out of range");
+void Communicator::naive_broadcast(T* data, Index count, int root) const {
   account_begin();
   const std::size_t bytes = std::size_t(count) * sizeof(T);
   publish_and_sync(data, bytes, 200 + root);
@@ -306,7 +373,7 @@ void Communicator::broadcast(T* data, Index count, int root) const {
 }
 
 template <typename T>
-void Communicator::all_gather(const T* send, Index count, T* recv) const {
+void Communicator::naive_all_gather(const T* send, Index count, T* recv) const {
   account_begin();
   const std::size_t local_bytes = std::size_t(count) * sizeof(T);
   // The gathered payload every rank ends up holding — what the Figure 2/3
@@ -327,22 +394,21 @@ void Communicator::all_gather(const T* send, Index count, T* recv) const {
 }
 
 template <typename T>
-void Communicator::all_gather_v(const T* send, Index count, T* recv,
-                                const std::vector<Index>& counts,
-                                const std::vector<Index>& displs) const {
-  CHASE_CHECK_MSG(int(counts.size()) == size() && int(displs.size()) == size(),
-                  "all_gather_v: counts/displs size mismatch");
-  CHASE_CHECK_MSG(counts[std::size_t(rank_)] == count,
-                  "all_gather_v: local count disagrees with counts[rank]");
+void Communicator::naive_all_gather_v(const T* send, Index count, T* recv,
+                                      const std::vector<Index>& counts,
+                                      const std::vector<Index>& displs) const {
   account_begin();
   const std::size_t local_bytes = std::size_t(count) * sizeof(T);
   std::size_t total_bytes = 0;
   for (const Index c : counts) total_bytes += std::size_t(c) * sizeof(T);
   if (size() == 1) {
-    std::copy_n(send, count, recv + displs[0]);
+    if (count > 0) std::copy_n(send, count, recv + displs[0]);
   } else {
-    publish_and_sync(send, local_bytes, 400);
+    // A zero-count rank publishes no buffer (its `send` may legitimately be
+    // null) and nobody copies from it.
+    publish_and_sync(count > 0 ? send : nullptr, local_bytes, 400);
     for (int r = 0; r < size(); ++r) {
+      if (counts[std::size_t(r)] == 0) continue;
       std::copy_n(static_cast<const T*>(peer_ptr(r)), counts[std::size_t(r)],
                   recv + displs[std::size_t(r)]);
     }
@@ -352,3 +418,8 @@ void Communicator::all_gather_v(const T* send, Index count, T* recv,
 }
 
 }  // namespace chase::comm
+
+// The public collective templates (declared above) dispatch between the
+// naive bodies and the src/coll algorithms; the glue lives in coll/ so this
+// header stays the single entry point.
+#include "coll/dispatch.hpp"  // IWYU pragma: keep

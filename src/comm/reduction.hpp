@@ -1,0 +1,46 @@
+// Elementwise reduction operators shared by the naive publish-and-sync
+// collectives (comm/communicator.hpp) and the algorithmic engine (src/coll).
+//
+// Every collective in this codebase promises a *deterministic* reduction
+// order — contributions are folded in rank order 0..P-1 — so the algorithmic
+// paths can be validated bitwise against the naive reference. reduce_assign
+// is the single accumulation primitive both share.
+#pragma once
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/scalar.hpp"
+
+namespace chase::comm {
+
+enum class Reduction { kSum, kMax, kMin };
+
+namespace detail {
+
+template <typename T>
+void reduce_assign(Reduction op, T& acc, const T& x) {
+  switch (op) {
+    case Reduction::kSum:
+      acc += x;
+      break;
+    case Reduction::kMax:
+      if constexpr (kIsComplex<T>) {
+        CHASE_CHECK_MSG(false, "max reduction on complex type");
+      } else {
+        acc = std::max(acc, x);
+      }
+      break;
+    case Reduction::kMin:
+      if constexpr (kIsComplex<T>) {
+        CHASE_CHECK_MSG(false, "min reduction on complex type");
+      } else {
+        acc = std::min(acc, x);
+      }
+      break;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace chase::comm

@@ -16,7 +16,16 @@
 //                       (src/comm/communicator.hpp);
 //   rank.die          — the next collective the armed rank enters throws
 //                       fault::Injected, simulating a rank dying mid-run
-//                       (src/comm/communicator.cpp).
+//                       (src/comm/communicator.cpp);
+//   p2p.corrupt       — the next chunk the armed rank sends over the
+//                       point-to-point channels has its leading bytes
+//                       overwritten with 0xFF (a NaN pattern for floating
+//                       payloads), modelling transport corruption on the
+//                       src/coll path (Communicator::send_chunk);
+//   p2p.stall         — the armed rank's next chunk send parks for ~2
+//                       watchdog periods, so a receiving sibling diagnoses
+//                       "p2p.watchdog" and poisons the team
+//                       (Communicator::send_chunk).
 //
 // Sites are armed programmatically (arm / disarm_all) or through the
 // environment:

@@ -14,6 +14,14 @@
 // needs re-distribution (Section 2.2). Per-vector degrees are supported by
 // sorting the active columns by degree ascending and shrinking the processed
 // column range as degrees complete.
+//
+// Communication/compute overlap (the v1.4 scheme): under
+// CHASE_COLL_ALGO=auto every apply_c2b/apply_b2c below splits its HEMM into
+// column blocks and overlaps the nonblocking allreduce of block k with the
+// multiply of block k+1 (dist_matrix.hpp apply_impl, i_all_reduce of
+// src/coll). The result is bitwise-identical to the blocking path, so the
+// filter needs no changes — the per-apply "coll.overlap.blocks" counter
+// records how often the pipeline engaged.
 #pragma once
 
 #include <algorithm>

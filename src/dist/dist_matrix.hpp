@@ -17,6 +17,8 @@
 // in the C layout).
 #pragma once
 
+#include "coll/engine.hpp"
+#include "coll/request.hpp"
 #include "comm/communicator.hpp"
 #include "dist/index_map.hpp"
 #include "la/gemm.hpp"
@@ -126,24 +128,66 @@ class DistHermitianMatrix {
       ws.resize(out_rows, std::max(ws.cols(), ncols));
     }
     auto partial = ws.block(0, 0, out_rows, ncols);
-    la::gemm(alpha, op, local_.view().as_const(), la::Op::kNoTrans, x, T(0),
-             partial);
-    if (auto* t = perf::thread_tracker()) {
-      const double mul = kIsComplex<T> ? 8.0 : 2.0;
-      t->add_flops(perf::FlopClass::kGemm,
-                   mul * double(local_.rows()) * double(local_.cols()) *
-                       double(ncols));
-    }
-    reduce_comm.all_reduce(partial.data(), /*count=*/out_rows * ncols);
-    for (Index j = 0; j < ncols; ++j) {
-      T* yj = y.col(j);
-      const T* pj = partial.col(j);
-      if (beta == T(0)) {
-        for (Index i = 0; i < out_rows; ++i) yj[i] = pj[i];
-      } else {
-        for (Index i = 0; i < out_rows; ++i) yj[i] = pj[i] + beta * yj[i];
+    const double flop_mul =
+        (kIsComplex<T> ? 8.0 : 2.0) * double(local_.rows()) *
+        double(local_.cols());
+    const auto write_back = [&](Index j0, Index bn) {
+      for (Index j = j0; j < j0 + bn; ++j) {
+        T* yj = y.col(j);
+        const T* pj = partial.col(j);
+        if (beta == T(0)) {
+          for (Index i = 0; i < out_rows; ++i) yj[i] = pj[i];
+        } else {
+          for (Index i = 0; i < out_rows; ++i) yj[i] = pj[i] + beta * yj[i];
+        }
       }
+    };
+
+    // Overlap pipeline (v1.4 scheme, armed by CHASE_COLL_ALGO=auto): split
+    // the HEMM into column blocks and run block k's allreduce while block
+    // k+1 multiplies. Bitwise-safe: the gemm computes each output column
+    // with a fixed k-loop order regardless of how columns are grouped, and
+    // per-column reductions are independent.
+    const Index nblk =
+        coll::overlap_enabled() && reduce_comm.size() > 1 && ncols > 1
+            ? std::min<Index>(ncols, 4)
+            : 1;
+    if (nblk <= 1) {
+      la::gemm(alpha, op, local_.view().as_const(), la::Op::kNoTrans, x, T(0),
+               partial);
+      if (auto* t = perf::thread_tracker()) {
+        t->add_flops(perf::FlopClass::kGemm, flop_mul * double(ncols));
+      }
+      reduce_comm.all_reduce(partial.data(), /*count=*/out_rows * ncols);
+      write_back(0, ncols);
+      return;
     }
+    const Index bcols = (ncols + nblk - 1) / nblk;
+    coll::CollRequest pending;
+    Index pj0 = 0;
+    Index pbn = 0;
+    for (Index j0 = 0; j0 < ncols; j0 += bcols) {
+      const Index bn = std::min(bcols, ncols - j0);
+      auto pblk = ws.block(0, j0, out_rows, bn);
+      la::gemm(alpha, op, local_.view().as_const(), la::Op::kNoTrans,
+               x.block(0, j0, x.rows(), bn), T(0), pblk);
+      if (auto* t = perf::thread_tracker()) {
+        t->add_flops(perf::FlopClass::kGemm, flop_mul * double(bn));
+      }
+      auto req =
+          reduce_comm.i_all_reduce(pblk.data(), /*count=*/out_rows * bn);
+      if (pbn > 0) {
+        pending.wait();
+        write_back(pj0, pbn);
+      }
+      pending = std::move(req);
+      pj0 = j0;
+      pbn = bn;
+    }
+    pending.wait();
+    write_back(pj0, pbn);
+    perf::bump_counter("coll.overlap.blocks",
+                       double((ncols + bcols - 1) / bcols));
   }
 
   const comm::Grid2d* grid_;

@@ -1,5 +1,8 @@
 #include "perf/cost_model.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace chase::perf {
 
 CostBreakdown sum_costs(const KernelCosts& costs) {
@@ -22,6 +25,59 @@ double price_collective(const MachineModel& m, Backend backend, CollKind kind,
     default:
       return nccl ? m.nccl_allgather_seconds(bytes, nranks)
                   : m.mpi_allgather_seconds(bytes, nranks);
+  }
+}
+
+double coll_algo_seconds(const MachineModel& m, Backend backend, CollKind kind,
+                         CollAlgo algo, std::size_t bytes, int nranks,
+                         std::size_t chunk_bytes) {
+  if (nranks <= 1) return 0;
+  const double N = double(bytes);
+  const double P = double(nranks);
+  const bool nccl = backend == Backend::kNcclGpu;
+  const double L = nccl ? m.nccl_latency : m.mpi_latency;
+  const double B = nccl ? m.nccl_bw(nranks) : m.mpi_bw;
+  const double G = m.reduce_bw;
+  const double C =
+      std::max(1.0, std::min(N, double(std::max<std::size_t>(1, chunk_bytes))));
+  const double k = std::max(1.0, std::ceil(N / C));  // chunks in the pipeline
+  const double log2p = std::ceil(std::log2(P));
+  switch (algo) {
+    case CollAlgo::kNaiveAlgo:
+      // Publish-and-sync: two centralized barriers (~P latency each), every
+      // rank reads all P published buffers, and an allreduce additionally
+      // folds P-1 of them elementwise.
+      switch (kind) {
+        case CollKind::kAllReduce:
+          return 2 * P * L + P * N / B + (P - 1) * N / G;
+        case CollKind::kAllGather:
+        case CollKind::kBroadcast:
+        default:
+          return 2 * P * L + N / B;
+      }
+    case CollAlgo::kRingAlgo:
+      if (kind == CollKind::kAllReduce) {
+        // Ordered pipelined chain: a chunk traverses 2(P-1) hops (reduce
+        // down the chain, distribute around the ring); with k chunks in
+        // flight the pipeline drains in 2(P-1)+k-1 hop times. Each hop
+        // moves C bytes and on average folds C/2 of them.
+        return (2 * (P - 1) + k - 1) * (L + C / B + C / (2 * G));
+      }
+      // Ring allgather: P-1 steps, each forwarding one rank's share of the
+      // total gathered payload N.
+      return (P - 1) * (L + N / P / B);
+    case CollAlgo::kRabenseifner:
+      // Order-preserving reduce-scatter (pairwise exchange, P-1 latency
+      // steps) + allgather of the scattered segments: 2N(P-1)/P bytes and
+      // N(P-1)/P folded bytes per rank.
+      return 2 * (P - 1) * L + 2 * N * (P - 1) / P / B + N * (P - 1) / P / G;
+    case CollAlgo::kBruck:
+      // log2(P) doubling rounds moving N(P-1)/P total.
+      return log2p * L + N * (P - 1) / P / B;
+    case CollAlgo::kBinomial:
+    default:
+      // Chunk-pipelined binomial tree: depth ceil(log2 P), k chunks deep.
+      return (log2p + k - 1) * (L + C / B);
   }
 }
 

@@ -39,6 +39,25 @@ CostBreakdown sum_costs(const KernelCosts& costs);
 double price_collective(const MachineModel& m, Backend backend, CollKind kind,
                         std::size_t bytes, int nranks);
 
+/// Concrete collective algorithm of the src/coll engine, priced by the
+/// extended alpha-beta-gamma model below (alpha: per-step latency, beta:
+/// link bandwidth, gamma: elementwise-reduction rate).
+enum class CollAlgo : int {
+  kNaiveAlgo = 0,   // publish-and-sync: two barriers + every rank reads all
+  kRingAlgo,        // ordered pipelined chain (allreduce) / ring (allgather)
+  kRabenseifner,    // reduce-scatter + allgather, 2N(P-1)/P bytes per rank
+  kBruck,           // log-round allgather
+  kBinomial,        // binomial tree broadcast, chunk-pipelined
+};
+
+/// Seconds for one collective executed with `algo` and chunk-size
+/// `chunk_bytes` pipelining; `bytes` follows the Tracker convention
+/// (per-rank payload for reduce/broadcast, total gathered for allgather).
+/// This is the objective CHASE_COLL_ALGO=auto minimizes.
+double coll_algo_seconds(const MachineModel& m, Backend backend, CollKind kind,
+                         CollAlgo algo, std::size_t bytes, int nranks,
+                         std::size_t chunk_bytes);
+
 /// Modeled compute seconds for a RegionCosts record (flops by class plus
 /// memory-bound bytes).
 double price_compute(const MachineModel& m, const RegionCosts& c);

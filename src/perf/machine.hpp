@@ -29,6 +29,11 @@ struct MachineModel {
   double mpi_latency = 6e-6;  // per hop
   double mpi_bw = 21.0e9;     // bytes/s per link (HDR200 effective)
 
+  // --- in-node reduction rate (gamma term of the alpha-beta-gamma model) ---
+  // Elementwise combine of received chunks during an allreduce; effectively
+  // a streaming BLAS-1 kernel, so it runs well below gemm rates.
+  double reduce_bw = 0.4e12;  // bytes/s folded
+
   // --- NCCL collectives (ring over NVLink intra-node + IB inter-node) ---
   double nccl_latency = 18e-6;       // per step; NCCL has higher setup cost
   double nccl_bw_intra = 200.0e9;    // bytes/s, NVLink ring within one node

@@ -69,6 +69,13 @@ void Tracker::end_collective(CollKind kind, std::size_t bytes, int nranks) {
   colls_.push_back(CollectiveEvent{region_, kind, bytes, nranks});
 }
 
+void Tracker::record_collective(CollKind kind, std::size_t bytes, int nranks) {
+  auto& c = costs_[std::size_t(int(region_))];
+  c.coll_count += 1;
+  c.coll_bytes += bytes;
+  colls_.push_back(CollectiveEvent{region_, kind, bytes, nranks});
+}
+
 void Tracker::bump(std::string_view name, double amount) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {

@@ -101,6 +101,13 @@ class Tracker {
   void begin_collective();
   void end_collective(CollKind kind, std::size_t bytes, int nranks);
 
+  /// Record a CollectiveEvent without the begin/end CPU-time bracketing —
+  /// for nonblocking collectives, whose progress is interleaved with compute
+  /// and may overlap other outstanding requests (begin_collective forbids
+  /// nesting by design). Their CPU time stays in the compute bucket, which
+  /// is exactly the overlap the v1.4 pipeline is after.
+  void record_collective(CollKind kind, std::size_t bytes, int nranks);
+
   void record_memcpy(std::size_t bytes, bool to_device);
 
   /// Named event counters for rare, qualitative events the fixed cost

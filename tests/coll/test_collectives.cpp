@@ -1,0 +1,429 @@
+// Property suite for the src/coll algorithmic collective engine.
+//
+// The contract under test: every algorithm (ring / tree / auto policies over
+// the chunk channels) produces *bitwise identical* results to the naive
+// publish-and-sync reference, across team sizes, payload sizes (including 0
+// and non-chunk-aligned counts), real and complex scalars, and chunk sizes
+// small enough to force multi-chunk pipelines. Plus: nonblocking requests,
+// the all_gather_v edge cases, the p2p fault-injection sites, and a
+// tsan-targeted concurrent-teams stress test.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "coll/engine.hpp"
+#include "comm/communicator.hpp"
+#include "common/rng.hpp"
+#include "dist/dist_matrix.hpp"
+#include "perf/tracker.hpp"
+
+namespace chase {
+namespace {
+
+using comm::Communicator;
+using comm::Reduction;
+using comm::Team;
+using la::Index;
+
+constexpr int kTeamSizes[] = {1, 2, 3, 4, 5, 8};
+constexpr Index kCounts[] = {0, 1, 7, 64, 1023};
+constexpr coll::Algorithm kPolicies[] = {
+    coll::Algorithm::kNaive, coll::Algorithm::kRing, coll::Algorithm::kTree,
+    coll::Algorithm::kAuto};
+
+template <typename T>
+std::vector<T> rank_payload(int rank, Index count, std::uint64_t salt) {
+  Rng rng(salt, std::uint64_t(rank) + 1);
+  std::vector<T> out((std::size_t(count)));
+  for (auto& v : out) v = rng.gaussian<T>();
+  return out;
+}
+
+template <typename T>
+bool bitwise_equal(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+/// Sequential rank-ordered reference — the exact arithmetic the naive
+/// all_reduce performs, computed without any communicator.
+template <typename T>
+std::vector<T> reference_allreduce(int p, Index count, Reduction op,
+                                   std::uint64_t salt) {
+  std::vector<T> acc = rank_payload<T>(0, count, salt);
+  for (int r = 1; r < p; ++r) {
+    const std::vector<T> x = rank_payload<T>(r, count, salt);
+    for (Index i = 0; i < count; ++i) {
+      comm::detail::reduce_assign(op, acc[std::size_t(i)], x[std::size_t(i)]);
+    }
+  }
+  return acc;
+}
+
+template <typename T>
+void sweep_allreduce() {
+  for (const coll::Algorithm algo : kPolicies) {
+    coll::ScopedAlgorithm policy(algo);
+    // 48 bytes forces multi-chunk pipelines at the larger counts; the
+    // default exercises the single-chunk fast path.
+    for (const std::size_t chunk : {std::size_t(48), std::size_t(64) << 10}) {
+      coll::ScopedChunkBytes chunk_scope(chunk);
+      for (const int p : kTeamSizes) {
+        for (const Index count : kCounts) {
+          const std::uint64_t salt =
+              std::uint64_t(p) * 1000003u + std::uint64_t(count);
+          const std::vector<T> want =
+              reference_allreduce<T>(p, count, Reduction::kSum, salt);
+          std::vector<std::vector<T>> got((std::size_t(p)));
+          Team team(p);
+          team.run([&](Communicator& comm) {
+            std::vector<T> x = rank_payload<T>(comm.rank(), count, salt);
+            comm.all_reduce(x.data(), count);
+            got[std::size_t(comm.rank())] = std::move(x);
+          });
+          for (int r = 0; r < p; ++r) {
+            EXPECT_TRUE(bitwise_equal(got[std::size_t(r)], want))
+                << "allreduce algo=" << coll::algorithm_name(algo)
+                << " chunk=" << chunk << " p=" << p << " count=" << count
+                << " rank=" << r;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CollSweep, AllReduceBitwiseReal) { sweep_allreduce<double>(); }
+TEST(CollSweep, AllReduceBitwiseComplex) {
+  sweep_allreduce<std::complex<double>>();
+}
+
+TEST(CollSweep, AllReduceMaxMin) {
+  for (const coll::Algorithm algo : kPolicies) {
+    coll::ScopedAlgorithm policy(algo);
+    coll::ScopedChunkBytes chunk_scope(48);
+    for (const int p : {3, 8}) {
+      for (const Reduction op : {Reduction::kMax, Reduction::kMin}) {
+        const std::uint64_t salt = 77;
+        const Index count = 129;
+        const std::vector<double> want =
+            reference_allreduce<double>(p, count, op, salt);
+        Team team(p);
+        team.run([&](Communicator& comm) {
+          std::vector<double> x =
+              rank_payload<double>(comm.rank(), count, salt);
+          comm.all_reduce(x.data(), count, op);
+          EXPECT_TRUE(bitwise_equal(x, want))
+              << coll::algorithm_name(algo) << " p=" << p;
+        });
+      }
+    }
+  }
+}
+
+template <typename T>
+void sweep_allgather() {
+  for (const coll::Algorithm algo : kPolicies) {
+    coll::ScopedAlgorithm policy(algo);
+    for (const std::size_t chunk : {std::size_t(48), std::size_t(64) << 10}) {
+      coll::ScopedChunkBytes chunk_scope(chunk);
+      for (const int p : kTeamSizes) {
+        for (const Index count : kCounts) {
+          const std::uint64_t salt =
+              std::uint64_t(p) * 911u + std::uint64_t(count);
+          std::vector<T> want;
+          for (int r = 0; r < p; ++r) {
+            const auto x = rank_payload<T>(r, count, salt);
+            want.insert(want.end(), x.begin(), x.end());
+          }
+          Team team(p);
+          team.run([&](Communicator& comm) {
+            const std::vector<T> x =
+                rank_payload<T>(comm.rank(), count, salt);
+            std::vector<T> recv(std::size_t(p) * std::size_t(count), T(42));
+            comm.all_gather(x.data(), count, recv.data());
+            EXPECT_TRUE(bitwise_equal(recv, want))
+                << "allgather algo=" << coll::algorithm_name(algo)
+                << " chunk=" << chunk << " p=" << p << " count=" << count
+                << " rank=" << comm.rank();
+          });
+        }
+      }
+    }
+  }
+}
+
+TEST(CollSweep, AllGatherBitwiseReal) { sweep_allgather<double>(); }
+TEST(CollSweep, AllGatherBitwiseComplex) {
+  sweep_allgather<std::complex<double>>();
+}
+
+template <typename T>
+void sweep_broadcast() {
+  for (const coll::Algorithm algo : kPolicies) {
+    coll::ScopedAlgorithm policy(algo);
+    for (const std::size_t chunk : {std::size_t(48), std::size_t(64) << 10}) {
+      coll::ScopedChunkBytes chunk_scope(chunk);
+      for (const int p : kTeamSizes) {
+        for (const Index count : kCounts) {
+          for (const int root : {0, p - 1}) {
+            const std::uint64_t salt =
+                std::uint64_t(p) * 131u + std::uint64_t(count);
+            const std::vector<T> want = rank_payload<T>(root, count, salt);
+            Team team(p);
+            team.run([&](Communicator& comm) {
+              std::vector<T> x =
+                  rank_payload<T>(comm.rank(), count, salt);
+              comm.broadcast(x.data(), count, root);
+              EXPECT_TRUE(bitwise_equal(x, want))
+                  << "broadcast algo=" << coll::algorithm_name(algo)
+                  << " chunk=" << chunk << " p=" << p << " count=" << count
+                  << " root=" << root << " rank=" << comm.rank();
+            });
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CollSweep, BroadcastBitwiseReal) { sweep_broadcast<double>(); }
+TEST(CollSweep, BroadcastBitwiseComplex) {
+  sweep_broadcast<std::complex<double>>();
+}
+
+TEST(CollSweep, AllGatherVVariedCountsAndHoles) {
+  for (const coll::Algorithm algo : kPolicies) {
+    coll::ScopedAlgorithm policy(algo);
+    coll::ScopedChunkBytes chunk_scope(48);
+    for (const int p : {1, 3, 5, 8}) {
+      // Mixed zero/nonzero counts plus a one-element hole between ranges:
+      // rank r contributes r+1 elements if r is even, nothing otherwise.
+      std::vector<Index> counts((std::size_t(p)));
+      std::vector<Index> displs((std::size_t(p)));
+      Index off = 0;
+      for (int r = 0; r < p; ++r) {
+        counts[std::size_t(r)] = r % 2 == 0 ? Index(r) + 1 : 0;
+        displs[std::size_t(r)] = off;
+        off += counts[std::size_t(r)] + 1;  // hole stays untouched
+      }
+      const Index total = off;
+      std::vector<double> want(std::size_t(total), -7.0);
+      for (int r = 0; r < p; ++r) {
+        const auto x = rank_payload<double>(r, counts[std::size_t(r)], 5);
+        std::copy(x.begin(), x.end(),
+                  want.begin() + std::ptrdiff_t(displs[std::size_t(r)]));
+      }
+      Team team(p);
+      team.run([&](Communicator& comm) {
+        const Index mine = counts[std::size_t(comm.rank())];
+        const auto x = rank_payload<double>(comm.rank(), mine, 5);
+        std::vector<double> recv(std::size_t(total), -7.0);
+        // Zero-count ranks may legally pass a null send buffer.
+        comm.all_gather_v(mine > 0 ? x.data() : nullptr, mine, recv.data(),
+                          counts, displs);
+        EXPECT_TRUE(bitwise_equal(recv, want))
+            << "allgatherv algo=" << coll::algorithm_name(algo) << " p=" << p
+            << " rank=" << comm.rank();
+      });
+    }
+  }
+}
+
+TEST(CollEdge, AllGatherVOverlappingDisplsRejected) {
+  for (const coll::Algorithm algo :
+       {coll::Algorithm::kNaive, coll::Algorithm::kRing}) {
+    coll::ScopedAlgorithm policy(algo);
+    Team team(3);
+    try {
+      team.run([&](Communicator& comm) {
+        const std::vector<Index> counts = {2, 2, 2};
+        const std::vector<Index> displs = {0, 1, 4};  // rank 1 overlaps rank 0
+        std::vector<double> x = {1.0, 2.0};
+        std::vector<double> recv(6, 0.0);
+        comm.all_gather_v(x.data(), 2, recv.data(), counts, displs);
+      });
+      FAIL() << "overlapping displs must poison the team";
+    } catch (const comm::TeamAborted& e) {
+      EXPECT_EQ(e.error().site, "allgatherv.overlap");
+    }
+  }
+}
+
+TEST(CollNonblocking, OutstandingRequestsCompleteBitwise) {
+  for (const coll::Algorithm algo :
+       {coll::Algorithm::kRing, coll::Algorithm::kTree,
+        coll::Algorithm::kAuto}) {
+    coll::ScopedAlgorithm policy(algo);
+    coll::ScopedChunkBytes chunk_scope(64);
+    const int p = 4;
+    const Index count = 257;
+    const auto want_a = reference_allreduce<double>(p, count, Reduction::kSum, 1);
+    const auto want_b = reference_allreduce<double>(p, count, Reduction::kSum, 2);
+    Team team(p);
+    team.run([&](Communicator& comm) {
+      std::vector<double> a = rank_payload<double>(comm.rank(), count, 1);
+      std::vector<double> b = rank_payload<double>(comm.rank(), count, 2);
+      std::vector<double> gsend = rank_payload<double>(comm.rank(), count, 3);
+      std::vector<double> gathered(std::size_t(p) * std::size_t(count));
+      // Three outstanding requests, completed out of issue order.
+      auto ra = comm.i_all_reduce(a.data(), count);
+      auto rb = comm.i_all_reduce(b.data(), count);
+      auto rg = comm.i_all_gather(gsend.data(), count, gathered.data());
+      while (!rb.test()) std::this_thread::yield();
+      rg.wait();
+      ra.wait();
+      EXPECT_TRUE(bitwise_equal(a, want_a)) << coll::algorithm_name(algo);
+      EXPECT_TRUE(bitwise_equal(b, want_b)) << coll::algorithm_name(algo);
+      for (int r = 0; r < p; ++r) {
+        const auto x = rank_payload<double>(r, count, 3);
+        EXPECT_EQ(0, std::memcmp(gathered.data() + Index(r) * count, x.data(),
+                                 std::size_t(count) * sizeof(double)));
+      }
+    });
+  }
+}
+
+TEST(CollIntegration, DistApplyBitwiseAcrossPoliciesAndOverlapEngages) {
+  const Index n = 70;
+  const Index ncols = 9;
+  auto element = [](Index i, Index j) {
+    const double v = 1.0 / double(1 + std::abs(int(i - j)));
+    return i <= j ? v : v;  // symmetric
+  };
+  std::vector<std::vector<std::vector<double>>> outs;  // [policy][rank]
+  double overlap_blocks = 0;
+  for (const coll::Algorithm algo : kPolicies) {
+    coll::ScopedAlgorithm policy(algo);
+    const int p = 4;
+    std::vector<perf::Tracker> trackers((std::size_t(p)));
+    std::vector<std::vector<double>> got((std::size_t(p)));
+    Team team(p);
+    team.run(
+        [&](Communicator& comm) {
+          comm::Grid2d grid(comm, 2, 2);
+          dist::IndexMap rmap = dist::IndexMap::block(n, grid.nprow());
+          dist::IndexMap cmap = dist::IndexMap::block(n, grid.npcol());
+          dist::DistHermitianMatrix<double> h(grid, rmap, cmap);
+          h.fill(element);
+          const Index xr = rmap.local_size(grid.my_row());
+          const Index yr = cmap.local_size(grid.my_col());
+          la::Matrix<double> x(xr, ncols), y(yr, ncols);
+          for (Index j = 0; j < ncols; ++j) {
+            for (Index i = 0; i < xr; ++i) {
+              x(i, j) = element(i + 13 * j, j + 1);
+            }
+          }
+          h.apply_c2b(1.0, x.view().as_const(), 0.0, y.view());
+          std::vector<double> flat(std::size_t(yr) * std::size_t(ncols));
+          std::copy_n(y.data(), flat.size(), flat.data());
+          got[std::size_t(comm.rank())] = std::move(flat);
+        },
+        &trackers);
+    if (algo == coll::Algorithm::kAuto) {
+      for (const auto& t : trackers) {
+        overlap_blocks += t.counter("coll.overlap.blocks");
+      }
+    }
+    outs.push_back(std::move(got));
+  }
+  for (std::size_t a = 1; a < outs.size(); ++a) {
+    for (std::size_t r = 0; r < outs[a].size(); ++r) {
+      EXPECT_TRUE(bitwise_equal(outs[a][r], outs[0][r]))
+          << "policy " << coll::algorithm_name(kPolicies[a]) << " rank " << r;
+    }
+  }
+  // The auto policy must actually have run the overlap pipeline.
+  EXPECT_GT(overlap_blocks, 0.0);
+}
+
+TEST(CollFault, P2pCorruptPropagatesNaN) {
+  coll::ScopedAlgorithm policy(coll::Algorithm::kRing);
+  coll::ScopedChunkBytes chunk_scope(std::size_t(64) << 10);
+  fault::Scoped site("p2p.corrupt", /*rank=*/0, /*times=*/1);
+  const int p = 4;
+  Team team(p);
+  team.run([&](Communicator& comm) {
+    std::vector<double> x(33, double(comm.rank() + 1));
+    comm.all_reduce(x.data(), Index(x.size()));
+    // Rank 0's first reduce-chain chunk was corrupted in flight with 0xFF
+    // bytes (a NaN), which the rank-ordered chain folds into every rank's
+    // leading element.
+    EXPECT_TRUE(std::isnan(x[0])) << "rank " << comm.rank();
+  });
+}
+
+TEST(CollFault, P2pStallTripsWatchdog) {
+  coll::ScopedAlgorithm policy(coll::Algorithm::kRing);
+  comm::ScopedBarrierTimeout timeout(std::chrono::milliseconds(200));
+  fault::Scoped site("p2p.stall", /*rank=*/1, /*times=*/1);
+  Team team(3);
+  try {
+    team.run([&](Communicator& comm) {
+      std::vector<double> x(17, double(comm.rank()));
+      comm.all_reduce(x.data(), Index(x.size()));
+    });
+    FAIL() << "a stalled sender must poison the team";
+  } catch (const comm::TeamAborted& e) {
+    EXPECT_EQ(e.error().site, "p2p.watchdog") << e.what();
+  }
+}
+
+TEST(CollFault, RankDieOnChannelPathAborts) {
+  coll::ScopedAlgorithm policy(coll::Algorithm::kTree);
+  fault::Scoped site("rank.die", /*rank=*/1, /*times=*/1);
+  Team team(4);
+  try {
+    team.run([&](Communicator& comm) {
+      std::vector<double> x(65, 1.0);
+      comm.all_reduce(x.data(), Index(x.size()));
+    });
+    FAIL() << "injected rank death must abort the team";
+  } catch (const comm::TeamAborted& e) {
+    EXPECT_EQ(e.error().rank, 1);
+    EXPECT_EQ(e.error().site, "rank.die");
+  }
+}
+
+// tsan target: several teams of threads hammer the chunk channels, split
+// communicators and nonblocking requests concurrently. Any missing
+// synchronization in Mailbox/CommState shows up here under
+// -fsanitize=thread (ctest -L coll on the tsan preset).
+TEST(CollStress, ConcurrentTeams) {
+  coll::ScopedAlgorithm policy(coll::Algorithm::kAuto);
+  coll::ScopedChunkBytes chunk_scope(64);
+  const int nteams = 4;
+  std::vector<std::thread> drivers;
+  drivers.reserve(nteams);
+  for (int d = 0; d < nteams; ++d) {
+    drivers.emplace_back([d] {
+      const int p = 2 + d % 3;
+      Team team(p);
+      team.run([&](Communicator& comm) {
+        for (int iter = 0; iter < 20; ++iter) {
+          const Index count = 1 + 17 * ((iter + d) % 5);
+          std::vector<double> x(std::size_t(count),
+                                double(comm.rank() + iter));
+          comm.all_reduce(x.data(), count);
+          std::vector<double> g(std::size_t(comm.size()) *
+                                std::size_t(count));
+          auto req = comm.i_all_gather(x.data(), count, g.data());
+          std::vector<double> b((std::size_t(count)), double(iter));
+          comm.broadcast(b.data(), count, iter % comm.size());
+          req.wait();
+          Communicator half = comm.split(comm.rank() % 2, comm.rank());
+          double v = double(comm.rank());
+          half.all_reduce(&v, 1);
+        }
+      });
+    });
+  }
+  for (auto& t : drivers) t.join();
+}
+
+}  // namespace
+}  // namespace chase
