@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Check the kernel-engine invariants recorded in results/bench_kernels.json.
+
+Run the sweep first (from the repo root, so the default output path lands in
+results/):
+
+    ./build/bench/micro_kernels results/bench_kernels.json
+    python3 scripts/compare_bench.py [results/bench_kernels.json]
+
+Hard failures (exit 1):
+  * the micro policy is slower than the seed naive path at n=512 for any
+    type — the engine must never lose to the reference triple loop;
+  * micro is below 2x naive on double / complex<double> GEMM at n=1024 —
+    the engine's headline requirement;
+  * hemm falls below 0.9x gemm anywhere — the Hermitian engine must stay in
+    the same performance class as the plain engine.
+
+Informational: the hemm-vs-gemm median ratios (expected ~1.0 for double,
+>= 1.0 for complex<double> where the packed-panel replay pays off).
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "results/bench_kernels.json"
+    with open(path) as f:
+        data = json.load(f)
+
+    rate = {}
+    for row in data["gemm"]:
+        rate[(row["kernel"], row["type"], row["n"])] = row["gflops"]
+
+    failures = []
+    types = sorted({t for (_, t, _) in rate})
+
+    for t in types:
+        naive = rate.get(("naive", t, 512))
+        micro = rate.get(("micro", t, 512))
+        if naive is None or micro is None:
+            failures.append(f"missing naive/micro rows for {t} at n=512")
+            continue
+        print(f"n=512  {t:16s} micro {micro:8.2f} vs naive {naive:6.2f} "
+              f"({micro / naive:6.1f}x)")
+        if micro <= naive:
+            failures.append(
+                f"micro ({micro:.2f}) slower than naive ({naive:.2f}) "
+                f"for {t} at n=512")
+
+    for t in ("double", "complex<double>"):
+        naive = rate.get(("naive", t, 1024))
+        micro = rate.get(("micro", t, 1024))
+        if naive is None or micro is None:
+            failures.append(f"missing naive/micro rows for {t} at n=1024")
+            continue
+        speedup = micro / naive
+        print(f"n=1024 {t:16s} micro {micro:8.2f} vs naive {naive:6.2f} "
+              f"({speedup:6.1f}x)")
+        if speedup < 2.0:
+            failures.append(
+                f"micro only {speedup:.2f}x naive for {t} at n=1024 "
+                "(need >= 2x)")
+
+    for row in data["hemm_vs_gemm"]:
+        r = row["median_ratio"]
+        print(f"hemm/gemm {row['type']:16s} n={row['n']:<5d} "
+              f"gemm {row['gemm_gflops']:7.2f}  hemm {row['hemm_gflops']:7.2f}"
+              f"  median ratio {r:.3f}")
+        if r < 0.9:
+            failures.append(
+                f"hemm at {r:.3f}x gemm for {row['type']} n={row['n']} "
+                "(must stay >= 0.9x)")
+
+    if failures:
+        print("\nFAIL:")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print("\nOK: all kernel-engine invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

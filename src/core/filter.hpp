@@ -22,6 +22,13 @@
 // src/coll). The result is bitwise-identical to the blocking path, so the
 // filter needs no changes — the per-apply "coll.overlap.blocks" counter
 // records how often the pipeline engaged.
+//
+// The local multiply inside every apply runs the CHASE_GEMM_KERNEL policy
+// engine (src/la/gemm.hpp): diagonal ranks of the grid hold a Hermitian
+// block and dispatch to the symmetry-aware la::hemm (one-triangle reads,
+// packed-panel replay across column blocks), off-diagonal ranks run the
+// register-tiled gemm. Both engines are column-split invariant, which is
+// what keeps the overlap pipeline's result bitwise stable.
 #pragma once
 
 #include <algorithm>

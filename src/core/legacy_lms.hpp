@@ -176,6 +176,9 @@ ChaseResult<T> solve_lms(HOp& h,
       dist::gather_rows(grid.row_comm(), cmap, b_act.as_const(),
                         wfull.block(0, locked, n, act));
 
+      // Rectangular projection A = C^H W through the policy-selected kernel
+      // engine; the Hermitian work (W = H C above) already went through
+      // la::hemm on the diagonal ranks inside apply_c2b.
       auto a_act = a.block(0, 0, act, act);
       la::gemm(T(1), la::Op::kConjTrans,
                cfull.block(0, locked, n, act).as_const(), la::Op::kNoTrans,

@@ -22,6 +22,7 @@
 #include "comm/communicator.hpp"
 #include "dist/index_map.hpp"
 #include "la/gemm.hpp"
+#include "la/hemm.hpp"
 #include "perf/tracker.hpp"
 
 namespace chase::dist {
@@ -41,6 +42,20 @@ class DistHermitianMatrix {
     CHASE_CHECK(row_map_.global_size() == col_map_.global_size());
     CHASE_CHECK(row_map_.parts() == grid.nprow());
     CHASE_CHECK(col_map_.parts() == grid.npcol());
+    // A rank whose row share and column share cover the same global indices
+    // (in the same local order) holds a diagonal block of H, which is itself
+    // Hermitian — its local multiply can run through the symmetry-aware
+    // la::hemm engine in both apply directions. On a 1x1 grid this is the
+    // whole matrix; on square grids with matching maps it is every diagonal
+    // rank of the grid.
+    const auto rr = row_map_.runs(grid.my_row());
+    const auto cr = col_map_.runs(grid.my_col());
+    local_hermitian_ = rr.size() == cr.size();
+    for (std::size_t i = 0; local_hermitian_ && i < rr.size(); ++i) {
+      local_hermitian_ = rr[i].global_begin == cr[i].global_begin &&
+                         rr[i].local_begin == cr[i].local_begin &&
+                         rr[i].length == cr[i].length;
+    }
   }
 
   Index global_size() const { return row_map_.global_size(); }
@@ -143,18 +158,31 @@ class DistHermitianMatrix {
       }
     };
 
+    // Local multiply for one column block. Diagonal ranks dispatch to
+    // la::hemm — the local panel is Hermitian, so H_loc^H == H_loc and both
+    // apply directions read only one triangle under the micro policy;
+    // off-diagonal ranks run the plain policy-selected gemm.
+    const auto multiply = [&](la::ConstMatrixView<T> xin,
+                              la::MatrixView<T> out) {
+      if (local_hermitian_) {
+        la::hemm(alpha, local_.view().as_const(), xin, T(0), out);
+      } else {
+        la::gemm(alpha, op, local_.view().as_const(), la::Op::kNoTrans, xin,
+                 T(0), out);
+      }
+    };
+
     // Overlap pipeline (v1.4 scheme, armed by CHASE_COLL_ALGO=auto): split
     // the HEMM into column blocks and run block k's allreduce while block
-    // k+1 multiplies. Bitwise-safe: the gemm computes each output column
-    // with a fixed k-loop order regardless of how columns are grouped, and
-    // per-column reductions are independent.
+    // k+1 multiplies. Bitwise-safe: both the gemm and the hemm engines
+    // compute each output column with a fixed k-loop order regardless of how
+    // columns are grouped, and per-column reductions are independent.
     const Index nblk =
         coll::overlap_enabled() && reduce_comm.size() > 1 && ncols > 1
             ? std::min<Index>(ncols, 4)
             : 1;
     if (nblk <= 1) {
-      la::gemm(alpha, op, local_.view().as_const(), la::Op::kNoTrans, x, T(0),
-               partial);
+      multiply(x, partial);
       if (auto* t = perf::thread_tracker()) {
         t->add_flops(perf::FlopClass::kGemm, flop_mul * double(ncols));
       }
@@ -169,8 +197,7 @@ class DistHermitianMatrix {
     for (Index j0 = 0; j0 < ncols; j0 += bcols) {
       const Index bn = std::min(bcols, ncols - j0);
       auto pblk = ws.block(0, j0, out_rows, bn);
-      la::gemm(alpha, op, local_.view().as_const(), la::Op::kNoTrans,
-               x.block(0, j0, x.rows(), bn), T(0), pblk);
+      multiply(x.block(0, j0, x.rows(), bn), pblk);
       if (auto* t = perf::thread_tracker()) {
         t->add_flops(perf::FlopClass::kGemm, flop_mul * double(bn));
       }
@@ -193,6 +220,7 @@ class DistHermitianMatrix {
   const comm::Grid2d* grid_;
   IndexMap row_map_;
   IndexMap col_map_;
+  bool local_hermitian_ = false;  // this rank holds a diagonal block of H
   la::Matrix<T> local_;
   la::Matrix<T> ws_c2b_;  // partial-product workspaces, grown on demand
   la::Matrix<T> ws_b2c_;

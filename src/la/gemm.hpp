@@ -1,55 +1,43 @@
-// Cache-blocked general matrix-matrix multiply and the Hermitian rank-k
-// update, the computational workhorses of ChASE (Filter, Rayleigh-Ritz,
-// Residuals, CholeskyQR Gram matrices all reduce to these two kernels).
+// General matrix-matrix multiply and the Hermitian rank-k update, the
+// computational workhorses of ChASE (Filter, Rayleigh-Ritz, Residuals,
+// CholeskyQR Gram matrices all reduce to these kernels).
 //
-// The implementation packs tiles of op(A) and op(B) into contiguous buffers —
-// handling transposition/conjugation during packing — and runs a
-// non-transposed inner kernel whose unit-stride column updates autovectorize.
+// gemm() is a policy-dispatched engine (CHASE_GEMM_KERNEL, gemm_policy.hpp):
+//
+//   naive   — unblocked triple loop, the reference oracle;
+//   blocked — the seed path: L2 cache blocking, packed operand panels,
+//             two-way-unrolled rank-1-update inner kernel;
+//   micro   — five-loop BLIS-style engine with a register-tiled mr x nr
+//             micro-kernel over packed micro-panels (gemm_micro.hpp).
+//
+// All three fold the beta pre-scale of C into the first k-panel pass instead
+// of a separate full sweep, and the packing paths draw from a per-thread
+// reusable buffer pool, so the filter's inner HEMM loop neither re-reads C
+// an extra time nor allocates per call. Every call records its flop count,
+// wall time and kernel choice on the thread's perf::Tracker ("la.gemm.flops",
+// "la.gemm.seconds", "la.kernel.<name>.calls") — the measured Gflop/s feed
+// the machine-model calibration (perf::calibrate_gemm_rate).
 #pragma once
 
 #include <vector>
 
+#include "common/timer.hpp"
 #include "la/blas1.hpp"
+#include "la/gemm_micro.hpp"
+#include "la/gemm_policy.hpp"
 #include "la/matrix.hpp"
+#include "perf/tracker.hpp"
 
 namespace chase::la {
 
-/// BLAS-style operation applied to an input operand.
-enum class Op { kNoTrans, kTrans, kConjTrans };
-
-/// Rows of op(A) for an m x n view A.
-template <typename T>
-inline Index op_rows(Op op, ConstMatrixView<T> a) {
-  return op == Op::kNoTrans ? a.rows() : a.cols();
-}
-
-/// Columns of op(A) for an m x n view A.
-template <typename T>
-inline Index op_cols(Op op, ConstMatrixView<T> a) {
-  return op == Op::kNoTrans ? a.cols() : a.rows();
-}
-
 namespace detail {
 
-// Blocking parameters: a (kc x nc) panel of B plus an (mc x kc) panel of A
-// stay resident in L2 while the inner kernel streams C.
+// Blocking parameters of the seed `blocked` path: a (kc x nc) panel of B
+// plus an (mc x kc) panel of A stay resident in L2 while the inner kernel
+// streams C.
 inline constexpr Index kBlockM = 192;
 inline constexpr Index kBlockN = 96;
 inline constexpr Index kBlockK = 224;
-
-/// Element (i, j) of op(A).
-template <typename T>
-inline T op_elem(Op op, ConstMatrixView<T> a, Index i, Index j) {
-  switch (op) {
-    case Op::kNoTrans:
-      return a(i, j);
-    case Op::kTrans:
-      return a(j, i);
-    case Op::kConjTrans:
-    default:
-      return conjugate(a(j, i));
-  }
-}
 
 /// Pack block [r0, r0+nr) x [c0, c0+nc) of op(A) column-major into buf.
 template <typename T>
@@ -98,6 +86,94 @@ inline void kernel_nn(Index mc, Index nc, Index kc, const T* pa, const T* pb,
   }
 }
 
+/// C tile = beta * C tile (beta == 1 is a no-op; the dispatcher never routes
+/// beta == 1 here pointlessly because scaling is cheap to skip inline).
+template <typename T>
+inline void scale_tile(T beta, Index mc, Index nc, T* c, Index ldc) {
+  if (beta == T(1)) return;
+  for (Index j = 0; j < nc; ++j) {
+    T* cj = c + j * ldc;
+    if (beta == T(0)) {
+      for (Index i = 0; i < mc; ++i) cj[i] = T(0);
+    } else {
+      for (Index i = 0; i < mc; ++i) cj[i] *= beta;
+    }
+  }
+}
+
+/// Reference oracle: unblocked triple loop, no packing, no blocking. Slow by
+/// design — every other kernel policy is validated against it and the bench
+/// trajectory measures speedups from it.
+template <typename T>
+void gemm_naive(T alpha, Op opa, ConstMatrixView<T> a, Op opb,
+                ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  const Index m = c.rows();
+  const Index n = c.cols();
+  const Index k = op_cols(opa, a);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < m; ++i) {
+      T acc(0);
+      for (Index l = 0; l < k; ++l) {
+        acc += op_elem(opa, a, i, l) * op_elem(opb, b, l, j);
+      }
+      c(i, j) = alpha * acc + (beta == T(0) ? T(0) : beta * c(i, j));
+    }
+  }
+}
+
+/// The seed cache-blocked path. beta is folded into the first k panel: each
+/// C tile is scaled right before the l0 == 0 rank-1 updates touch it, so the
+/// pre-scale rides on a pass that loads the tile anyway.
+template <typename T>
+void gemm_blocked(T alpha, Op opa, ConstMatrixView<T> a, Op opb,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  const Index m = c.rows();
+  const Index n = c.cols();
+  const Index k = op_cols(opa, a);
+
+  auto& pool = pack_pool<T>();
+  T* pa = pool.buf_a(std::size_t(kBlockM) * kBlockK);
+  T* pb = pool.buf_b(std::size_t(kBlockK) * kBlockN);
+
+  for (Index j0 = 0; j0 < n; j0 += kBlockN) {
+    const Index nc = std::min<Index>(kBlockN, n - j0);
+    for (Index l0 = 0; l0 < k; l0 += kBlockK) {
+      const Index kc = std::min<Index>(kBlockK, k - l0);
+      pack_block(opb, b, l0, j0, kc, nc, pb);
+      // Fold alpha into the packed B panel once per (k, n) tile.
+      if (alpha != T(1)) {
+        scal(kc * nc, alpha, pb);
+      }
+      for (Index i0 = 0; i0 < m; i0 += kBlockM) {
+        const Index mc = std::min<Index>(kBlockM, m - i0);
+        T* ctile = c.data() + i0 + j0 * c.ld();
+        if (l0 == 0) scale_tile(beta, mc, nc, ctile, c.ld());
+        pack_block(opa, a, i0, l0, mc, kc, pa);
+        kernel_nn(mc, nc, kc, pa, pb, ctile, c.ld());
+      }
+    }
+  }
+}
+
+/// Flop count of one gemm/hemm-shaped product (the classic 2mnk, x4 for the
+/// complex multiply-add).
+template <typename T>
+inline double gemm_flop_count(Index m, Index n, Index k) {
+  return (kIsComplex<T> ? 8.0 : 2.0) * double(m) * double(n) * double(k);
+}
+
+/// Record one engine call on the thread tracker: cumulative flops and wall
+/// seconds (their ratio is the achieved Gflop/s that calibrates the machine
+/// model) plus the per-kernel call counter.
+inline void record_gemm_call(std::string_view kernel_counter, double flops,
+                             double seconds) {
+  if (auto* t = perf::thread_tracker()) {
+    t->bump("la.gemm.flops", flops);
+    t->bump("la.gemm.seconds", seconds);
+    t->bump(kernel_counter, 1.0);
+  }
+}
+
 }  // namespace detail
 
 /// C = alpha * op(A) * op(B) + beta * C.
@@ -110,40 +186,32 @@ void gemm(T alpha, Op opa, ConstMatrixView<T> a, Op opb, ConstMatrixView<T> b,
   CHASE_CHECK_MSG(op_rows(opb, b) == k, "gemm: inner dimensions differ");
   CHASE_CHECK_MSG(c.rows() == m && c.cols() == n, "gemm: output shape");
 
-  if (beta != T(1)) {
-    for (Index j = 0; j < n; ++j) {
-      T* cj = c.col(j);
-      if (beta == T(0)) {
-        for (Index i = 0; i < m; ++i) cj[i] = T(0);
-      } else {
-        for (Index i = 0; i < m; ++i) cj[i] *= beta;
-      }
-    }
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == T(0)) {
+    // Degenerate product: only the beta scaling of C remains.
+    detail::scale_tile(beta, m, n, c.data(), c.ld());
+    return;
   }
-  if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return;
 
-  using detail::kBlockK;
-  using detail::kBlockM;
-  using detail::kBlockN;
-  std::vector<T> pa(std::size_t(kBlockM) * kBlockK);
-  std::vector<T> pb(std::size_t(kBlockK) * kBlockN);
-
-  for (Index j0 = 0; j0 < n; j0 += kBlockN) {
-    const Index nc = std::min<Index>(kBlockN, n - j0);
-    for (Index l0 = 0; l0 < k; l0 += kBlockK) {
-      const Index kc = std::min<Index>(kBlockK, k - l0);
-      detail::pack_block(opb, b, l0, j0, kc, nc, pb.data());
-      // Fold alpha into the packed B panel once per (k, n) tile.
-      if (alpha != T(1)) {
-        scal(kc * nc, alpha, pb.data());
-      }
-      for (Index i0 = 0; i0 < m; i0 += kBlockM) {
-        const Index mc = std::min<Index>(kBlockM, m - i0);
-        detail::pack_block(opa, a, i0, l0, mc, kc, pa.data());
-        detail::kernel_nn(mc, nc, kc, pa.data(), pb.data(),
-                          c.data() + i0 + j0 * c.ld(), c.ld());
-      }
-    }
+  const GemmKernel kernel = gemm_kernel();
+  const bool tracked = perf::thread_tracker() != nullptr;
+  WallTimer timer;
+  switch (kernel) {
+    case GemmKernel::kNaive:
+      detail::gemm_naive(alpha, opa, a, opb, b, beta, c);
+      break;
+    case GemmKernel::kBlocked:
+      detail::gemm_blocked(alpha, opa, a, opb, b, beta, c);
+      break;
+    case GemmKernel::kMicro:
+    default:
+      detail::gemm_micro(alpha, opa, a, opb, b, beta, c);
+      break;
+  }
+  if (tracked) {
+    detail::record_gemm_call(gemm_kernel_counter(kernel),
+                             detail::gemm_flop_count<T>(m, n, k),
+                             timer.seconds());
   }
 }
 
@@ -154,14 +222,44 @@ inline void gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
   gemm(alpha, Op::kNoTrans, a, Op::kNoTrans, b, beta, c);
 }
 
+namespace detail {
+
+/// Upper triangle of the diagonal Gram block C = X^H X for a narrow column
+/// slice X (m x nb). Splits recursively: the top-right quadrant is a full
+/// GEMM, the two diagonal quadrants recurse, and small blocks finish as
+/// conjugated dot products — so only the ~nb^2/2 upper entries are computed,
+/// instead of the full nb^2 tile the seed evaluated before mirroring.
+template <typename T>
+void gram_diag_upper(ConstMatrixView<T> x, MatrixView<T> c) {
+  const Index nb = x.cols();
+  constexpr Index kLeaf = 12;
+  if (nb <= kLeaf) {
+    for (Index j = 0; j < nb; ++j) {
+      for (Index i = 0; i <= j; ++i) {
+        c(i, j) = dotc(x.rows(), x.col(i), x.col(j));
+      }
+    }
+    return;
+  }
+  const Index h = nb / 2;
+  gram_diag_upper(x.cols_range(0, h), c.block(0, 0, h, h));
+  auto topright = c.block(0, h, h, nb - h);
+  gemm(T(1), Op::kConjTrans, x.cols_range(0, h), Op::kNoTrans,
+       x.cols_range(h, nb - h), T(0), topright);
+  gram_diag_upper(x.cols_range(h, nb - h), c.block(h, h, nb - h, nb - h));
+}
+
+}  // namespace detail
+
 /// Hermitian rank-k update used to form Gram matrices: C = X^H X.
 ///
 /// Only the upper-triangular column blocks are computed (the HERK saving:
 /// half the GEMM flops, the reason the BLAS has a dedicated routine) and the
-/// lower triangle is mirrored. The full n x n result is stored because
-/// ChASE's CholeskyQR and Rayleigh-Ritz consume the full matrix after an
-/// allreduce, matching how the paper assembles A and R redundantly on every
-/// rank.
+/// lower triangle is mirrored; diagonal blocks likewise compute only their
+/// upper triangle (detail::gram_diag_upper). The full n x n result is stored
+/// because ChASE's CholeskyQR and Rayleigh-Ritz consume the full matrix
+/// after an allreduce, matching how the paper assembles A and R redundantly
+/// on every rank.
 template <typename T>
 inline void gram(ConstMatrixView<T> x, MatrixView<T> c) {
   const Index n = x.cols();
@@ -169,12 +267,13 @@ inline void gram(ConstMatrixView<T> x, MatrixView<T> c) {
   constexpr Index kBlock = 48;
   for (Index j0 = 0; j0 < n; j0 += kBlock) {
     const Index nj = std::min(kBlock, n - j0);
-    for (Index i0 = 0; i0 <= j0; i0 += kBlock) {
+    for (Index i0 = 0; i0 < j0; i0 += kBlock) {
       const Index ni = std::min(kBlock, n - i0);
       auto cij = c.block(i0, j0, ni, nj);
       gemm(T(1), Op::kConjTrans, x.cols_range(i0, ni), Op::kNoTrans,
            x.cols_range(j0, nj), T(0), cij);
     }
+    detail::gram_diag_upper(x.cols_range(j0, nj), c.block(j0, j0, nj, nj));
   }
   // Mirror and enforce exact Hermitian symmetry so POTRF sees a numerically
   // Hermitian input regardless of rounding.

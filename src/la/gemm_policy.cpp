@@ -1,0 +1,69 @@
+#include "la/gemm_policy.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+// Build-time default policy, plumbed through the CMake cache variable
+// CHASE_DEFAULT_GEMM_KERNEL (CMakePresets.json).
+#ifndef CHASE_GEMM_DEFAULT_KERNEL
+#define CHASE_GEMM_DEFAULT_KERNEL "micro"
+#endif
+
+namespace chase::la {
+
+namespace {
+
+std::atomic<int>& kernel_slot() {
+  static std::atomic<int> slot = [] {
+    GemmKernel k = parse_gemm_kernel(CHASE_GEMM_DEFAULT_KERNEL)
+                       .value_or(GemmKernel::kMicro);
+    if (const char* env = std::getenv("CHASE_GEMM_KERNEL")) {
+      if (auto parsed = parse_gemm_kernel(env)) k = *parsed;
+    }
+    return std::atomic<int>(int(k));
+  }();
+  return slot;
+}
+
+}  // namespace
+
+std::string_view gemm_kernel_name(GemmKernel k) {
+  switch (k) {
+    case GemmKernel::kNaive:
+      return "naive";
+    case GemmKernel::kBlocked:
+      return "blocked";
+    case GemmKernel::kMicro:
+    default:
+      return "micro";
+  }
+}
+
+std::string_view gemm_kernel_counter(GemmKernel k) {
+  switch (k) {
+    case GemmKernel::kNaive:
+      return "la.kernel.naive.calls";
+    case GemmKernel::kBlocked:
+      return "la.kernel.blocked.calls";
+    case GemmKernel::kMicro:
+    default:
+      return "la.kernel.micro.calls";
+  }
+}
+
+std::optional<GemmKernel> parse_gemm_kernel(std::string_view name) {
+  if (name == "naive") return GemmKernel::kNaive;
+  if (name == "blocked") return GemmKernel::kBlocked;
+  if (name == "micro") return GemmKernel::kMicro;
+  return std::nullopt;
+}
+
+GemmKernel gemm_kernel() {
+  return GemmKernel(kernel_slot().load(std::memory_order_relaxed));
+}
+
+void set_gemm_kernel(GemmKernel k) {
+  kernel_slot().store(int(k), std::memory_order_relaxed);
+}
+
+}  // namespace chase::la

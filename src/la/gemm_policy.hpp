@@ -1,0 +1,56 @@
+// Runtime policy for the dense matrix-multiply engine.
+//
+// Mirrors the collective-engine policy (src/coll/engine.hpp): the process
+// picks one of three kernel implementations for every gemm()/hemm() call,
+//
+//   CHASE_GEMM_KERNEL = naive | blocked | micro   (default: the CMake cache
+//       variable CHASE_DEFAULT_GEMM_KERNEL baked into the build)
+//
+//   naive   — unblocked triple loop; the reference oracle every other kernel
+//             is validated against (tests/la) and the Gflop/s floor the bench
+//             trajectory measures speedups from.
+//   blocked — the seed path: L2 cache blocking with packed operand panels and
+//             a two-way-unrolled rank-1-update inner kernel.
+//   micro   — five-loop BLIS-style engine: the cache blocking of `blocked`,
+//             but the packed panels are laid out as mr x kc / kc x nr
+//             micro-panels consumed by a register-tiled mr x nr micro-kernel
+//             (src/la/gemm_micro.hpp). This is the only policy that engages
+//             the Hermitian-aware hemm() engine.
+//
+// The policy is process-global and cheap to read (one relaxed atomic load);
+// ScopedGemmKernel lets benches and tests flip it per section.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace chase::la {
+
+enum class GemmKernel : int { kNaive = 0, kBlocked, kMicro };
+
+std::string_view gemm_kernel_name(GemmKernel k);
+std::optional<GemmKernel> parse_gemm_kernel(std::string_view name);
+
+/// Per-call Tracker counter name for a kernel ("la.kernel.<name>.calls").
+std::string_view gemm_kernel_counter(GemmKernel k);
+
+/// Process-global policy; initialized from CHASE_GEMM_KERNEL (falling back
+/// to the build-time default) on first use.
+GemmKernel gemm_kernel();
+void set_gemm_kernel(GemmKernel k);
+
+/// RAII policy override for benches and tests.
+class ScopedGemmKernel {
+ public:
+  explicit ScopedGemmKernel(GemmKernel k) : prev_(gemm_kernel()) {
+    set_gemm_kernel(k);
+  }
+  ~ScopedGemmKernel() { set_gemm_kernel(prev_); }
+  ScopedGemmKernel(const ScopedGemmKernel&) = delete;
+  ScopedGemmKernel& operator=(const ScopedGemmKernel&) = delete;
+
+ private:
+  GemmKernel prev_;
+};
+
+}  // namespace chase::la

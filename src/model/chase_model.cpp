@@ -64,7 +64,11 @@ Sizes sizes_of(const ChaseModelSetup& s) {
 
 /// One distributed HEMM application on `ncols` columns (matches
 /// DistHermitianMatrix::apply_impl): local GEMM flops plus the partial-sum
-/// allreduce over the reducing communicator.
+/// allreduce over the reducing communicator. The local multiply is priced at
+/// the model's kGemm rate whether the real rank runs la::gemm or (on
+/// diagonal ranks) la::hemm — the two engines sustain the same Gflop/s by
+/// construction, and MachineModel::calibrate_gemm can pin that rate to what
+/// the engine measured on the build host.
 void hemm_apply(const ChaseModelSetup& s, const Sizes& sz, ModelComm& comm,
                 Tracker& t, Index ncols, bool c2b) {
   t.add_flops(FlopClass::kGemm,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "perf/tracker.hpp"
+
 namespace chase::perf {
 
 namespace {
@@ -19,6 +21,12 @@ int ceil_log2(int p) {
 bool is_pow2(int p) { return p > 0 && (p & (p - 1)) == 0; }
 
 }  // namespace
+
+void MachineModel::calibrate_gemm(const Tracker& t, double min_seconds) {
+  const double flops = t.counter("la.gemm.flops");
+  const double seconds = t.counter("la.gemm.seconds");
+  if (flops > 0 && seconds >= min_seconds) gemm_flops = flops / seconds;
+}
 
 double MachineModel::memcpy_seconds(std::size_t bytes) const {
   return pcie_latency + double(bytes) / pcie_bw;

@@ -14,6 +14,8 @@
 
 namespace chase::perf {
 
+class Tracker;
+
 struct MachineModel {
   // --- per-GPU computation (double precision, effective) ---
   double gemm_flops = 17.0e12;   // large HEMM/GEMM, near-peak tensor FP64
@@ -67,6 +69,14 @@ struct MachineModel {
 
   /// NCCL ring allgather (`bytes` is the total gathered payload).
   double nccl_allgather_seconds(std::size_t bytes, int nranks) const;
+
+  /// Replace the effective GEMM rate with the rate the dense-kernel engine
+  /// actually achieved on this host, read from the tracker's
+  /// "la.gemm.flops" / "la.gemm.seconds" counters (src/la/gemm.hpp records
+  /// them on every tracked call). Ignored when less than `min_seconds` of
+  /// kernel time was tracked — tiny samples are all dispatch overhead and
+  /// would mis-calibrate the model downward.
+  void calibrate_gemm(const Tracker& t, double min_seconds = 1e-3);
 };
 
 }  // namespace chase::perf

@@ -1,0 +1,90 @@
+// MachineModel::calibrate_gemm — the measured-rate hook that replaces the
+// model's effective GEMM rate with what the la kernel engine actually
+// sustained (the "la.gemm.flops" / "la.gemm.seconds" counters recorded by
+// src/la/gemm.hpp on every tracked call).
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "la/gemm.hpp"
+#include "la/gemm_policy.hpp"
+#include "la/hemm.hpp"
+#include "perf/machine.hpp"
+#include "perf/tracker.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::perf {
+namespace {
+
+using chase::testing::random_hermitian;
+using chase::testing::random_matrix;
+using la::Index;
+
+TEST(MachineCalibration, GemmRateComesFromTrackedCounters) {
+  using T = double;
+  la::ScopedGemmKernel scoped(la::GemmKernel::kMicro);
+  Tracker t;
+  set_thread_tracker(&t);
+  const Index n = 256;
+  auto a = random_matrix<T>(n, n, 1);
+  auto b = random_matrix<T>(n, n, 2);
+  la::Matrix<T> c(n, n);
+  // Enough repetitions to clear the calibration's minimum-sample guard.
+  double expect_flops = 0;
+  while (t.counter("la.gemm.seconds") < 2e-3) {
+    la::gemm(T(1), a.cview(), b.cview(), T(0), c.view());
+    expect_flops += 2.0 * double(n) * double(n) * double(n);
+  }
+  set_thread_tracker(nullptr);
+
+  EXPECT_DOUBLE_EQ(t.counter("la.gemm.flops"), expect_flops);
+  EXPECT_GT(t.counter("la.kernel.micro.calls"), 0);
+
+  MachineModel m;
+  const double factory_rate = m.gemm_flops;
+  m.calibrate_gemm(t, /*min_seconds=*/1e-3);
+  EXPECT_NE(m.gemm_flops, factory_rate);
+  EXPECT_DOUBLE_EQ(
+      m.gemm_flops,
+      t.counter("la.gemm.flops") / t.counter("la.gemm.seconds"));
+  // Sanity: a real measured rate on any host is positive and far below the
+  // A100 factory constant's 17 Tflop/s.
+  EXPECT_GT(m.gemm_flops, 0);
+}
+
+TEST(MachineCalibration, TinySamplesAreIgnored) {
+  using T = double;
+  Tracker t;
+  set_thread_tracker(&t);
+  auto a = random_matrix<T>(8, 8, 3);
+  auto b = random_matrix<T>(8, 8, 4);
+  la::Matrix<T> c(8, 8);
+  la::gemm(T(1), a.cview(), b.cview(), T(0), c.view());
+  set_thread_tracker(nullptr);
+
+  MachineModel m;
+  const double factory_rate = m.gemm_flops;
+  m.calibrate_gemm(t, /*min_seconds=*/10.0);
+  EXPECT_DOUBLE_EQ(m.gemm_flops, factory_rate);
+}
+
+TEST(MachineCalibration, HemmCallsFeedTheSameCounters) {
+  using T = std::complex<double>;
+  la::ScopedGemmKernel scoped(la::GemmKernel::kMicro);
+  Tracker t;
+  set_thread_tracker(&t);
+  const Index n = 192;
+  auto h = random_hermitian<T>(n, 5);
+  auto b = random_matrix<T>(n, 32, 6);
+  la::Matrix<T> c(n, 32);
+  la::hemm(T(1), h.cview(), b.cview(), T(0), c.view());
+  set_thread_tracker(nullptr);
+
+  EXPECT_DOUBLE_EQ(t.counter("la.gemm.flops"),
+                   8.0 * double(n) * double(n) * 32.0);
+  EXPECT_GT(t.counter("la.gemm.seconds"), 0);
+  EXPECT_DOUBLE_EQ(t.counter("la.kernel.hemm.calls"), 1.0);
+}
+
+}  // namespace
+}  // namespace chase::perf
