@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Check the kernel-engine invariants recorded in results/bench_kernels.json.
+"""Check the recorded benchmark invariants.
 
-Run the sweep first (from the repo root, so the default output path lands in
-results/):
+Run the sweeps first (from the repo root, so the default output paths land
+in results/):
 
     ./build/bench/micro_kernels results/bench_kernels.json
-    python3 scripts/compare_bench.py [results/bench_kernels.json]
+    ./build/bench/micro_engine  results/bench_engine.json
+    python3 scripts/compare_bench.py [results/*.json ...]
 
-Hard failures (exit 1):
+The checker dispatches on the JSON shape, so any mix of result files can be
+passed; with no arguments it checks both defaults.
+
+Kernel-engine invariants (results/bench_kernels.json, hard failures):
   * the micro policy is slower than the seed naive path at n=512 for any
     type — the engine must never lose to the reference triple loop;
   * micro is below 2x naive on double / complex<double> GEMM at n=1024 —
@@ -15,24 +19,27 @@ Hard failures (exit 1):
   * hemm falls below 0.9x gemm anywhere — the Hermitian engine must stay in
     the same performance class as the plain engine.
 
-Informational: the hemm-vs-gemm median ratios (expected ~1.0 for double,
->= 1.0 for complex<double> where the packed-panel replay pays off).
+Solver-engine invariants (results/bench_engine.json, hard failures):
+  * the staged pipeline is more than 5% slower than the frozen seed driver
+    on any case (scheme x grid x type) — the layered refactor must not tax
+    the hot path;
+  * any steady-state workspace growth ("workspace.steady_growth" > 0) or
+    any per-iteration arena allocation — the zero-allocation contract.
+
+Informational: the hemm-vs-gemm median ratios, and staged-vs-seed ratios
+below parity (the staged engine being faster is fine).
 """
 
 import json
+import os
 import sys
 
 
-def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "results/bench_kernels.json"
-    with open(path) as f:
-        data = json.load(f)
-
+def check_kernels(data: dict, failures: list) -> None:
     rate = {}
     for row in data["gemm"]:
         rate[(row["kernel"], row["type"], row["n"])] = row["gflops"]
 
-    failures = []
     types = sorted({t for (_, t, _) in rate})
 
     for t in types:
@@ -72,12 +79,57 @@ def main() -> int:
                 f"hemm at {r:.3f}x gemm for {row['type']} n={row['n']} "
                 "(must stay >= 0.9x)")
 
+
+def check_engine(data: dict, failures: list) -> None:
+    for c in data["cases"]:
+        tag = f"{c['scheme']:5s} {c['grid']:5s} n={c['n']}"
+        print(f"engine {tag}  staged {c['staged_seconds']:.4f}s  "
+              f"seed {c['seed_seconds']:.4f}s  ratio {c['ratio']:.3f}  "
+              f"growth {c['steady_growth']:.0f}  "
+              f"allocs {c['workspace_allocs']}")
+        if c["ratio"] > 1.05:
+            failures.append(
+                f"staged engine {c['ratio']:.3f}x seed driver for {tag} "
+                "(parity budget is 1.05x)")
+        if c["steady_growth"] != 0:
+            failures.append(
+                f"steady-state workspace growth ({c['steady_growth']:.0f} "
+                f"events) for {tag} — the arena must not grow after setup")
+        if c["workspace_allocs"] != 0:
+            failures.append(
+                f"{c['workspace_allocs']} per-iteration arena allocations "
+                f"for {tag} — iterations must be allocation-free")
+
+
+def main() -> int:
+    paths = sys.argv[1:]
+    if not paths:
+        paths = [p for p in ("results/bench_kernels.json",
+                             "results/bench_engine.json")
+                 if os.path.exists(p)]
+        if not paths:
+            print("no result files found (run the micro benches first)")
+            return 1
+
+    failures = []
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        print(f"== {path}")
+        if "gemm" in data:
+            check_kernels(data, failures)
+        elif "cases" in data:
+            check_engine(data, failures)
+        else:
+            failures.append(f"{path}: unrecognized result shape")
+        print()
+
     if failures:
-        print("\nFAIL:")
+        print("FAIL:")
         for msg in failures:
             print(f"  - {msg}")
         return 1
-    print("\nOK: all kernel-engine invariants hold")
+    print("OK: all benchmark invariants hold")
     return 0
 
 

@@ -2,6 +2,14 @@
 // parallelization scheme with the distributed 1D-CAQR, the row/column-
 // communicator Rayleigh-Ritz, distributed residuals, and deflation/locking.
 //
+// The driver is a thin front-end over the layered solver engine (the
+// architecture of the real ChASE library): the subspace iteration is a
+// stage list (core/engine/stages.hpp) driven by one pipeline
+// (core/engine/pipeline.hpp) against an abstract DLA backend
+// (core/dla.hpp), over a zero-allocation workspace arena
+// (core/engine/workspace.hpp). This driver instantiates the v1.4 backend
+// (DenseDlaBackend).
+//
 // The same driver covers every build of the library:
 //   * sequential     — pass a DistHermitianMatrix on a 1x1 grid with a
 //                      default-constructed (self) Communicator;
@@ -9,7 +17,8 @@
 //   * STD vs NCCL    — choose the Team's Backend; the algorithm is
 //                      identical, only the collective cost accounting (and
 //                      the staging copies of the STD path) differ.
-// The legacy v1.2 scheme lives separately in legacy_lms.hpp.
+// The legacy v1.2 scheme lives separately in legacy_lms.hpp — same
+// pipeline and stage bodies, different backend and guard policy.
 #pragma once
 
 #include <algorithm>
@@ -19,8 +28,12 @@
 #include "common/log.hpp"
 #include "core/config.hpp"
 #include "core/degrees.hpp"
+#include "core/dla_dense.hpp"
+#include "core/engine/pipeline.hpp"
+#include "core/engine/stages.hpp"
 #include "core/filter.hpp"
 #include "core/lanczos.hpp"
+#include "core/types.hpp"
 #include "dist/dist_matrix.hpp"
 #include "dist/multivector.hpp"
 #include "la/heevd.hpp"
@@ -29,61 +42,6 @@
 #include "qr/qr_selector.hpp"
 
 namespace chase::core {
-
-/// Hook for experiment instrumentation (e.g. the Figure 1 bench computes the
-/// exact kappa_2 of the filtered block after every filter call).
-template <typename T>
-class ChaseObserver {
- public:
-  virtual ~ChaseObserver() = default;
-  /// Called after the filter, before the QR. `c_local` is the local C block
-  /// (all subspace columns); columns [locked, ne) are the freshly filtered
-  /// ones the Algorithm-5 estimate `est_cond` refers to.
-  virtual void after_filter(int /*iteration*/, int /*locked*/,
-                            la::ConstMatrixView<T> /*c_local*/,
-                            double /*est_cond*/) {}
-  virtual void after_iteration(const IterationStats& /*stats*/) {}
-};
-
-template <typename T>
-struct ChaseResult {
-  std::vector<RealType<T>> eigenvalues;  // nev lowest, ascending
-  la::Matrix<T> eigenvectors;            // local C-layout rows x nev
-  bool converged = false;
-  int iterations = 0;
-  long matvecs = 0;
-  SpectralBounds<RealType<T>> bounds;
-  std::vector<IterationStats> stats;
-};
-
-namespace detail {
-
-/// Apply permutation `perm` (new position j takes old column perm[j]) to the
-/// columns [first, first+count) of `m` and entries of the aligned arrays.
-template <typename T, typename R>
-void permute_active(la::MatrixView<T> m, Index first,
-                    const std::vector<Index>& perm, std::vector<R>& ritz,
-                    std::vector<R>& resid, std::vector<int>& degs,
-                    la::Matrix<T>& scratch) {
-  const Index count = Index(perm.size());
-  scratch.resize(m.rows(), count);
-  std::vector<R> ritz_old(ritz.begin() + first, ritz.begin() + first + count);
-  std::vector<R> res_old(resid.begin() + first, resid.begin() + first + count);
-  std::vector<int> deg_old(degs.begin() + first, degs.begin() + first + count);
-  for (Index j = 0; j < count; ++j) {
-    const Index src = perm[std::size_t(j)];
-    std::copy(m.col(first + src), m.col(first + src) + m.rows(),
-              scratch.col(j));
-    ritz[std::size_t(first + j)] = ritz_old[std::size_t(src)];
-    resid[std::size_t(first + j)] = res_old[std::size_t(src)];
-    degs[std::size_t(first + j)] = deg_old[std::size_t(src)];
-  }
-  for (Index j = 0; j < count; ++j) {
-    std::copy(scratch.col(j), scratch.col(j) + m.rows(), m.col(first + j));
-  }
-}
-
-}  // namespace detail
 
 /// Solve for the nev lowest eigenpairs of the distributed Hermitian matrix.
 ///
@@ -100,315 +58,35 @@ template <typename HOp, typename T = typename HOp::Scalar>
 ChaseResult<T> solve(HOp& h, const ChaseConfig& cfg,
                      ChaseObserver<T>* observer = nullptr,
                      la::ConstMatrixView<T> initial_subspace = {}) {
-  using R = RealType<T>;
-  const auto& grid = h.grid();
-  const auto& rmap = h.row_map();
-  const auto& cmap = h.col_map();
-  const Index n = h.global_size();
   const Index ne = cfg.subspace();
-  CHASE_CHECK_MSG(cfg.nev > 0 && ne <= n, "invalid nev/nex");
+  CHASE_CHECK_MSG(cfg.nev > 0 && ne <= h.global_size(), "invalid nev/nex");
   CHASE_CHECK_MSG(cfg.initial_degree >= 2, "invalid initial degree");
 
-  const Index mloc = rmap.local_size(grid.my_row());
-  const Index bloc = cmap.local_size(grid.my_col());
-
-  // Algorithm 2 buffers: C/C2 in the C layout, B/B2 in the B layout, plus
-  // the redundant n_e x n_e Rayleigh quotient (allocated per iteration at
-  // the exact active size so its storage is contiguous for the allreduce).
-  // This is the Eq. (2) memory footprint.
-  la::Matrix<T> c(mloc, ne), c2(mloc, ne), b(bloc, ne), b2(bloc, ne);
-  la::Matrix<T> scratch;
+  DenseDlaBackend<HOp> dla(h);
+  engine::SolverWorkspace<T> ws;
+  dla.setup(ws, cfg);
 
   ChaseResult<T> result;
-  if (cfg.use_custom_bounds) {
-    CHASE_CHECK_MSG(cfg.custom_mu_1 < cfg.custom_mu_ne &&
-                        cfg.custom_mu_ne < cfg.custom_b_sup,
-                    "custom bounds must satisfy mu_1 < mu_ne < b_sup");
-    result.bounds = {R(cfg.custom_b_sup), R(cfg.custom_mu_1),
-                     R(cfg.custom_mu_ne)};
-  } else {
-    result.bounds = lanczos_bounds(h, ne, cfg.lanczos_steps,
-                                   cfg.lanczos_vectors, cfg.seed);
-  }
-  const R b_sup = result.bounds.b_sup;
-  R mu_1 = result.bounds.mu_1;
-  R mu_ne = result.bounds.mu_ne;
-  R center = (b_sup + mu_ne) / R(2);
-  R half = (b_sup - mu_ne) / R(2);
-  // Residuals are measured relative to the spectral-norm estimate.
-  const R scale = std::max(std::abs(b_sup), std::abs(mu_1));
-  const R tol = R(cfg.tol);
+  result.bounds = dla.estimate_bounds(cfg);
+  engine::seed_initial_subspace<T>(ws, dla, cfg, initial_subspace);
 
-  // Initial subspace: user-provided approximate eigenvectors in the leading
-  // columns (if any), the rest random — reproducible across grid shapes
-  // (entry of global row g, column j depends only on (seed, j, g)).
-  Index given = 0;
-  if (!initial_subspace.empty()) {
-    CHASE_CHECK_MSG(initial_subspace.rows() == mloc &&
-                        initial_subspace.cols() <= ne,
-                    "initial subspace: expected local C-layout rows and at "
-                    "most nev+nex columns");
-    given = initial_subspace.cols();
-    la::copy(initial_subspace, c.block(0, 0, mloc, given));
-  }
-  for (const auto& run : rmap.runs(grid.my_row())) {
-    for (Index j = given; j < ne; ++j) {
-      for (Index k = 0; k < run.length; ++k) {
-        c(run.local_begin + k, j) = lanczos_entry<T>(
-            cfg.seed, std::uint64_t(1000 + j), run.global_begin + k);
-      }
-    }
-  }
+  engine::SolveContext<T> ctx{cfg, observer, result, ws};
+  ctx.init_from_bounds();
 
-  // Ritz bookkeeping. Before the first Rayleigh-Ritz no Ritz values exist;
-  // mu_1 is the natural stand-in (Algorithm 5's first-iteration estimate
-  // only consumes the most extremal value; see Section 4.2's remark on the
-  // first-iteration mismatch).
-  std::vector<R> ritz(std::size_t(ne), mu_1);
-  std::vector<R> resid(std::size_t(ne), R(1));
-  std::vector<int> degs(std::size_t(ne), round_up_even(cfg.initial_degree));
-  Index locked = 0;
-  int nan_recoveries = 0;  // bounded per solve; see the filter guard below
+  engine::PrepStage<T> prep;
+  engine::FilterStage<T> filter(/*recover=*/true);
+  engine::QrStage<T> qr;
+  engine::RayleighRitzStage<T> rr;
+  engine::ResidualStage<T> residual;
+  engine::LockingStage<T> locking;
+  const std::vector<engine::Stage<T>*> stages{&prep, &filter,   &qr,
+                                              &rr,   &residual, &locking};
+  engine::run_pipeline(ctx, dla, stages);
 
-  for (int iter = 1; iter <= cfg.max_iterations; ++iter) {
-    IterationStats stats;
-    stats.iteration = iter;
-    stats.locked_before = int(locked);
-    const Index act = ne - locked;
-
-    if (iter > 1) {
-      // updateBounds (Algorithm 2 lines 5-7).
-      mu_1 = *std::min_element(ritz.begin(), ritz.end());
-      mu_ne = *std::max_element(ritz.begin(), ritz.end());
-      center = (b_sup + mu_ne) / R(2);
-      half = (b_sup - mu_ne) / R(2);
-      if (!(half > R(0)) || !std::isfinite(half) || !std::isfinite(mu_1)) {
-        // Ritz values escaped above b_sup: the spectral upper bound was
-        // wrong (possible with user-supplied bounds) and the filter cannot
-        // proceed. Report non-convergence instead of aborting.
-        CHASE_LOG_INFO(
-            "damping interval collapsed (b_sup underestimated?); "
-            "aborting solve");
-        break;
-      }
-      if (cfg.optimize_degree) {
-        optimize_degrees(ritz, resid, tol, center, half, int(locked),
-                         cfg.max_degree, degs);
-      } else {
-        std::fill(degs.begin() + locked, degs.end(),
-                  round_up_even(cfg.initial_degree));
-      }
-      // Sort the active columns by degree ascending (Algorithm 1 line 12):
-      // the filter then processes a shrinking suffix.
-      std::vector<Index> perm(static_cast<std::size_t>(act));
-      std::iota(perm.begin(), perm.end(), Index(0));
-      std::stable_sort(perm.begin(), perm.end(), [&](Index x, Index y) {
-        return degs[std::size_t(locked + x)] < degs[std::size_t(locked + y)];
-      });
-      detail::permute_active(c.view(), locked, perm, ritz, resid, degs,
-                             scratch);
-    }
-
-    // Filter the active columns (Algorithm 2 line 10).
-    std::vector<int> act_degs(degs.begin() + locked, degs.end());
-    stats.degrees = act_degs;
-    stats.matvecs = chebyshev_filter(
-        h, c.block(0, locked, mloc, act), b.block(0, locked, bloc, act),
-        act_degs, center, half, mu_1);
-    result.matvecs += stats.matvecs;
-
-    // Filter divergence guard, by consensus so every rank takes the same
-    // branch (C is identical across grid columns and the column-communicator
-    // reduction covers the row distribution). Two distinct failure shapes:
-    //  * every active column is non-finite — the recurrence itself blew up,
-    //    i.e. b_sup underestimated the spectrum; no amount of re-randomizing
-    //    can fix a wrong damping interval, so stop cleanly;
-    //  * some columns are corrupt (a flipped bit, a transport corruption, an
-    //    injected filter.nan) — re-randomize exactly those columns and rerun
-    //    the iteration, bounded per solve so persistent corruption still
-    //    terminates.
-    {
-      perf::RegionScope guard_scope(perf::Region::kFilter);
-      std::vector<R> col_ok(std::size_t(act), R(1));
-      for (Index j = 0; j < act; ++j) {
-        for (Index i = 0; i < mloc; ++i) {
-          const R mag = abs_value(c(i, locked + j));
-          if (!std::isfinite(mag) || mag > R(1e140)) {
-            col_ok[std::size_t(j)] = R(0);
-            break;
-          }
-        }
-      }
-      grid.col_comm().all_reduce(col_ok.data(), act, comm::Reduction::kMin);
-      const Index bad = act - Index(std::count(col_ok.begin(), col_ok.end(),
-                                               R(1)));
-      if (bad == act) {
-        CHASE_LOG_INFO("filter diverged (b_sup too small?); aborting solve");
-        result.iterations = iter;
-        break;
-      }
-      if (bad > 0) {
-        if (nan_recoveries >= 3) {
-          CHASE_LOG_INFO(
-              "filter output corrupt after repeated re-randomization; "
-              "aborting solve");
-          result.iterations = iter;
-          break;
-        }
-        // Replace the corrupt columns with fresh deterministic random
-        // vectors (a salted stream so retries never reuse a seed) and rerun
-        // the iteration; the healthy columns keep their filtered state and
-        // the next QR re-orthogonalizes everything.
-        for (Index j = 0; j < act; ++j) {
-          if (col_ok[std::size_t(j)] == R(1)) continue;
-          const auto stream = std::uint64_t(500000 + nan_recoveries * ne +
-                                            (locked + j));
-          for (const auto& run : rmap.runs(grid.my_row())) {
-            for (Index k = 0; k < run.length; ++k) {
-              c(run.local_begin + k, locked + j) =
-                  lanczos_entry<T>(cfg.seed, stream, run.global_begin + k);
-            }
-          }
-          resid[std::size_t(locked + j)] = R(1);
-        }
-        ++nan_recoveries;
-        perf::bump_counter("filter.nan_recovery", double(bad));
-        CHASE_LOG_INFO("filter produced non-finite columns; re-randomized");
-        result.stats.push_back(stats);
-        result.iterations = iter;
-        continue;
-      }
-    }
-
-    // Condition estimate of the filtered block (Algorithm 2 line 11).
-    stats.est_cond =
-        double(qr::estimate_filtered_cond(ritz, center, half, degs,
-                                          int(locked)));
-    if (observer != nullptr) {
-      observer->after_filter(iter, int(locked), c.view(), stats.est_cond);
-    }
-
-    // Distributed 1D-CAQR over the column communicator (line 12), on the
-    // full subspace so the fresh vectors are orthogonalized against the
-    // locked ones; then re-inject the locked columns from C2 (line 13).
-    auto qr_report =
-        qr::caqr_1d(c.view(), rmap, grid.col_comm(), stats.est_cond, cfg.qr);
-    stats.qr_variant = qr_report.selected;
-    stats.qr_used = qr_report.used;
-    stats.qr_fallback = qr_report.hhqr_fallback;
-    stats.qr_potrf_failures = qr_report.potrf_failures;
-    if (locked > 0) {
-      la::copy(c2.block(0, 0, mloc, locked).as_const(),
-               c.block(0, 0, mloc, locked));
-    }
-    la::copy(c.block(0, locked, mloc, act).as_const(),
-             c2.block(0, locked, mloc, act));
-
-    // ---- Rayleigh-Ritz (lines 14-20) ----
-    {
-      perf::RegionScope rr(perf::Region::kRayleighRitz);
-      auto c2_act = c2.block(0, locked, mloc, act);
-      auto b2_act = b2.block(0, locked, bloc, act);
-      dist::redistribute_c2b<T>(grid, rmap, cmap, c2_act.as_const(), b2_act);
-      auto b_act = b.block(0, locked, bloc, act);
-      h.apply_c2b(T(1), c.block(0, locked, mloc, act).as_const(), T(0), b_act);
-
-      la::Matrix<T> a_act(act, act);
-      la::gemm(T(1), la::Op::kConjTrans, b2_act.as_const(), la::Op::kNoTrans,
-               b_act.as_const(), T(0), a_act.view());
-      if (auto* t = perf::thread_tracker()) {
-        const double z = kIsComplex<T> ? 8.0 : 2.0;
-        t->add_flops(perf::FlopClass::kGemm,
-                     z * double(bloc) * double(act) * double(act));
-      }
-      grid.row_comm().all_reduce(a_act.data(), act * act);
-
-      // Redundant diagonalization of the Rayleigh quotient (line 18),
-      // via implicit QL or Divide & Conquer (Section 2.1's reference [14]).
-      std::vector<R> theta;
-      la::Matrix<T> evec_act(act, act);
-      if (cfg.rr_solver == RrSolver::kDivideConquer) {
-        la::heevd_dc(a_act.view(), theta, evec_act.view());
-      } else {
-        la::heevd(a_act.view(), theta, evec_act.view());
-      }
-      if (auto* t = perf::thread_tracker()) {
-        const double z = kIsComplex<T> ? 4.0 : 1.0;
-        t->add_flops(perf::FlopClass::kSmall,
-                     z * 9.0 * double(act) * double(act) * double(act));
-      }
-      std::copy(theta.begin(), theta.end(), ritz.begin() + locked);
-
-      // Back-transform (line 19): C_act = C2_act * Y, then refresh C2.
-      la::gemm(T(1), c2_act.as_const(), evec_act.cview(), T(0),
-               c.block(0, locked, mloc, act));
-      if (auto* t = perf::thread_tracker()) {
-        const double z = kIsComplex<T> ? 8.0 : 2.0;
-        t->add_flops(perf::FlopClass::kGemm,
-                     z * double(mloc) * double(act) * double(act));
-      }
-      la::copy(c.block(0, locked, mloc, act).as_const(), c2_act);
-    }
-
-    // ---- Residuals (lines 21-26) ----
-    {
-      perf::RegionScope res(perf::Region::kResidual);
-      auto c2_act = c2.block(0, locked, mloc, act);
-      auto b2_act = b2.block(0, locked, bloc, act);
-      dist::redistribute_c2b<T>(grid, rmap, cmap, c2_act.as_const(), b2_act);
-      auto b_act = b.block(0, locked, bloc, act);
-      h.apply_c2b(T(1), c.block(0, locked, mloc, act).as_const(), T(0), b_act);
-
-      std::vector<R> nrm(std::size_t(act), R(0));
-      for (Index j = 0; j < act; ++j) {
-        const R lambda = ritz[std::size_t(locked + j)];
-        T* bj = b_act.col(j);
-        const T* b2j = b2_act.col(j);
-        R acc(0);
-        for (Index i = 0; i < bloc; ++i) {
-          const T d = bj[i] - T(lambda) * b2j[i];
-          acc += real_part(conjugate(d) * d);
-        }
-        nrm[std::size_t(j)] = acc;
-      }
-      if (auto* t = perf::thread_tracker()) {
-        t->add_mem_bytes(3.0 * double(bloc) * double(act) * sizeof(T));
-      }
-      grid.row_comm().all_reduce(nrm.data(), act);
-      for (Index j = 0; j < act; ++j) {
-        resid[std::size_t(locked + j)] =
-            std::sqrt(nrm[std::size_t(j)]) / scale;
-      }
-    }
-
-    // ---- Deflation & locking (line 27) ----
-    Index new_locked = 0;
-    while (locked + new_locked < ne &&
-           resid[std::size_t(locked + new_locked)] < tol) {
-      ++new_locked;
-    }
-    locked += new_locked;
-    stats.locked_after = int(locked);
-    // Residual spread over this iteration's active set (empty if everything
-    // locked at once).
-    const auto res_begin = resid.begin() + (locked - new_locked);
-    if (res_begin != resid.end()) {
-      stats.min_residual = double(*std::min_element(res_begin, resid.end()));
-      stats.max_residual = double(*std::max_element(res_begin, resid.end()));
-    }
-    result.stats.push_back(stats);
-    result.iterations = iter;
-    if (observer != nullptr) observer->after_iteration(stats);
-
-    if (locked >= cfg.nev) {
-      result.converged = true;
-      break;
-    }
-  }
-
-  result.eigenvalues.assign(ritz.begin(), ritz.begin() + cfg.nev);
+  const Index mloc = dla.c_rows();
+  result.eigenvalues.assign(ctx.ritz.begin(), ctx.ritz.begin() + cfg.nev);
   result.eigenvectors.resize(mloc, cfg.nev);
-  la::copy(c.block(0, 0, mloc, cfg.nev).as_const(),
+  la::copy(ws.c().block(0, 0, mloc, cfg.nev).as_const(),
            result.eigenvectors.view());
   return result;
 }

@@ -68,6 +68,10 @@ struct IterationStats {
   int qr_potrf_failures = 0;  // POTRF breakdowns escalated this iteration
   double min_residual = 0;
   double max_residual = 0;
+  /// Workspace-arena growth events during this iteration. Zero for every
+  /// steady-state iteration (>= 2) by construction of the engine; asserted
+  /// by the engine test suite.
+  long workspace_allocs = 0;
   /// Filter degrees of the active columns (ascending). Used by the strong-
   /// scaling bench to replay the measured iteration structure at full scale.
   std::vector<int> degrees;

@@ -1,0 +1,125 @@
+// Abstract dense-linear-algebra backend of the staged solver engine — the
+// reproduction of ChASE's `ChaseMpiDLAInterface` (Winkelmann et al., TOMS
+// 2019; "ChASE — A Distributed Hybrid CPU-GPU Eigensolver", 2022): the
+// Chebyshev subspace iteration is written once, against this interface, and
+// backends decide how each numerical kernel is parallelized. The v1.4
+// scheme (distributed 1D-CAQR, row/column-communicator Rayleigh-Ritz) and
+// the legacy v1.2 "LMS" scheme (redundant kernels on gathered full buffers)
+// are two backends of the same staged pipeline — not two drivers.
+//
+// Every operation works on views into the shared SolverWorkspace arena; a
+// backend sizes the arena once in setup() and steady-state iterations
+// allocate nothing.
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/config.hpp"
+#include "core/engine/workspace.hpp"
+#include "core/types.hpp"
+#include "dist/index_map.hpp"
+#include "qr/qr_selector.hpp"
+
+namespace chase::core {
+
+template <typename T>
+class DlaBackend {
+ public:
+  using R = RealType<T>;
+  using Workspace = engine::SolverWorkspace<T>;
+
+  virtual ~DlaBackend() = default;
+
+  // ---- topology ----
+  virtual Index global_size() const = 0;
+  /// Local rows of the C (column-communicator) layout.
+  virtual Index c_rows() const = 0;
+  /// Local rows of the B (row-communicator) layout.
+  virtual Index b_rows() const = 0;
+  virtual const comm::Grid2d& grid() const = 0;
+  virtual const dist::IndexMap& row_map() const = 0;
+
+  /// Size the workspace arena for this problem (called once, before any
+  /// stage runs).
+  virtual void setup(Workspace& ws, const ChaseConfig& cfg) = 0;
+
+  /// Spectral bounds: the Lanczos/DoS pass, or a pass-through of the user's
+  /// custom envelope.
+  virtual SpectralBounds<R> estimate_bounds(const ChaseConfig& cfg) = 0;
+
+  /// Chebyshev filter of the active columns [locked, locked + degs.size());
+  /// returns the MatVec count.
+  virtual long filter_apply(Workspace& ws, Index locked,
+                            const std::vector<int>& degs, R center, R half,
+                            R mu_1) = 0;
+
+  /// Consensus reduction (min) of the per-column health flags over the
+  /// process rows, so every rank takes the same filter-guard branch.
+  virtual void column_consensus(std::vector<R>& col_ok) = 0;
+
+  /// Orthonormalize the full subspace in C, re-injecting the locked columns
+  /// from the backend's locked-basis copy. Returns the QR report (variant
+  /// selection, escalation ladder outcome, est_cond).
+  virtual qr::QrReport qr(Workspace& ws, Index locked, double est_cond,
+                          const qr::QrOptions& opts) = 0;
+
+  /// Move the orthonormal basis into the B layout ahead of H-applies
+  /// (v1.4: the column-communicator C2 -> B2 redistribution; redundant
+  /// backends that gather instead implement this as a no-op).
+  virtual void redistribute(Workspace& ws, Index locked, Index act) = 0;
+
+  /// B_act = H C_act through the backend's distributed HEMM.
+  virtual void apply_h(Workspace& ws, Index locked, Index act) = 0;
+
+  /// Form the act x act Rayleigh quotient from the applied block.
+  virtual void gram(Workspace& ws, Index locked, Index act) = 0;
+
+  /// Redundant diagonalization of the Rayleigh quotient into
+  /// (ws.theta(), eigenvector block).
+  virtual void heevd(Workspace& ws, Index act, RrSolver solver) = 0;
+
+  /// Back-transform the basis by the quotient's eigenvectors and refresh the
+  /// backend's locked-basis copy.
+  virtual void back_transform(Workspace& ws, Index locked, Index act) = 0;
+
+  /// Residual norms of the active Ritz pairs, scaled by the spectral-norm
+  /// estimate, written into resid[locked ... locked+act).
+  virtual void residual_norms(Workspace& ws, Index locked, Index act,
+                              const std::vector<R>& ritz, R scale,
+                              std::vector<R>& resid) = 0;
+
+  /// Post-iteration bookkeeping (the legacy scheme refreshes its redundant
+  /// full basis copy here); default: nothing.
+  virtual void end_iteration(Workspace& /*ws*/) {}
+
+  /// Apply permutation `perm` (new position j takes old column perm[j]) to
+  /// the active columns of C and the aligned per-column arrays. Layout-local
+  /// and identical for every backend, so the interface provides it.
+  virtual void permute(Workspace& ws, Index first,
+                       const std::vector<Index>& perm, std::vector<R>& ritz,
+                       std::vector<R>& resid, std::vector<int>& degs) {
+    const Index count = Index(perm.size());
+    auto m = ws.c().view();
+    auto scratch = ws.scratch().block(0, 0, m.rows(), count);
+    auto& ritz_old = ws.ritz_tmp();
+    auto& res_old = ws.res_tmp();
+    auto& deg_old = ws.deg_tmp();
+    ritz_old.assign(ritz.begin() + first, ritz.begin() + first + count);
+    res_old.assign(resid.begin() + first, resid.begin() + first + count);
+    deg_old.assign(degs.begin() + first, degs.begin() + first + count);
+    for (Index j = 0; j < count; ++j) {
+      const Index src = perm[std::size_t(j)];
+      std::copy(m.col(first + src), m.col(first + src) + m.rows(),
+                scratch.col(j));
+      ritz[std::size_t(first + j)] = ritz_old[std::size_t(src)];
+      resid[std::size_t(first + j)] = res_old[std::size_t(src)];
+      degs[std::size_t(first + j)] = deg_old[std::size_t(src)];
+    }
+    for (Index j = 0; j < count; ++j) {
+      std::copy(scratch.col(j), scratch.col(j) + m.rows(), m.col(first + j));
+    }
+  }
+};
+
+}  // namespace chase::core

@@ -1,0 +1,274 @@
+// The composable stages of the ChASE outer iteration. One stage list drives
+// both the v1.4 scheme and the legacy v1.2 "LMS" scheme — the stage bodies
+// are shared, the DLA backend decides how each kernel is parallelized, and
+// the only differences between the schemes are the backend and two entries
+// of the stage list (the LMS filter guard aborts instead of recovering, and
+// LMS appends a basis-sync stage).
+//
+// Region attribution is unchanged from the monolithic drivers: the filter
+// and QR kernels scope their own regions (inside chebyshev_filter /
+// caqr_1d / the redundant backend), the Rayleigh-Ritz and Residual stages
+// scope theirs around the backend calls, and the degree/permute bookkeeping
+// stays outside any region — the model-replay fidelity tests pin this
+// mapping event-for-event.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string_view>
+#include <vector>
+
+#include "common/log.hpp"
+#include "core/degrees.hpp"
+#include "core/dla.hpp"
+#include "core/engine/pipeline.hpp"
+#include "core/lanczos.hpp"
+#include "qr/condest.hpp"
+
+namespace chase::core::engine {
+
+/// updateBounds + degree optimization + degree-ascending column permutation
+/// (Algorithm 2 lines 5-7, Algorithm 1 lines 11-12). No-op on iteration 1.
+template <typename T>
+class PrepStage final : public Stage<T> {
+ public:
+  using R = RealType<T>;
+  std::string_view name() const override { return "prep"; }
+
+  StageOutcome run(SolveContext<T>& ctx, DlaBackend<T>& dla) override {
+    if (ctx.iter <= 1) return StageOutcome::kContinue;
+    ctx.mu_1 = *std::min_element(ctx.ritz.begin(), ctx.ritz.end());
+    ctx.mu_ne = *std::max_element(ctx.ritz.begin(), ctx.ritz.end());
+    ctx.center = (ctx.b_sup + ctx.mu_ne) / R(2);
+    ctx.half = (ctx.b_sup - ctx.mu_ne) / R(2);
+    if (!(ctx.half > R(0)) || !std::isfinite(ctx.half) ||
+        !std::isfinite(ctx.mu_1)) {
+      // Ritz values escaped above b_sup: the spectral upper bound was wrong
+      // (possible with user-supplied bounds) and the filter cannot proceed.
+      // Report non-convergence instead of aborting.
+      CHASE_LOG_INFO(
+          "damping interval collapsed (b_sup underestimated?); "
+          "aborting solve");
+      return StageOutcome::kAbort;
+    }
+    const Index act = ctx.ne - ctx.locked;
+    if (ctx.cfg.optimize_degree) {
+      optimize_degrees(ctx.ritz, ctx.resid, ctx.tol, ctx.center, ctx.half,
+                       int(ctx.locked), ctx.cfg.max_degree, ctx.degs);
+    } else {
+      std::fill(ctx.degs.begin() + ctx.locked, ctx.degs.end(),
+                round_up_even(ctx.cfg.initial_degree));
+    }
+    // Sort the active columns by degree ascending: the filter then
+    // processes a shrinking suffix.
+    auto& perm = ctx.ws.perm();
+    perm.assign(std::size_t(act), Index(0));
+    std::iota(perm.begin(), perm.end(), Index(0));
+    std::stable_sort(perm.begin(), perm.end(), [&](Index x, Index y) {
+      return ctx.degs[std::size_t(ctx.locked + x)] <
+             ctx.degs[std::size_t(ctx.locked + y)];
+    });
+    dla.permute(ctx.ws, ctx.locked, perm, ctx.ritz, ctx.resid, ctx.degs);
+    return StageOutcome::kContinue;
+  }
+};
+
+/// Chebyshev filter of the active columns plus the consensus divergence
+/// guard, then the Algorithm-5 condition estimate and the after_filter hook.
+template <typename T>
+class FilterStage final : public Stage<T> {
+ public:
+  using R = RealType<T>;
+
+  /// `recover` selects the guard policy: the v1.4 engine re-randomizes
+  /// corrupt columns and retries the iteration (bounded per solve); the
+  /// legacy scheme aborts on any corruption.
+  explicit FilterStage(bool recover) : recover_(recover) {}
+
+  std::string_view name() const override { return "filter"; }
+
+  StageOutcome run(SolveContext<T>& ctx, DlaBackend<T>& dla) override {
+    const Index act = ctx.ne - ctx.locked;
+    std::vector<int> act_degs(ctx.degs.begin() + ctx.locked, ctx.degs.end());
+    ctx.stats.degrees = act_degs;
+    ctx.stats.matvecs = dla.filter_apply(ctx.ws, ctx.locked, act_degs,
+                                         ctx.center, ctx.half, ctx.mu_1);
+    ctx.result.matvecs += ctx.stats.matvecs;
+
+    // Filter divergence guard, by consensus so every rank takes the same
+    // branch (C is identical across grid columns and the column-communicator
+    // reduction covers the row distribution). Two distinct failure shapes:
+    //  * every active column is non-finite — the recurrence itself blew up,
+    //    i.e. b_sup underestimated the spectrum; no amount of re-randomizing
+    //    can fix a wrong damping interval, so stop cleanly;
+    //  * some columns are corrupt (a flipped bit, a transport corruption, an
+    //    injected filter.nan) — re-randomize exactly those columns and rerun
+    //    the iteration, bounded per solve so persistent corruption still
+    //    terminates. The legacy policy aborts on any corruption instead.
+    {
+      perf::RegionScope guard_scope(perf::Region::kFilter);
+      const Index mloc = dla.c_rows();
+      auto& col_ok = ctx.ws.col_ok();
+      col_ok.assign(std::size_t(act), R(1));
+      for (Index j = 0; j < act; ++j) {
+        for (Index i = 0; i < mloc; ++i) {
+          const R mag = abs_value(ctx.ws.c()(i, ctx.locked + j));
+          if (!std::isfinite(mag) || mag > R(1e140)) {
+            col_ok[std::size_t(j)] = R(0);
+            break;
+          }
+        }
+      }
+      dla.column_consensus(col_ok);
+      const Index bad =
+          act - Index(std::count(col_ok.begin(), col_ok.end(), R(1)));
+      if (bad > 0 && (!recover_ || bad == act)) {
+        CHASE_LOG_INFO("filter diverged (b_sup too small?); aborting solve");
+        ctx.result.iterations = ctx.iter;
+        return StageOutcome::kAbort;
+      }
+      if (bad > 0) {
+        if (ctx.nan_recoveries >= 3) {
+          CHASE_LOG_INFO(
+              "filter output corrupt after repeated re-randomization; "
+              "aborting solve");
+          ctx.result.iterations = ctx.iter;
+          return StageOutcome::kAbort;
+        }
+        // Replace the corrupt columns with fresh deterministic random
+        // vectors (a salted stream so retries never reuse a seed) and rerun
+        // the iteration; the healthy columns keep their filtered state and
+        // the next QR re-orthogonalizes everything.
+        const auto& rmap = dla.row_map();
+        for (Index j = 0; j < act; ++j) {
+          if (col_ok[std::size_t(j)] == R(1)) continue;
+          const auto stream = std::uint64_t(
+              500000 + ctx.nan_recoveries * ctx.ne + (ctx.locked + j));
+          for (const auto& run : rmap.runs(dla.grid().my_row())) {
+            for (Index k = 0; k < run.length; ++k) {
+              ctx.ws.c()(run.local_begin + k, ctx.locked + j) =
+                  lanczos_entry<T>(ctx.cfg.seed, stream, run.global_begin + k);
+            }
+          }
+          ctx.resid[std::size_t(ctx.locked + j)] = R(1);
+        }
+        ++ctx.nan_recoveries;
+        perf::bump_counter("filter.nan_recovery", double(bad));
+        CHASE_LOG_INFO("filter produced non-finite columns; re-randomized");
+        return StageOutcome::kRetry;
+      }
+    }
+
+    // Condition estimate of the filtered block (Algorithm 2 line 11).
+    ctx.stats.est_cond = double(qr::estimate_filtered_cond(
+        ctx.ritz, ctx.center, ctx.half, ctx.degs, int(ctx.locked)));
+    if (ctx.observer != nullptr) {
+      ctx.observer->after_filter(ctx.iter, int(ctx.locked),
+                                 ctx.ws.c().view(), ctx.stats.est_cond);
+    }
+    return StageOutcome::kContinue;
+  }
+
+ private:
+  bool recover_;
+};
+
+/// Orthonormalization of the subspace through the backend (distributed
+/// 1D-CAQR with the Algorithm-4 selector, or the legacy redundant HHQR).
+template <typename T>
+class QrStage final : public Stage<T> {
+ public:
+  std::string_view name() const override { return "qr"; }
+
+  StageOutcome run(SolveContext<T>& ctx, DlaBackend<T>& dla) override {
+    const auto report =
+        dla.qr(ctx.ws, ctx.locked, ctx.stats.est_cond, ctx.cfg.qr);
+    ctx.stats.qr_variant = report.selected;
+    ctx.stats.qr_used = report.used;
+    ctx.stats.qr_fallback = report.hhqr_fallback;
+    ctx.stats.qr_potrf_failures = report.potrf_failures;
+    return StageOutcome::kContinue;
+  }
+};
+
+/// Rayleigh-Ritz (Algorithm 2 lines 14-20): project, diagonalize the
+/// quotient redundantly, back-transform the basis.
+template <typename T>
+class RayleighRitzStage final : public Stage<T> {
+ public:
+  std::string_view name() const override { return "rayleigh_ritz"; }
+
+  StageOutcome run(SolveContext<T>& ctx, DlaBackend<T>& dla) override {
+    perf::RegionScope rr(perf::Region::kRayleighRitz);
+    const Index act = ctx.ne - ctx.locked;
+    dla.redistribute(ctx.ws, ctx.locked, act);
+    dla.apply_h(ctx.ws, ctx.locked, act);
+    dla.gram(ctx.ws, ctx.locked, act);
+    dla.heevd(ctx.ws, act, ctx.cfg.rr_solver);
+    std::copy(ctx.ws.theta().begin(), ctx.ws.theta().end(),
+              ctx.ritz.begin() + ctx.locked);
+    dla.back_transform(ctx.ws, ctx.locked, act);
+    return StageOutcome::kContinue;
+  }
+};
+
+/// Residuals of the active Ritz pairs (Algorithm 2 lines 21-26).
+template <typename T>
+class ResidualStage final : public Stage<T> {
+ public:
+  std::string_view name() const override { return "residual"; }
+
+  StageOutcome run(SolveContext<T>& ctx, DlaBackend<T>& dla) override {
+    perf::RegionScope res(perf::Region::kResidual);
+    const Index act = ctx.ne - ctx.locked;
+    dla.redistribute(ctx.ws, ctx.locked, act);
+    dla.apply_h(ctx.ws, ctx.locked, act);
+    dla.residual_norms(ctx.ws, ctx.locked, act, ctx.ritz, ctx.scale,
+                       ctx.resid);
+    return StageOutcome::kContinue;
+  }
+};
+
+/// Backend post-iteration bookkeeping — the legacy scheme refreshes the
+/// redundant full basis copy its next locked-column re-injection reads.
+template <typename T>
+class BasisSyncStage final : public Stage<T> {
+ public:
+  std::string_view name() const override { return "basis_sync"; }
+
+  StageOutcome run(SolveContext<T>& ctx, DlaBackend<T>& dla) override {
+    dla.end_iteration(ctx.ws);
+    return StageOutcome::kContinue;
+  }
+};
+
+/// Deflation & locking (Algorithm 2 line 27) plus the residual-spread stats.
+template <typename T>
+class LockingStage final : public Stage<T> {
+ public:
+  std::string_view name() const override { return "locking"; }
+
+  StageOutcome run(SolveContext<T>& ctx, DlaBackend<T>& /*dla*/) override {
+    Index new_locked = 0;
+    while (ctx.locked + new_locked < ctx.ne &&
+           ctx.resid[std::size_t(ctx.locked + new_locked)] < ctx.tol) {
+      ++new_locked;
+    }
+    ctx.locked += new_locked;
+    ctx.stats.locked_after = int(ctx.locked);
+    // Residual spread over this iteration's active set (empty if everything
+    // locked at once).
+    const auto res_begin = ctx.resid.begin() + (ctx.locked - new_locked);
+    if (res_begin != ctx.resid.end()) {
+      ctx.stats.min_residual =
+          double(*std::min_element(res_begin, ctx.resid.end()));
+      ctx.stats.max_residual =
+          double(*std::max_element(res_begin, ctx.resid.end()));
+    }
+    return ctx.locked >= ctx.cfg.nev ? StageOutcome::kConverged
+                                     : StageOutcome::kContinue;
+  }
+};
+
+}  // namespace chase::core::engine

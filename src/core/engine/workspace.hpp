@@ -1,0 +1,145 @@
+// SolverWorkspace — the one up-front arena behind the staged solver engine.
+//
+// Every buffer a ChASE iteration touches lives here: the Algorithm-2
+// multivectors (C/C2 in the C layout, B/B2 in the B layout), the redundant
+// Rayleigh quotient and its eigenvector block, the legacy scheme's full
+// N x n_e buffers, the permute scratch, and the small per-column vectors
+// (health flags, residual norms, permutations). A DLA backend sizes the
+// arena once in `setup()`; after that, iterations only take views.
+//
+// The arena counts its own growth: `alloc_events()` increments whenever a
+// reserve actually (re)allocates. The pipeline snapshots the counter around
+// each iteration and records the delta in IterationStats::workspace_allocs —
+// the measurable proof that steady-state iterations (iter >= 2) perform zero
+// heap allocations from the arena. Growth in a steady-state iteration also
+// bumps the "workspace.steady_growth" tracker counter so regressions are
+// observable without parsing stats.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "perf/tracker.hpp"
+
+namespace chase::core::engine {
+
+using la::Index;
+
+template <typename T>
+class SolverWorkspace {
+ public:
+  using R = RealType<T>;
+
+  // ---- arena growth accounting ----
+  long alloc_events() const { return alloc_events_; }
+  std::size_t alloc_bytes() const { return alloc_bytes_; }
+
+  /// Buffers both schemes need: the filter input/output multivectors, the
+  /// column-permute scratch, and the small per-column vectors.
+  void reserve_basis(Index mloc, Index bloc, Index ne) {
+    ensure(c_, mloc, ne);
+    ensure(b_, bloc, ne);
+    ensure(scratch_, mloc, ne);
+    ensure_vec(theta_, std::size_t(ne));
+    ensure_vec(col_ok_, std::size_t(ne));
+    ensure_vec(norms_, std::size_t(ne));
+    ensure_vec(perm_, std::size_t(ne));
+    ensure_vec(ritz_tmp_, std::size_t(ne));
+    ensure_vec(res_tmp_, std::size_t(ne));
+    ensure_vec(deg_tmp_, std::size_t(ne));
+  }
+
+  /// v1.4 buffers: the locked-basis copies C2/B2 and flat n_e^2 storage for
+  /// the Rayleigh quotient / eigenvector block (viewed at the active size).
+  void reserve_ritz(Index mloc, Index bloc, Index ne) {
+    ensure(c2_, mloc, ne);
+    ensure(b2_, bloc, ne);
+    ensure_vec(rr_, std::size_t(ne) * std::size_t(ne));
+    ensure_vec(evec_, std::size_t(ne) * std::size_t(ne));
+  }
+
+  /// Legacy v1.2 buffers: the two redundant full N x n_e copies and the
+  /// square factors the redundant Rayleigh-Ritz runs on (ld == n_e).
+  void reserve_full(Index n, Index ne) {
+    ensure(cfull_, n, ne);
+    ensure(wfull_, n, ne);
+    ensure(a_full_, ne, ne);
+    ensure(evec_full_, ne, ne);
+  }
+
+  /// Gathered-input buffer a matrix-free operator binds to (operator.hpp),
+  /// so its applies are steady-state-allocation-free too.
+  void reserve_gather(Index n, Index ne) { ensure(gather_, n, ne); }
+
+  la::Matrix<T>& c() { return c_; }
+  la::Matrix<T>& c2() { return c2_; }
+  la::Matrix<T>& b() { return b_; }
+  la::Matrix<T>& b2() { return b2_; }
+  la::Matrix<T>& scratch() { return scratch_; }
+  la::Matrix<T>& cfull() { return cfull_; }
+  la::Matrix<T>& wfull() { return wfull_; }
+  la::Matrix<T>& a_full() { return a_full_; }
+  la::Matrix<T>& evec_full() { return evec_full_; }
+  la::Matrix<T>& gather() { return gather_; }
+
+  /// act x act views with ld == act over the flat storage: the Rayleigh
+  /// quotient stays contiguous at every active size, so the allreduce sends
+  /// one flat act^2 payload (the layout the monolithic driver obtained by
+  /// allocating a fresh act x act matrix each iteration).
+  la::MatrixView<T> rr_view(Index act) {
+    return la::MatrixView<T>(rr_.data(), act, act, act);
+  }
+  la::MatrixView<T> evec_view(Index act) {
+    return la::MatrixView<T>(evec_.data(), act, act, act);
+  }
+
+  std::vector<R>& theta() { return theta_; }
+  std::vector<R>& col_ok() { return col_ok_; }
+  std::vector<R>& norms() { return norms_; }
+  std::vector<Index>& perm() { return perm_; }
+  std::vector<R>& ritz_tmp() { return ritz_tmp_; }
+  std::vector<R>& res_tmp() { return res_tmp_; }
+  std::vector<int>& deg_tmp() { return deg_tmp_; }
+
+ private:
+  void ensure(la::Matrix<T>& m, Index rows, Index cols) {
+    if (m.rows() == rows && m.cols() == cols) return;
+    m.resize(rows, cols);
+    ++alloc_events_;
+    alloc_bytes_ += std::size_t(rows) * std::size_t(cols) * sizeof(T);
+    note_steady_growth();
+  }
+
+  template <typename V>
+  void ensure_vec(std::vector<V>& v, std::size_t count) {
+    if (v.capacity() >= count) return;
+    v.reserve(count);
+    ++alloc_events_;
+    alloc_bytes_ += count * sizeof(V);
+    note_steady_growth();
+  }
+
+  void note_steady_growth() {
+    if (in_steady_state_) perf::bump_counter("workspace.steady_growth");
+  }
+
+ public:
+  /// The pipeline marks iterations >= 2 as steady state; any arena growth
+  /// inside them is a regression (and bumps "workspace.steady_growth").
+  void set_steady_state(bool on) { in_steady_state_ = on; }
+
+ private:
+  la::Matrix<T> c_, c2_, b_, b2_, scratch_;
+  la::Matrix<T> cfull_, wfull_, a_full_, evec_full_;
+  la::Matrix<T> gather_;
+  std::vector<T> rr_, evec_;
+  std::vector<R> theta_, col_ok_, norms_, ritz_tmp_, res_tmp_;
+  std::vector<Index> perm_;
+  std::vector<int> deg_tmp_;
+  long alloc_events_ = 0;
+  std::size_t alloc_bytes_ = 0;
+  bool in_steady_state_ = false;
+};
+
+}  // namespace chase::core::engine

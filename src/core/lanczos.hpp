@@ -20,6 +20,7 @@
 
 #include "comm/communicator.hpp"
 #include "common/rng.hpp"
+#include "core/types.hpp"
 #include "dist/dist_matrix.hpp"
 #include "dist/multivector.hpp"
 #include "la/blas1.hpp"
@@ -27,13 +28,6 @@
 #include "perf/tracker.hpp"
 
 namespace chase::core {
-
-template <typename R>
-struct SpectralBounds {
-  R b_sup = 0;   // upper bound of the spectrum
-  R mu_1 = 0;    // lowest Ritz value seen
-  R mu_ne = 0;   // DoS estimate of the (nev+nex)-th eigenvalue
-};
 
 /// Deterministic Gaussian entry for global row g of Lanczos stream `stream`:
 /// every rank generates identical global vectors regardless of the grid.

@@ -11,26 +11,18 @@
 // in Figure 3a.
 //
 // On GPUs, v1.2 also copied every offloaded result back to the host
-// immediately (Section 2.3); solve_lms records those transfers so the
-// Figure 2 movement bars can be priced.
+// immediately (Section 2.3); the redundant backend records those transfers
+// so the Figure 2 movement bars can be priced.
+//
+// Since the layered-engine refactor this file holds no duplicated filter /
+// QR / Rayleigh-Ritz code: the scheme is the same staged pipeline as
+// core::solve with the RedundantDlaBackend, the abort-on-corruption filter
+// guard of v1.2, and one extra stage syncing the redundant full basis copy.
 #pragma once
 
 #include "core/chase.hpp"
 
 namespace chase::core {
-
-namespace detail {
-
-/// v1.2 host-device round trip: the result of an offloaded kernel of
-/// `bytes` is copied D2H and later re-uploaded.
-inline void record_lms_roundtrip(std::size_t bytes) {
-  if (auto* t = perf::thread_tracker()) {
-    t->record_memcpy(bytes, /*to_device=*/false);
-    t->record_memcpy(bytes, /*to_device=*/true);
-  }
-}
-
-}  // namespace detail
 
 /// Solve with the v1.2 scheme. Numerically equivalent to core::solve (same
 /// filter, same locking); only the parallelization of QR/RR/Residuals
@@ -39,235 +31,35 @@ template <typename HOp, typename T = typename HOp::Scalar>
 ChaseResult<T> solve_lms(HOp& h,
                          const ChaseConfig& cfg,
                          ChaseObserver<T>* observer = nullptr) {
-  using R = RealType<T>;
-  const auto& grid = h.grid();
-  const auto& rmap = h.row_map();
-  const auto& cmap = h.col_map();
-  const Index n = h.global_size();
   const Index ne = cfg.subspace();
-  CHASE_CHECK_MSG(cfg.nev > 0 && ne <= n, "invalid nev/nex");
+  CHASE_CHECK_MSG(cfg.nev > 0 && ne <= h.global_size(), "invalid nev/nex");
 
-  const Index mloc = rmap.local_size(grid.my_row());
-  const Index bloc = cmap.local_size(grid.my_col());
-
-  // Distributed filter buffers plus the two *redundant* full buffers of the
-  // v1.2 layout (Section 2.3: 2 x O(N n_e) per rank).
-  la::Matrix<T> c(mloc, ne), b(bloc, ne);
-  la::Matrix<T> cfull(n, ne), wfull(n, ne);
-  la::Matrix<T> a(ne, ne), evec(ne, ne), scratch;
+  RedundantDlaBackend<HOp> dla(h);
+  engine::SolverWorkspace<T> ws;
+  dla.setup(ws, cfg);
 
   ChaseResult<T> result;
-  result.bounds = lanczos_bounds(h, ne, cfg.lanczos_steps,
-                                 cfg.lanczos_vectors, cfg.seed);
-  const R b_sup = result.bounds.b_sup;
-  R mu_1 = result.bounds.mu_1;
-  R mu_ne = result.bounds.mu_ne;
-  R center = (b_sup + mu_ne) / R(2);
-  R half = (b_sup - mu_ne) / R(2);
-  const R scale = std::max(std::abs(b_sup), std::abs(mu_1));
-  const R tol = R(cfg.tol);
+  result.bounds = dla.estimate_bounds(cfg);
+  engine::seed_initial_subspace<T>(ws, dla, cfg, {});
 
-  for (const auto& run : rmap.runs(grid.my_row())) {
-    for (Index j = 0; j < ne; ++j) {
-      for (Index k = 0; k < run.length; ++k) {
-        c(run.local_begin + k, j) = lanczos_entry<T>(
-            cfg.seed, std::uint64_t(1000 + j), run.global_begin + k);
-      }
-    }
-  }
+  engine::SolveContext<T> ctx{cfg, observer, result, ws};
+  ctx.init_from_bounds();
 
-  std::vector<R> ritz(std::size_t(ne), mu_1);
-  std::vector<R> resid(std::size_t(ne), R(1));
-  std::vector<int> degs(std::size_t(ne), round_up_even(cfg.initial_degree));
-  Index locked = 0;
+  engine::PrepStage<T> prep;
+  engine::FilterStage<T> filter(/*recover=*/false);
+  engine::QrStage<T> qr;
+  engine::RayleighRitzStage<T> rr;
+  engine::ResidualStage<T> residual;
+  engine::BasisSyncStage<T> basis_sync;
+  engine::LockingStage<T> locking;
+  const std::vector<engine::Stage<T>*> stages{
+      &prep, &filter, &qr, &rr, &residual, &basis_sync, &locking};
+  engine::run_pipeline(ctx, dla, stages);
 
-  for (int iter = 1; iter <= cfg.max_iterations; ++iter) {
-    IterationStats stats;
-    stats.iteration = iter;
-    stats.locked_before = int(locked);
-    const Index act = ne - locked;
-
-    if (iter > 1) {
-      mu_1 = *std::min_element(ritz.begin(), ritz.end());
-      mu_ne = *std::max_element(ritz.begin(), ritz.end());
-      center = (b_sup + mu_ne) / R(2);
-      half = (b_sup - mu_ne) / R(2);
-      if (cfg.optimize_degree) {
-        optimize_degrees(ritz, resid, tol, center, half, int(locked),
-                         cfg.max_degree, degs);
-      } else {
-        std::fill(degs.begin() + locked, degs.end(),
-                  round_up_even(cfg.initial_degree));
-      }
-      std::vector<Index> perm(static_cast<std::size_t>(act));
-      std::iota(perm.begin(), perm.end(), Index(0));
-      std::stable_sort(perm.begin(), perm.end(), [&](Index x, Index y) {
-        return degs[std::size_t(locked + x)] < degs[std::size_t(locked + y)];
-      });
-      detail::permute_active(c.view(), locked, perm, ritz, resid, degs,
-                             scratch);
-    }
-
-    // Filter: unchanged from the new scheme (Section 2.2's custom HEMM).
-    std::vector<int> act_degs(degs.begin() + locked, degs.end());
-    stats.degrees = act_degs;
-    stats.matvecs = chebyshev_filter(
-        h, c.block(0, locked, mloc, act), b.block(0, locked, bloc, act),
-        act_degs, center, half, mu_1);
-    result.matvecs += stats.matvecs;
-
-    // Same per-column consensus guard as the new scheme (chase.hpp), but
-    // with the v1.2 semantics: any corrupt column aborts the solve (no
-    // re-randomization recovery in the legacy scheme).
-    {
-      perf::RegionScope guard_scope(perf::Region::kFilter);
-      std::vector<R> col_ok(std::size_t(act), R(1));
-      for (Index j = 0; j < act; ++j) {
-        for (Index i = 0; i < mloc; ++i) {
-          const R mag = abs_value(c(i, locked + j));
-          if (!std::isfinite(mag) || mag > R(1e140)) {
-            col_ok[std::size_t(j)] = R(0);
-            break;
-          }
-        }
-      }
-      grid.col_comm().all_reduce(col_ok.data(), act, comm::Reduction::kMin);
-      if (std::count(col_ok.begin(), col_ok.end(), R(1)) != act) {
-        CHASE_LOG_INFO("filter diverged (b_sup too small?); aborting solve");
-        result.iterations = iter;
-        break;
-      }
-    }
-    stats.est_cond = double(
-        qr::estimate_filtered_cond(ritz, center, half, degs, int(locked)));
-    if (observer != nullptr) {
-      observer->after_filter(iter, int(locked), c.view(), stats.est_cond);
-    }
-
-    // ---- Redundant QR (v1.2): collect, factorize everywhere, scatter ----
-    {
-      perf::RegionScope qr_scope(perf::Region::kQr);
-      dist::gather_rows(grid.col_comm(), rmap, c.view().as_const(),
-                        cfull.view());
-      la::householder_orthonormalize(cfull.view());
-      if (auto* t = perf::thread_tracker()) {
-        const double z = kIsComplex<T> ? 4.0 : 1.0;
-        t->add_flops(perf::FlopClass::kPanel,
-                     4.0 * z * double(n) * double(ne) * double(ne));
-      }
-      detail::record_lms_roundtrip(std::size_t(n) * std::size_t(ne) *
-                                   sizeof(T));
-      // Locked columns are re-injected from the previous full copy.
-      if (locked > 0) {
-        la::copy(wfull.block(0, 0, n, locked).as_const(),
-                 cfull.block(0, 0, n, locked));
-      }
-      dist::scatter_rows(rmap, grid.my_row(), cfull.view().as_const(),
-                         c.view());
-    }
-    stats.qr_variant = qr::QrVariant::kHouseholder;
-
-    // ---- Redundant Rayleigh-Ritz ----
-    {
-      perf::RegionScope rr(perf::Region::kRayleighRitz);
-      // W = H C via the distributed HEMM, then collected redundantly.
-      auto b_act = b.block(0, locked, bloc, act);
-      h.apply_c2b(T(1), c.block(0, locked, mloc, act).as_const(), T(0), b_act);
-      dist::gather_rows(grid.row_comm(), cmap, b_act.as_const(),
-                        wfull.block(0, locked, n, act));
-
-      // Rectangular projection A = C^H W through the policy-selected kernel
-      // engine; the Hermitian work (W = H C above) already went through
-      // la::hemm on the diagonal ranks inside apply_c2b.
-      auto a_act = a.block(0, 0, act, act);
-      la::gemm(T(1), la::Op::kConjTrans,
-               cfull.block(0, locked, n, act).as_const(), la::Op::kNoTrans,
-               wfull.block(0, locked, n, act).as_const(), T(0), a_act);
-      if (auto* t = perf::thread_tracker()) {
-        const double z = kIsComplex<T> ? 8.0 : 2.0;
-        // Redundant, executed on a single device per rank in v1.2: priced
-        // at the panel rate, not the multi-GPU GEMM rate.
-        t->add_flops(perf::FlopClass::kPanel,
-                     z * double(n) * double(act) * double(act));
-      }
-      std::vector<R> theta;
-      auto evec_act = evec.block(0, 0, act, act);
-      la::heevd(a_act, theta, evec_act);
-      if (auto* t = perf::thread_tracker()) {
-        const double z = kIsComplex<T> ? 4.0 : 1.0;
-        t->add_flops(perf::FlopClass::kSmall,
-                     z * 9.0 * double(act) * double(act) * double(act));
-      }
-      std::copy(theta.begin(), theta.end(), ritz.begin() + locked);
-
-      // Redundant back-transform on the full buffer.
-      la::gemm(T(1), cfull.block(0, locked, n, act).as_const(),
-               evec_act.as_const(), T(0), wfull.block(0, locked, n, act));
-      la::copy(wfull.block(0, locked, n, act).as_const(),
-               cfull.block(0, locked, n, act));
-      if (auto* t = perf::thread_tracker()) {
-        const double z = kIsComplex<T> ? 8.0 : 2.0;
-        t->add_flops(perf::FlopClass::kPanel,
-                     z * double(n) * double(act) * double(act));
-      }
-      detail::record_lms_roundtrip(std::size_t(n) * std::size_t(act) *
-                                   sizeof(T));
-      dist::scatter_rows(rmap, grid.my_row(), cfull.view().as_const(),
-                         c.view());
-    }
-
-    // ---- Redundant residuals ----
-    {
-      perf::RegionScope res_scope(perf::Region::kResidual);
-      auto b_act = b.block(0, locked, bloc, act);
-      h.apply_c2b(T(1), c.block(0, locked, mloc, act).as_const(), T(0), b_act);
-      dist::gather_rows(grid.row_comm(), cmap, b_act.as_const(),
-                        wfull.block(0, locked, n, act));
-      detail::record_lms_roundtrip(std::size_t(n) * std::size_t(act) *
-                                   sizeof(T));
-      for (Index j = 0; j < act; ++j) {
-        const R lambda = ritz[std::size_t(locked + j)];
-        R acc(0);
-        for (Index i = 0; i < n; ++i) {
-          const T d = wfull(i, locked + j) - T(lambda) * cfull(i, locked + j);
-          acc += real_part(conjugate(d) * d);
-        }
-        resid[std::size_t(locked + j)] = std::sqrt(acc) / scale;
-      }
-      if (auto* t = perf::thread_tracker()) {
-        t->add_mem_bytes(3.0 * double(n) * double(act) * sizeof(T));
-      }
-    }
-
-    // wfull keeps the current full Ritz basis for the next iteration's
-    // locked-column re-injection.
-    la::copy(cfull.view().as_const(), wfull.view());
-
-    Index new_locked = 0;
-    while (locked + new_locked < ne &&
-           resid[std::size_t(locked + new_locked)] < tol) {
-      ++new_locked;
-    }
-    locked += new_locked;
-    stats.locked_after = int(locked);
-    const auto res_begin = resid.begin() + (locked - new_locked);
-    if (res_begin != resid.end()) {
-      stats.min_residual = double(*std::min_element(res_begin, resid.end()));
-      stats.max_residual = double(*std::max_element(res_begin, resid.end()));
-    }
-    result.stats.push_back(stats);
-    result.iterations = iter;
-    if (observer != nullptr) observer->after_iteration(stats);
-
-    if (locked >= cfg.nev) {
-      result.converged = true;
-      break;
-    }
-  }
-
-  result.eigenvalues.assign(ritz.begin(), ritz.begin() + cfg.nev);
+  const Index mloc = dla.c_rows();
+  result.eigenvalues.assign(ctx.ritz.begin(), ctx.ritz.begin() + cfg.nev);
   result.eigenvectors.resize(mloc, cfg.nev);
-  la::copy(c.block(0, 0, mloc, cfg.nev).as_const(),
+  la::copy(ws.c().block(0, 0, mloc, cfg.nev).as_const(),
            result.eigenvectors.view());
   return result;
 }

@@ -50,6 +50,12 @@ class MatrixFreeOperator {
 
   void shift_diagonal(RealType<T> s) { shift_ += s; }
 
+  /// Bind the gathered-input buffer to externally owned storage — the
+  /// solver engine points this at its SolverWorkspace arena so steady-state
+  /// applies allocate nothing. Pass nullptr to return to the private
+  /// grow-on-demand buffer (standalone use outside the engine).
+  void bind_gather_buffer(la::Matrix<T>* buf) { bound_full_ = buf; }
+
   /// y_B = alpha * H x_C + beta * y_B (H Hermitian: H^H == H).
   void apply_c2b(T alpha, la::ConstMatrixView<T> x, T beta,
                  la::MatrixView<T> y) {
@@ -76,10 +82,11 @@ class MatrixFreeOperator {
                     "matrix-free apply: output shape mismatch");
     const la::Index n = global_size();
     const la::Index ncols = x.cols();
-    if (full_.rows() != n || full_.cols() < ncols) {
-      full_.resize(n, std::max(full_.cols(), ncols));
+    la::Matrix<T>& full = bound_full_ != nullptr ? *bound_full_ : full_;
+    if (full.rows() != n || full.cols() < ncols) {
+      full.resize(n, std::max(full.cols(), ncols));
     }
-    auto xf = full_.block(0, 0, n, ncols);
+    auto xf = full.block(0, 0, n, ncols);
     dist::gather_rows(comm, in_map, x, xf);
 
     // Operators that precompute per-block state (e.g. the generalized-
@@ -106,7 +113,8 @@ class MatrixFreeOperator {
   dist::IndexMap col_map_;
   F apply_row_;
   RealType<T> shift_ = 0;
-  la::Matrix<T> full_;  // gathered input, grown on demand
+  la::Matrix<T> full_;  // gathered input, grown on demand when unbound
+  la::Matrix<T>* bound_full_ = nullptr;  // workspace-owned gather buffer
 };
 
 /// 7-point finite-difference Laplacian on an nx x ny x nz grid with

@@ -1,0 +1,50 @@
+// Result/observer types of the ChASE solver, shared by the driver front-ends
+// (core/chase.hpp, core/legacy_lms.hpp) and the solver engine underneath
+// (core/engine/, core/dla.hpp). Kept separate so the engine layers can be
+// included without pulling in a driver.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::core {
+
+template <typename R>
+struct SpectralBounds {
+  R b_sup = 0;   // upper bound of the spectrum
+  R mu_1 = 0;    // lowest Ritz value seen
+  R mu_ne = 0;   // DoS estimate of the (nev+nex)-th eigenvalue
+};
+
+/// Hook for experiment instrumentation (e.g. the Figure 1 bench computes the
+/// exact kappa_2 of the filtered block after every filter call).
+template <typename T>
+class ChaseObserver {
+ public:
+  virtual ~ChaseObserver() = default;
+  /// Called after the filter, before the QR. `c_local` is the local C block
+  /// (all subspace columns); columns [locked, ne) are the freshly filtered
+  /// ones the Algorithm-5 estimate `est_cond` refers to.
+  virtual void after_filter(int /*iteration*/, int /*locked*/,
+                            la::ConstMatrixView<T> /*c_local*/,
+                            double /*est_cond*/) {}
+  /// Called once per recorded iteration — including iterations the engine
+  /// retries after a filter-corruption recovery (their stats carry the
+  /// re-randomization, and an observer watching convergence must see them).
+  virtual void after_iteration(const IterationStats& /*stats*/) {}
+};
+
+template <typename T>
+struct ChaseResult {
+  std::vector<RealType<T>> eigenvalues;  // nev lowest, ascending
+  la::Matrix<T> eigenvectors;            // local C-layout rows x nev
+  bool converged = false;
+  int iterations = 0;
+  long matvecs = 0;
+  SpectralBounds<RealType<T>> bounds;
+  std::vector<IterationStats> stats;
+};
+
+}  // namespace chase::core

@@ -1,0 +1,62 @@
+// Per-stage timing breakdown of the solver engine — the paper's Table-3
+// style view (time per ChASE stage), produced from the Tracker counters the
+// staged pipeline maintains ("engine.stage.<name>.seconds" / ".calls").
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "perf/tracker.hpp"
+
+namespace chase::perf {
+
+struct StageTiming {
+  std::string name;
+  double seconds = 0;
+  double calls = 0;
+};
+
+/// Extract the engine's stage timings from a tracker, in recorded order of
+/// the counter map (alphabetical; stable across runs).
+inline std::vector<StageTiming> engine_stage_timings(const Tracker& t) {
+  constexpr std::string_view kPrefix = "engine.stage.";
+  constexpr std::string_view kSeconds = ".seconds";
+  std::vector<StageTiming> out;
+  for (const auto& [key, value] : t.counters()) {
+    if (key.size() <= kPrefix.size() + kSeconds.size()) continue;
+    if (key.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    if (key.compare(key.size() - kSeconds.size(), kSeconds.size(),
+                    kSeconds) != 0) {
+      continue;
+    }
+    StageTiming s;
+    s.name = key.substr(kPrefix.size(),
+                        key.size() - kPrefix.size() - kSeconds.size());
+    s.seconds = value;
+    s.calls = t.counter(std::string(kPrefix) + s.name + ".calls");
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Human-readable stage table (name, calls, total seconds, share).
+inline std::string format_stage_table(const Tracker& t) {
+  const auto stages = engine_stage_timings(t);
+  double total = 0;
+  for (const auto& s : stages) total += s.seconds;
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line), "%-16s %8s %12s %7s\n", "stage", "calls",
+                "seconds", "share");
+  out += line;
+  for (const auto& s : stages) {
+    std::snprintf(line, sizeof(line), "%-16s %8.0f %12.6f %6.1f%%\n",
+                  s.name.c_str(), s.calls, s.seconds,
+                  total > 0 ? 100.0 * s.seconds / total : 0.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace chase::perf

@@ -52,6 +52,7 @@ struct QrReport {
   QrVariant used = QrVariant::kCholQr2;      // the rung that produced Q
   bool hhqr_fallback = false;                // POTRF failed, reverted to HHQR
   int potrf_failures = 0;                    // breakdowns along the ladder
+  double est_cond = 0;  // the Algorithm 5 estimate the selection was based on
 };
 
 struct QrOptions {
@@ -90,6 +91,7 @@ QrReport caqr_1d(la::MatrixView<T> x, const dist::IndexMap& map,
                  const QrOptions& opts = {}) {
   perf::RegionScope scope(perf::Region::kQr);
   QrReport report;
+  report.est_cond = est_cond;
   const Communicator* reduce = comm.size() > 1 ? &comm : nullptr;
   const double shift_threshold = 1.0 / std::sqrt(double(unit_roundoff<T>()));
 
