@@ -26,6 +26,14 @@ Solver-engine invariants (results/bench_engine.json, hard failures):
   * any steady-state workspace growth ("workspace.steady_growth" > 0) or
     any per-iteration arena allocation — the zero-allocation contract.
 
+Factorization-engine invariants (results/bench_factor.json, hard failures):
+  * blocked below 2x naive at n=1024 for TRSM/POTRF/HERK on double or
+    complex<double> — the GEMM lowering must actually pay;
+  * blocked slower than naive at n=1024 for HETRD (informational at other
+    sizes);
+  * any end-to-end consumer (CholeskyQR2, Rayleigh-Ritz HEEVD) regressing
+    under the blocked policy (ratio blocked/naive > 1.0).
+
 Informational: the hemm-vs-gemm median ratios, and staged-vs-seed ratios
 below parity (the staged engine being faster is fine).
 """
@@ -101,11 +109,57 @@ def check_engine(data: dict, failures: list) -> None:
                 f"for {tag} — iterations must be allocation-free")
 
 
+def check_factor(data: dict, failures: list) -> None:
+    rate = {}
+    for row in data["factor"]:
+        rate[(row["op"], row["kernel"], row["type"], row["n"])] = \
+            row["gflops"]
+
+    gated_ops = ("trsm", "potrf", "herk")
+    types = ("double", "complex<double>")
+    sizes = sorted({n for (_, _, _, n) in rate})
+    for op in gated_ops + ("hetrd",):
+        for t in types:
+            for n in sizes:
+                naive = rate.get((op, "naive", t, n))
+                blocked = rate.get((op, "blocked", t, n))
+                if naive is None or blocked is None:
+                    continue
+                speedup = blocked / naive
+                print(f"{op:6s} {t:16s} n={n:<5d} blocked {blocked:8.2f} "
+                      f"vs naive {naive:7.2f} ({speedup:5.1f}x)")
+                if op in gated_ops and n == 1024 and speedup < 2.0:
+                    failures.append(
+                        f"blocked {op} only {speedup:.2f}x naive for {t} "
+                        f"at n={n} (need >= 2x)")
+                if op == "hetrd" and n >= 512 and speedup < 1.0:
+                    failures.append(
+                        f"blocked hetrd {speedup:.2f}x naive for {t} at "
+                        f"n={n} (must not lose to the seed kernel)")
+    for op in gated_ops:
+        for t in types:
+            if (op, "naive", t, 1024) not in rate:
+                failures.append(
+                    f"missing naive/blocked rows for {op} {t} at n=1024")
+
+    for row in data["end_to_end"]:
+        r = row["ratio"]
+        print(f"end-to-end {row['case']:9s} {row['type']:16s} "
+              f"m={row['m']:<6d} n={row['n']:<5d} naive "
+              f"{row['naive_seconds']:.4f}s  blocked "
+              f"{row['blocked_seconds']:.4f}s  ratio {r:.3f}")
+        if r > 1.0:
+            failures.append(
+                f"{row['case']} ({row['type']}) regressed to {r:.3f}x naive "
+                "under the blocked policy (must be <= 1.0x)")
+
+
 def main() -> int:
     paths = sys.argv[1:]
     if not paths:
         paths = [p for p in ("results/bench_kernels.json",
-                             "results/bench_engine.json")
+                             "results/bench_engine.json",
+                             "results/bench_factor.json")
                  if os.path.exists(p)]
         if not paths:
             print("no result files found (run the micro benches first)")
@@ -120,6 +174,8 @@ def main() -> int:
             check_kernels(data, failures)
         elif "cases" in data:
             check_engine(data, failures)
+        elif "factor" in data:
+            check_factor(data, failures)
         else:
             failures.append(f"{path}: unrecognized result shape")
         print()

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Build the tsan preset and run the thread-per-rank comm, fault-tolerance,
-# collective-engine and solver-engine suites (ctest labels: comm, fault,
-# coll, engine) under ThreadSanitizer. The in-process SPMD runtime
-# (comm::Team, the poisoned-barrier protocol, the fault registry), the
-# src/coll chunk channels and the staged solver pipeline running one rank
-# per thread are exactly the code a data race would corrupt silently, so
-# these suites are the ones worth the ~10x tsan slowdown.
+# collective-engine, solver-engine and factorization suites (ctest labels:
+# comm, fault, coll, engine, factor) under ThreadSanitizer. The in-process
+# SPMD runtime (comm::Team, the poisoned-barrier protocol, the fault
+# registry), the src/coll chunk channels, the staged solver pipeline running
+# one rank per thread and the policy-dispatched factorization kernels called
+# from those ranks are exactly the code a data race would corrupt silently,
+# so these suites are the ones worth the ~10x tsan slowdown.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

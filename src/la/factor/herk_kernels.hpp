@@ -1,0 +1,98 @@
+// Hermitian rank-k update kernels: C_upper = alpha X^H X + beta C_upper.
+//
+// Only the upper triangle of C is computed — the HERK saving (half the GEMM
+// flops, the reason the BLAS has a dedicated routine). Two shapes:
+//
+//   naive_herk_upper   — conjugated dot products over the upper entries, the
+//                        reference oracle;
+//   blocked_herk_upper — the structure la::gram has used since the gemm
+//                        micro-kernel engine landed, generalized to
+//                        alpha/beta: kHerkBlock-wide column blocks whose
+//                        off-diagonal tiles are plain GEMMs and whose
+//                        diagonal tiles split recursively down to dotc
+//                        leaves. The alpha == 1 / beta == 0 instance is
+//                        bitwise the old gram path.
+//
+// The generalized beta lets the blocked right-looking POTRF express its
+// trailing update as C_upper -= P^H P without a scratch matrix or a mirror.
+#pragma once
+
+#include "la/blas1.hpp"
+#include "la/gemm.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::la::factor {
+
+/// Upper-triangle scale C_upper = beta * C_upper (beta == 0 overwrites, so
+/// NaN/Inf garbage in C never propagates — same contract as gemm).
+template <typename T>
+inline void scale_upper(T beta, MatrixView<T> c) {
+  if (beta == T(1)) return;
+  for (Index j = 0; j < c.cols(); ++j) {
+    for (Index i = 0; i <= j; ++i) {
+      c(i, j) = beta == T(0) ? T(0) : beta * c(i, j);
+    }
+  }
+}
+
+template <typename T>
+void naive_herk_upper(T alpha, ConstMatrixView<T> x, T beta, MatrixView<T> c) {
+  const Index n = x.cols();
+  const Index m = x.rows();
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i <= j; ++i) {
+      const T acc = dotc(m, x.col(i), x.col(j));
+      c(i, j) = alpha * acc + (beta == T(0) ? T(0) : beta * c(i, j));
+    }
+  }
+}
+
+namespace detail {
+
+/// Upper triangle of a diagonal block: recursive split, GEMM top-right
+/// quadrant, dotc leaves — only the ~nb^2/2 upper entries are computed.
+template <typename T>
+void herk_diag_upper(T alpha, ConstMatrixView<T> x, T beta, MatrixView<T> c) {
+  const Index nb = x.cols();
+  constexpr Index kLeaf = 12;
+  if (nb <= kLeaf) {
+    for (Index j = 0; j < nb; ++j) {
+      for (Index i = 0; i <= j; ++i) {
+        const T acc = dotc(x.rows(), x.col(i), x.col(j));
+        c(i, j) = alpha * acc + (beta == T(0) ? T(0) : beta * c(i, j));
+      }
+    }
+    return;
+  }
+  const Index h = nb / 2;
+  herk_diag_upper(alpha, x.cols_range(0, h), beta, c.block(0, 0, h, h));
+  auto topright = c.block(0, h, h, nb - h);
+  gemm(alpha, Op::kConjTrans, x.cols_range(0, h), Op::kNoTrans,
+       x.cols_range(h, nb - h), beta, topright);
+  herk_diag_upper(alpha, x.cols_range(h, nb - h), beta,
+                  c.block(h, h, nb - h, nb - h));
+}
+
+}  // namespace detail
+
+/// Column-block width of the blocked HERK (matches the pre-engine la::gram).
+inline constexpr Index kHerkBlock = 48;
+
+template <typename T>
+void blocked_herk_upper(T alpha, ConstMatrixView<T> x, T beta,
+                        MatrixView<T> c) {
+  const Index n = x.cols();
+  for (Index j0 = 0; j0 < n; j0 += kHerkBlock) {
+    const Index nj = std::min(kHerkBlock, n - j0);
+    for (Index i0 = 0; i0 < j0; i0 += kHerkBlock) {
+      const Index ni = std::min(kHerkBlock, n - i0);
+      auto cij = c.block(i0, j0, ni, nj);
+      gemm(alpha, Op::kConjTrans, x.cols_range(i0, ni), Op::kNoTrans,
+           x.cols_range(j0, nj), beta, cij);
+    }
+    detail::herk_diag_upper(alpha, x.cols_range(j0, nj), beta,
+                            c.block(j0, j0, nj, nj));
+  }
+}
+
+}  // namespace chase::la::factor

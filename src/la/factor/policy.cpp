@@ -1,0 +1,64 @@
+#include "la/factor/policy.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+// Build-time default policy, plumbed through the CMake cache variable
+// CHASE_DEFAULT_FACTOR_KERNEL (CMakePresets.json).
+#ifndef CHASE_FACTOR_DEFAULT_KERNEL
+#define CHASE_FACTOR_DEFAULT_KERNEL "blocked"
+#endif
+
+namespace chase::la {
+
+namespace {
+
+std::atomic<int>& kernel_slot() {
+  static std::atomic<int> slot = [] {
+    FactorKernel k = parse_factor_kernel(CHASE_FACTOR_DEFAULT_KERNEL)
+                         .value_or(FactorKernel::kBlocked);
+    if (const char* env = std::getenv("CHASE_FACTOR_KERNEL")) {
+      if (auto parsed = parse_factor_kernel(env)) k = *parsed;
+    }
+    return std::atomic<int>(int(k));
+  }();
+  return slot;
+}
+
+}  // namespace
+
+std::string_view factor_kernel_name(FactorKernel k) {
+  switch (k) {
+    case FactorKernel::kNaive:
+      return "naive";
+    case FactorKernel::kBlocked:
+    default:
+      return "blocked";
+  }
+}
+
+std::string_view factor_kernel_counter(FactorKernel k) {
+  switch (k) {
+    case FactorKernel::kNaive:
+      return "la.factor.naive.calls";
+    case FactorKernel::kBlocked:
+    default:
+      return "la.factor.blocked.calls";
+  }
+}
+
+std::optional<FactorKernel> parse_factor_kernel(std::string_view name) {
+  if (name == "naive") return FactorKernel::kNaive;
+  if (name == "blocked") return FactorKernel::kBlocked;
+  return std::nullopt;
+}
+
+FactorKernel factor_kernel() {
+  return FactorKernel(kernel_slot().load(std::memory_order_relaxed));
+}
+
+void set_factor_kernel(FactorKernel k) {
+  kernel_slot().store(int(k), std::memory_order_relaxed);
+}
+
+}  // namespace chase::la

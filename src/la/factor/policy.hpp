@@ -1,0 +1,68 @@
+// Runtime policy for the blocked factorization engine (src/la/factor/).
+//
+// Mirrors the gemm policy (src/la/gemm_policy.hpp): the process picks one of
+// two kernel implementations for every TRSM/TRMM/POTRF/HERK/HETRD and
+// compact-WY (larft/larfb) call,
+//
+//   CHASE_FACTOR_KERNEL = naive | blocked   (default: the CMake cache
+//       variable CHASE_DEFAULT_FACTOR_KERNEL baked into the build)
+//
+//   naive   — the seed scalar kernels: per-column axpy substitution,
+//             left-looking scalar POTRF, dotc Gram loops, per-reflector
+//             rank-2 HETRD updates. Kept verbatim as the reference oracle
+//             every blocked kernel is validated against (tests/la) and the
+//             floor the bench trajectory measures speedups from.
+//   blocked — LAPACK-shaped blocked algorithms: the triangle is split into
+//             kFactorBlock-wide panels, the diagonal blocks run the naive
+//             kernel, and all off-diagonal work is lowered onto la::gemm —
+//             which the GEMM policy in turn routes to the register-tiled
+//             micro engine. This converts the O(n^3) factorization paths of
+//             CholeskyQR and the Rayleigh-Ritz HEEVD from cache-hostile
+//             scalar loops into micro-kernel flops.
+//
+// The policy is process-global and cheap to read (one relaxed atomic load);
+// ScopedFactorKernel lets benches and tests flip it per section.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+enum class FactorKernel : int { kNaive = 0, kBlocked };
+
+/// Panel width of every blocked factorization kernel. Blocked kernels fall
+/// back to the naive path whenever the triangular dimension fits in one
+/// panel, so small subspace factorizations (n_e <= 64) are bitwise identical
+/// across policies and the blocked machinery only engages where the GEMM
+/// lowering pays.
+inline constexpr Index kFactorBlock = 64;
+
+std::string_view factor_kernel_name(FactorKernel k);
+std::optional<FactorKernel> parse_factor_kernel(std::string_view name);
+
+/// Per-call Tracker counter name for a kernel ("la.factor.<name>.calls").
+std::string_view factor_kernel_counter(FactorKernel k);
+
+/// Process-global policy; initialized from CHASE_FACTOR_KERNEL (falling back
+/// to the build-time default) on first use.
+FactorKernel factor_kernel();
+void set_factor_kernel(FactorKernel k);
+
+/// RAII policy override for benches and tests.
+class ScopedFactorKernel {
+ public:
+  explicit ScopedFactorKernel(FactorKernel k) : prev_(factor_kernel()) {
+    set_factor_kernel(k);
+  }
+  ~ScopedFactorKernel() { set_factor_kernel(prev_); }
+  ScopedFactorKernel(const ScopedFactorKernel&) = delete;
+  ScopedFactorKernel& operator=(const ScopedFactorKernel&) = delete;
+
+ private:
+  FactorKernel prev_;
+};
+
+}  // namespace chase::la

@@ -222,59 +222,59 @@ inline void gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
   gemm(alpha, Op::kNoTrans, a, Op::kNoTrans, b, beta, c);
 }
 
-namespace detail {
+}  // namespace chase::la
 
-/// Upper triangle of the diagonal Gram block C = X^H X for a narrow column
-/// slice X (m x nb). Splits recursively: the top-right quadrant is a full
-/// GEMM, the two diagonal quadrants recurse, and small blocks finish as
-/// conjugated dot products — so only the ~nb^2/2 upper entries are computed,
-/// instead of the full nb^2 tile the seed evaluated before mirroring.
+// The HERK kernels consume gemm(); the include is placed after the engine so
+// the pragma-once guard resolves the mutual include in either order.
+#include "la/factor/herk_kernels.hpp"
+#include "la/factor/policy.hpp"
+
+namespace chase::la {
+
+/// Hermitian rank-k update, upper triangle only:
+/// C_upper = alpha X^H X + beta C_upper.
+///
+/// Policy dispatcher (CHASE_FACTOR_KERNEL): `naive` computes conjugated dot
+/// products, `blocked` lowers the off-diagonal tiles onto gemm
+/// (la/factor/herk_kernels.hpp). The lower triangle is never written — the
+/// HERK saving of half the GEMM flops. Callers that need the full matrix
+/// (la::gram) mirror afterwards; CholeskyQR consumes the upper triangle
+/// directly. Tracked calls record "la.herk.flops" / "la.herk.seconds" for
+/// the machine-model factorization-rate calibration.
 template <typename T>
-void gram_diag_upper(ConstMatrixView<T> x, MatrixView<T> c) {
-  const Index nb = x.cols();
-  constexpr Index kLeaf = 12;
-  if (nb <= kLeaf) {
-    for (Index j = 0; j < nb; ++j) {
-      for (Index i = 0; i <= j; ++i) {
-        c(i, j) = dotc(x.rows(), x.col(i), x.col(j));
-      }
-    }
-    return;
+void herk_upper(T alpha, ConstMatrixView<T> x, T beta, MatrixView<T> c) {
+  const Index n = x.cols();
+  CHASE_CHECK(c.rows() == n && c.cols() == n);
+  const FactorKernel kernel = factor_kernel();
+  const bool tracked = perf::thread_tracker() != nullptr;
+  WallTimer timer;
+  if (kernel == FactorKernel::kBlocked) {
+    factor::blocked_herk_upper(alpha, x, beta, c);
+  } else {
+    factor::naive_herk_upper(alpha, x, beta, c);
   }
-  const Index h = nb / 2;
-  gram_diag_upper(x.cols_range(0, h), c.block(0, 0, h, h));
-  auto topright = c.block(0, h, h, nb - h);
-  gemm(T(1), Op::kConjTrans, x.cols_range(0, h), Op::kNoTrans,
-       x.cols_range(h, nb - h), T(0), topright);
-  gram_diag_upper(x.cols_range(h, nb - h), c.block(h, h, nb - h, nb - h));
+  if (tracked && perf::thread_tracker() != nullptr) {
+    auto* t = perf::thread_tracker();
+    t->bump("la.herk.flops",
+            (kIsComplex<T> ? 4.0 : 1.0) * double(x.rows()) * double(n) *
+                double(n));
+    t->bump("la.herk.seconds", timer.seconds());
+    t->bump(factor_kernel_counter(kernel), 1.0);
+  }
 }
-
-}  // namespace detail
 
 /// Hermitian rank-k update used to form Gram matrices: C = X^H X.
 ///
-/// Only the upper-triangular column blocks are computed (the HERK saving:
-/// half the GEMM flops, the reason the BLAS has a dedicated routine) and the
-/// lower triangle is mirrored; diagonal blocks likewise compute only their
-/// upper triangle (detail::gram_diag_upper). The full n x n result is stored
-/// because ChASE's CholeskyQR and Rayleigh-Ritz consume the full matrix
-/// after an allreduce, matching how the paper assembles A and R redundantly
-/// on every rank.
+/// The upper triangle comes from herk_upper and the lower triangle is
+/// mirrored; the full n x n result is stored because ChASE's Rayleigh-Ritz
+/// consumes the full matrix after an allreduce, matching how the paper
+/// assembles A redundantly on every rank. (CholeskyQR calls herk_upper
+/// directly and never materializes the mirror.)
 template <typename T>
 inline void gram(ConstMatrixView<T> x, MatrixView<T> c) {
   const Index n = x.cols();
   CHASE_CHECK(c.rows() == n && c.cols() == n);
-  constexpr Index kBlock = 48;
-  for (Index j0 = 0; j0 < n; j0 += kBlock) {
-    const Index nj = std::min(kBlock, n - j0);
-    for (Index i0 = 0; i0 < j0; i0 += kBlock) {
-      const Index ni = std::min(kBlock, n - i0);
-      auto cij = c.block(i0, j0, ni, nj);
-      gemm(T(1), Op::kConjTrans, x.cols_range(i0, ni), Op::kNoTrans,
-           x.cols_range(j0, nj), T(0), cij);
-    }
-    detail::gram_diag_upper(x.cols_range(j0, nj), c.block(j0, j0, nj, nj));
-  }
+  herk_upper(T(1), x, T(0), c);
   // Mirror and enforce exact Hermitian symmetry so POTRF sees a numerically
   // Hermitian input regardless of rounding.
   for (Index j = 0; j < n; ++j) {

@@ -10,9 +10,13 @@
 #include <numeric>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "la/blas2.hpp"
+#include "la/factor/latrd.hpp"
+#include "la/factor/policy.hpp"
 #include "la/householder.hpp"
 #include "la/matrix.hpp"
+#include "la/trsm.hpp"
 
 namespace chase::la {
 
@@ -20,6 +24,13 @@ namespace chase::la {
 /// and updated both triangles) to real symmetric tridiagonal form
 /// A = Q T Q^H. On exit d/e hold the diagonal and subdiagonal of T and `q`
 /// holds the unitary back-transform Q (zhetrd + zungtr, lower variant).
+///
+/// Policy dispatcher (CHASE_FACTOR_KERNEL, la/factor/policy.hpp): `naive`
+/// runs the seed per-reflector rank-2 updates, `blocked` the latrd panel
+/// reduction with a rank-2k GEMM trailing update plus a compact-WY Q
+/// back-accumulation (la/factor/latrd.hpp). Tracked calls record
+/// "la.hetrd.flops" / "la.hetrd.seconds" for the machine-model
+/// factorization-rate calibration.
 template <typename T>
 void hetrd_lower(MatrixView<T> a, std::vector<RealType<T>>& d,
                  std::vector<RealType<T>>& e, MatrixView<T> q) {
@@ -36,43 +47,25 @@ void hetrd_lower(MatrixView<T> a, std::vector<RealType<T>>& d,
   }
 
   std::vector<T> taus(std::size_t(n - 1), T(0));
-  std::vector<T> x(static_cast<std::size_t>(n));
-  std::vector<T> v(static_cast<std::size_t>(n));
-
-  for (Index k = 0; k < n - 1; ++k) {
-    const Index nv = n - k - 1;  // reflector length (rows k+1 .. n-1)
-    T alpha = a(k + 1, k);
-    auto refl = larfg(alpha, nv - 1, a.col(k) + k + 2);
-    e[std::size_t(k)] = refl.beta;
-    const T tau = refl.tau;
-    taus[std::size_t(k)] = tau;
-
-    if (tau != T(0)) {
-      // v = [1; stored tail]
-      v[0] = T(1);
-      for (Index i = 1; i < nv; ++i) v[std::size_t(i)] = a(k + 1 + i, k);
-      auto a22 = a.block(k + 1, k + 1, nv, nv);
-      // x = tau * A22 * v
-      gemv(tau, a22.as_const(), v.data(), T(0), x.data());
-      // w = x - (tau/2) (x^H v) v
-      const T corr = -tau * dotc(nv, x.data(), v.data()) / RealType<T>(2);
-      axpy(nv, corr, v.data(), x.data());
-      // A22 -= v w^H + w v^H
-      her2_minus(a22, v.data(), x.data());
-    }
-    d[std::size_t(k)] = real_part(a(k, k));
+  const FactorKernel kernel = factor_kernel();
+  const bool tracked = perf::thread_tracker() != nullptr;
+  WallTimer timer;
+  // Like the other blocked kernels, subspace-sized problems (a single panel
+  // or less) take the seed path so both policies agree bitwise there.
+  if (kernel == FactorKernel::kBlocked && n > kFactorBlock) {
+    factor::blocked_hetrd_reduce(a, d, e, taus);
+    factor::blocked_hetrd_form_q(a.as_const(), taus, q);
+  } else {
+    factor::naive_hetrd_reduce(a, d, e, taus);
+    factor::naive_hetrd_form_q(a.as_const(), taus, q);
   }
-  d[std::size_t(n - 1)] = real_part(a(n - 1, n - 1));
-
-  // Form Q = H_0 H_1 ... H_{n-2} by backward accumulation on the identity.
-  set_identity(q);
-  std::vector<T> work(static_cast<std::size_t>(n));
-  for (Index k = n - 2; k >= 0; --k) {
-    const Index nv = n - k - 1;
-    v[0] = T(1);
-    for (Index i = 1; i < nv; ++i) v[std::size_t(i)] = a(k + 1 + i, k);
-    auto qblk = q.block(k + 1, k + 1, nv, nv);
-    larf_left(taus[std::size_t(k)], v.data() + 1, nv, qblk, work.data());
+  if (tracked) {
+    // Reduction (4/3 n^3) + Q formation (4/3 n^3), x4 complex.
+    detail::record_factor_call(
+        "la.hetrd.flops", "la.hetrd.seconds", kernel,
+        (kIsComplex<T> ? 4.0 : 1.0) * 8.0 / 3.0 * double(n) * double(n) *
+            double(n),
+        timer.seconds());
   }
 }
 

@@ -17,8 +17,14 @@ namespace chase::la {
   template void gemm<T>(T, Op, ConstMatrixView<T>, Op, ConstMatrixView<T>, T, \
                         MatrixView<T>);                                       \
   template void gram<T>(ConstMatrixView<T>, MatrixView<T>);                   \
+  template void herk_upper<T>(T, ConstMatrixView<T>, T, MatrixView<T>);       \
   template int potrf_upper<T>(MatrixView<T>, RealType<T>);                    \
   template void trsm_right_upper<T>(ConstMatrixView<T>, MatrixView<T>);       \
+  template void trsm_left_lower<T>(ConstMatrixView<T>, MatrixView<T>);        \
+  template void trsm_left_upper_conj<T>(ConstMatrixView<T>, MatrixView<T>);   \
+  template void trmm_right_upper<T>(ConstMatrixView<T>, MatrixView<T>);       \
+  template void trmm_left_upper<T>(ConstMatrixView<T>, MatrixView<T>);        \
+  template void trmm_left_upper_conj<T>(ConstMatrixView<T>, MatrixView<T>);   \
   template void geqrf<T>(MatrixView<T>, std::vector<T>&);                     \
   template void ungqr<T>(MatrixView<T>, const std::vector<T>&);               \
   template void heevd<T>(MatrixView<T>, std::vector<RealType<T>>&,            \

@@ -1,9 +1,17 @@
 // Cholesky factorization of a Hermitian positive-definite matrix.
+//
+// Policy dispatcher (CHASE_FACTOR_KERNEL, la/factor/policy.hpp): `naive`
+// runs the seed left-looking scalar kernel, `blocked` the LAPACK
+// right-looking panel + TRSM + HERK shape (la/factor/potrf_kernels.hpp).
+// Tracked calls record "la.potrf.flops" / "la.potrf.seconds" for the
+// machine-model factorization-rate calibration.
 #pragma once
 
-#include <cmath>
-
+#include "common/timer.hpp"
+#include "la/factor/policy.hpp"
+#include "la/factor/potrf_kernels.hpp"
 #include "la/matrix.hpp"
+#include "la/trsm.hpp"
 
 namespace chase::la {
 
@@ -19,34 +27,25 @@ namespace chase::la {
 /// rank-deficient block can round to barely-positive pivots that plain
 /// LAPACK POTRF would accept while the resulting triangular solve is
 /// useless. CholeskyQR passes n*u here so the fallback engages
-/// deterministically.
+/// deterministically. Both policies derive the floor from the original
+/// diagonal, so structured breakdowns report the same index.
 template <typename T>
 int potrf_upper(MatrixView<T> a, RealType<T> rel_pivot_tol = RealType<T>(0)) {
   const Index n = a.rows();
   CHASE_CHECK(a.cols() == n);
-  using R = RealType<T>;
-  R max_diag(0);
-  for (Index j = 0; j < n; ++j) {
-    max_diag = std::max(max_diag, real_part(a(j, j)));
+  const FactorKernel kernel = factor_kernel();
+  const bool tracked = perf::thread_tracker() != nullptr;
+  WallTimer timer;
+  const int info = kernel == FactorKernel::kBlocked
+                       ? factor::blocked_potrf_upper(a, rel_pivot_tol)
+                       : factor::naive_potrf_upper(a, rel_pivot_tol);
+  if (tracked) {
+    const double z = kIsComplex<T> ? 4.0 : 1.0;
+    detail::record_factor_call(
+        "la.potrf.flops", "la.potrf.seconds", kernel,
+        z * double(n) * double(n) * double(n) / 3.0, timer.seconds());
   }
-  const R floor = rel_pivot_tol * max_diag;
-  for (Index j = 0; j < n; ++j) {
-    for (Index i = 0; i < j; ++i) {
-      T acc = a(i, j);
-      for (Index k = 0; k < i; ++k) acc -= conjugate(a(k, i)) * a(k, j);
-      a(i, j) = acc / a(i, i);
-    }
-    R diag = real_part(a(j, j));
-    for (Index k = 0; k < j; ++k) {
-      diag -= real_part(conjugate(a(k, j)) * a(k, j));
-    }
-    if (!(diag > floor) || !(diag > R(0)) || !std::isfinite(diag)) {
-      return int(j) + 1;
-    }
-    a(j, j) = T(std::sqrt(diag));
-    for (Index i = j + 1; i < n; ++i) a(i, j) = T(0);
-  }
-  return 0;
+  return info;
 }
 
 }  // namespace chase::la

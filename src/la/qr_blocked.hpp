@@ -6,8 +6,10 @@
 // robust fallback of Algorithm 4 without being hopeless on large panels.
 #pragma once
 
+#include "la/factor/policy.hpp"
 #include "la/gemm.hpp"
 #include "la/qr.hpp"
+#include "la/trsm.hpp"
 
 namespace chase::la {
 
@@ -15,22 +17,40 @@ namespace detail {
 
 /// Forward compact-WY T factor: H_0 ... H_{k-1} = I - V T V^H, with V the
 /// m x k unit-lower-trapezoidal reflector matrix and tau the scales.
+///
+/// Policy dispatcher: the naive path accumulates V^H v_j column by column —
+/// starting the reduction at row j, where v_j's unit head sits, because the
+/// trapezoid is exactly zero above it — and the blocked path forms the full
+/// Gram block S = V^H V with one GEMM and reads the columns out of it.
 template <typename T>
 void larft(ConstMatrixView<T> v, const std::vector<T>& tau,
            MatrixView<T> t_out) {
   const Index k = v.cols();
   CHASE_CHECK(t_out.rows() == k && t_out.cols() == k);
   set_zero(t_out);
+  if (k == 0) return;
+  const bool blocked = factor_kernel() == FactorKernel::kBlocked;
+  Matrix<T> s;
+  if (blocked) {
+    s.resize(k, k);
+    gemm(T(1), Op::kConjTrans, v, Op::kNoTrans, v, T(0), s.view());
+  }
   for (Index j = 0; j < k; ++j) {
     const T tj = tau[std::size_t(j)];
     if (tj == T(0)) continue;
     // t(0:j, j) = -tau_j * T(0:j, 0:j) * (V(:, 0:j)^H v_j)
-    for (Index i = 0; i < j; ++i) {
-      T acc(0);
-      for (Index r = 0; r < v.rows(); ++r) {
-        acc += conjugate(v(r, i)) * v(r, j);
+    if (blocked) {
+      for (Index i = 0; i < j; ++i) t_out(i, j) = -tj * s(i, j);
+    } else {
+      for (Index i = 0; i < j; ++i) {
+        // v_j is zero above its unit head at row j, so the reduction starts
+        // there: acc = conj(v(j, i)) * 1 + sum_{r > j} conj(v(r, i)) v(r, j).
+        T acc = conjugate(v(j, i));
+        for (Index r = j + 1; r < v.rows(); ++r) {
+          acc += conjugate(v(r, i)) * v(r, j);
+        }
+        t_out(i, j) = -tj * acc;
       }
-      t_out(i, j) = -tj * acc;
     }
     // multiply by the leading triangle of T (in place, back to front)
     for (Index i = 0; i < j; ++i) {
@@ -56,21 +76,15 @@ void larfb_left(ConstMatrixView<T> v, ConstMatrixView<T> t, bool conj,
   auto w = work.block(0, 0, k, c.cols());
   // W = V^H C
   gemm(T(1), Op::kConjTrans, v, Op::kNoTrans, c.as_const(), T(0), w);
-  // W <- T W or T^H W (triangular, small: plain loops)
-  Matrix<T> tw(k, c.cols());
-  for (Index j = 0; j < c.cols(); ++j) {
-    for (Index i = 0; i < k; ++i) {
-      T acc(0);
-      if (conj) {
-        for (Index r = 0; r <= i; ++r) acc += conjugate(t(r, i)) * w(r, j);
-      } else {
-        for (Index r = i; r < k; ++r) acc += t(i, r) * w(r, j);
-      }
-      tw(i, j) = acc;
-    }
+  // W <- T W or T^H W: in-place triangular multiply (no scratch matrix; the
+  // sweep direction only reads not-yet-overwritten rows).
+  if (conj) {
+    trmm_left_upper_conj(t, w);
+  } else {
+    trmm_left_upper(t, w);
   }
   // C -= V (T W)
-  gemm(T(-1), Op::kNoTrans, v, Op::kNoTrans, tw.cview(), T(1), c);
+  gemm(T(-1), Op::kNoTrans, v, Op::kNoTrans, w.as_const(), T(1), c);
 }
 
 /// Blocked in-place QR factorization (panel width nb); output layout matches

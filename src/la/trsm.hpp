@@ -1,10 +1,44 @@
-// Triangular solves needed by the CholeskyQR family and the direct solvers.
+// Triangular solves and multiplies needed by the CholeskyQR family, the
+// compact-WY block reflectors and the direct solvers.
+//
+// Every entry point is a policy dispatcher (CHASE_FACTOR_KERNEL,
+// la/factor/policy.hpp): `naive` runs the seed scalar kernels, `blocked`
+// lowers the off-diagonal work onto la::gemm (la/factor/trsm_kernels.hpp).
+// Tracked calls record cumulative flops and wall seconds ("la.trsm.flops" /
+// "la.trsm.seconds", "la.trmm.*" for the multiplies) plus the per-policy
+// call counter — the measured Gflop/s feed MachineModel::calibrate_factor.
 #pragma once
 
-#include "la/blas1.hpp"
+#include "common/timer.hpp"
+#include "la/factor/policy.hpp"
+#include "la/factor/trsm_kernels.hpp"
 #include "la/matrix.hpp"
+#include "perf/tracker.hpp"
 
 namespace chase::la {
+
+namespace detail {
+
+/// Flop count of one triangular solve/multiply touching the full triangle
+/// against `m` right-hand-side rows/columns (n^2 m multiply-adds, x4 for the
+/// complex multiply-add).
+template <typename T>
+inline double trsm_flop_count(Index n, Index m) {
+  return (kIsComplex<T> ? 4.0 : 1.0) * double(n) * double(n) * double(m);
+}
+
+inline void record_factor_call(std::string_view flops_counter,
+                               std::string_view seconds_counter,
+                               FactorKernel kernel, double flops,
+                               double seconds) {
+  if (auto* t = perf::thread_tracker()) {
+    t->bump(flops_counter, flops);
+    t->bump(seconds_counter, seconds);
+    t->bump(factor_kernel_counter(kernel), 1.0);
+  }
+}
+
+}  // namespace detail
 
 /// X <- X * R^{-1} with R upper triangular (right-side solve).
 ///
@@ -14,14 +48,18 @@ template <typename T>
 void trsm_right_upper(ConstMatrixView<T> r, MatrixView<T> x) {
   const Index n = r.rows();
   CHASE_CHECK(r.cols() == n && x.cols() == n);
-  const Index m = x.rows();
-  for (Index j = 0; j < n; ++j) {
-    T* xj = x.col(j);
-    for (Index l = 0; l < j; ++l) {
-      axpy(m, -r(l, j), x.col(l), xj);
-    }
-    const T inv = T(1) / r(j, j);
-    scal(m, inv, xj);
+  const FactorKernel kernel = factor_kernel();
+  const bool tracked = perf::thread_tracker() != nullptr;
+  WallTimer timer;
+  if (kernel == FactorKernel::kBlocked) {
+    factor::blocked_trsm_right_upper(r, x);
+  } else {
+    factor::naive_trsm_right_upper(r, x);
+  }
+  if (tracked) {
+    detail::record_factor_call("la.trsm.flops", "la.trsm.seconds", kernel,
+                               detail::trsm_flop_count<T>(n, x.rows()),
+                               timer.seconds());
   }
 }
 
@@ -30,13 +68,18 @@ template <typename T>
 void trsm_left_lower(ConstMatrixView<T> l, MatrixView<T> x) {
   const Index n = l.rows();
   CHASE_CHECK(l.cols() == n && x.rows() == n);
-  for (Index j = 0; j < x.cols(); ++j) {
-    T* xj = x.col(j);
-    for (Index i = 0; i < n; ++i) {
-      T acc = xj[i];
-      for (Index k = 0; k < i; ++k) acc -= l(i, k) * xj[k];
-      xj[i] = acc / l(i, i);
-    }
+  const FactorKernel kernel = factor_kernel();
+  const bool tracked = perf::thread_tracker() != nullptr;
+  WallTimer timer;
+  if (kernel == FactorKernel::kBlocked) {
+    factor::blocked_trsm_left_lower(l, x);
+  } else {
+    factor::naive_trsm_left_lower(l, x);
+  }
+  if (tracked) {
+    detail::record_factor_call("la.trsm.flops", "la.trsm.seconds", kernel,
+                               detail::trsm_flop_count<T>(n, x.cols()),
+                               timer.seconds());
   }
 }
 
@@ -46,13 +89,18 @@ template <typename T>
 void trsm_left_upper_conj(ConstMatrixView<T> r, MatrixView<T> x) {
   const Index n = r.rows();
   CHASE_CHECK(r.cols() == n && x.rows() == n);
-  for (Index j = 0; j < x.cols(); ++j) {
-    T* xj = x.col(j);
-    for (Index i = 0; i < n; ++i) {
-      T acc = xj[i];
-      for (Index k = 0; k < i; ++k) acc -= conjugate(r(k, i)) * xj[k];
-      xj[i] = acc / conjugate(r(i, i));
-    }
+  const FactorKernel kernel = factor_kernel();
+  const bool tracked = perf::thread_tracker() != nullptr;
+  WallTimer timer;
+  if (kernel == FactorKernel::kBlocked) {
+    factor::blocked_trsm_left_upper_conj(r, x);
+  } else {
+    factor::naive_trsm_left_upper_conj(r, x);
+  }
+  if (tracked) {
+    detail::record_factor_call("la.trsm.flops", "la.trsm.seconds", kernel,
+                               detail::trsm_flop_count<T>(n, x.cols()),
+                               timer.seconds());
   }
 }
 
@@ -62,13 +110,60 @@ template <typename T>
 void trmm_right_upper(ConstMatrixView<T> r, MatrixView<T> x) {
   const Index n = r.rows();
   CHASE_CHECK(r.cols() == n && x.cols() == n);
-  const Index m = x.rows();
-  for (Index j = n - 1; j >= 0; --j) {
-    T* xj = x.col(j);
-    scal(m, r(j, j), xj);
-    for (Index l = 0; l < j; ++l) {
-      axpy(m, r(l, j), x.col(l), xj);
-    }
+  const FactorKernel kernel = factor_kernel();
+  const bool tracked = perf::thread_tracker() != nullptr;
+  WallTimer timer;
+  if (kernel == FactorKernel::kBlocked) {
+    factor::blocked_trmm_right_upper(r, x);
+  } else {
+    factor::naive_trmm_right_upper(r, x);
+  }
+  if (tracked) {
+    detail::record_factor_call("la.trmm.flops", "la.trmm.seconds", kernel,
+                               detail::trsm_flop_count<T>(n, x.rows()),
+                               timer.seconds());
+  }
+}
+
+/// W <- U * W in place with U upper triangular (the T-factor multiply of the
+/// compact-WY larfb; replaces the scratch-matrix scalar multiply the seed
+/// allocated per call).
+template <typename T>
+void trmm_left_upper(ConstMatrixView<T> u, MatrixView<T> w) {
+  const Index k = u.rows();
+  CHASE_CHECK(u.cols() == k && w.rows() == k);
+  const FactorKernel kernel = factor_kernel();
+  const bool tracked = perf::thread_tracker() != nullptr;
+  WallTimer timer;
+  if (kernel == FactorKernel::kBlocked) {
+    factor::blocked_trmm_left_upper(u, w);
+  } else {
+    factor::naive_trmm_left_upper(u, w);
+  }
+  if (tracked) {
+    detail::record_factor_call("la.trmm.flops", "la.trmm.seconds", kernel,
+                               detail::trsm_flop_count<T>(k, w.cols()),
+                               timer.seconds());
+  }
+}
+
+/// W <- U^H * W in place with U upper triangular.
+template <typename T>
+void trmm_left_upper_conj(ConstMatrixView<T> u, MatrixView<T> w) {
+  const Index k = u.rows();
+  CHASE_CHECK(u.cols() == k && w.rows() == k);
+  const FactorKernel kernel = factor_kernel();
+  const bool tracked = perf::thread_tracker() != nullptr;
+  WallTimer timer;
+  if (kernel == FactorKernel::kBlocked) {
+    factor::blocked_trmm_left_upper_conj(u, w);
+  } else {
+    factor::naive_trmm_left_upper_conj(u, w);
+  }
+  if (tracked) {
+    detail::record_factor_call("la.trmm.flops", "la.trmm.seconds", kernel,
+                               detail::trsm_flop_count<T>(k, w.cols()),
+                               timer.seconds());
   }
 }
 

@@ -98,10 +98,12 @@ void redistribute_c2b(const ChaseModelSetup& s, const Sizes& sz,
 void cholqr_rep(const ChaseModelSetup& s, const Sizes& sz, ModelComm& comm,
                 Tracker& t) {
   const Index ne = s.subspace();
-  comm.all_reduce(std::size_t(ne) * std::size_t(ne) *
+  // The real cholqr_step reduces only the packed upper triangle of the Gram
+  // matrix: ne(ne+1)/2 scalars instead of ne^2.
+  comm.all_reduce(std::size_t(ne) * std::size_t(ne + 1) / 2 *
                       std::size_t(s.scalar_bytes),
                   s.nprow);
-  t.add_flops(FlopClass::kGemm,
+  t.add_flops(FlopClass::kFactor,
               2.0 * sz.z1 * double(sz.mloc) * double(ne) * double(ne));
   t.add_flops(FlopClass::kSmall,
               sz.z1 * double(ne) * double(ne) * double(ne) / 3.0);
@@ -251,14 +253,14 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
           cholqr_rep(s, sz, comm, t);
           break;
         case qr::QrVariant::kShiftedCholQr2:
-          // Shifted pass: Gram allreduce + Frobenius-norm allreduce, then
-          // CholeskyQR2.
-          comm.all_reduce(std::size_t(ne) * std::size_t(ne) *
+          // Shifted pass: packed-triangle Gram allreduce + Frobenius-norm
+          // allreduce, then CholeskyQR2.
+          comm.all_reduce(std::size_t(ne) * std::size_t(ne + 1) / 2 *
                               std::size_t(s.scalar_bytes),
                           s.nprow);
           comm.all_reduce(std::size_t(s.real_bytes), s.nprow);
-          t.add_flops(FlopClass::kGemm, 2.0 * sz.z1 * double(sz.mloc) *
-                                            double(ne) * double(ne));
+          t.add_flops(FlopClass::kFactor, 2.0 * sz.z1 * double(sz.mloc) *
+                                              double(ne) * double(ne));
           t.add_flops(FlopClass::kSmall,
                       sz.z1 * double(ne) * double(ne) * double(ne) / 3.0);
           cholqr_rep(s, sz, comm, t);

@@ -28,6 +28,18 @@ void MachineModel::calibrate_gemm(const Tracker& t, double min_seconds) {
   if (flops > 0 && seconds >= min_seconds) gemm_flops = flops / seconds;
 }
 
+void MachineModel::calibrate_factor(const Tracker& t, double min_seconds) {
+  static constexpr const char* kFamilies[] = {"la.trsm", "la.trmm", "la.potrf",
+                                              "la.herk", "la.hetrd"};
+  double flops = 0;
+  double seconds = 0;
+  for (const char* fam : kFamilies) {
+    flops += t.counter(std::string(fam) + ".flops");
+    seconds += t.counter(std::string(fam) + ".seconds");
+  }
+  if (flops > 0 && seconds >= min_seconds) factor_flops = flops / seconds;
+}
+
 double MachineModel::memcpy_seconds(std::size_t bytes) const {
   return pcie_latency + double(bytes) / pcie_bw;
 }

@@ -21,6 +21,10 @@ struct MachineModel {
   double gemm_flops = 17.0e12;   // large HEMM/GEMM, near-peak tensor FP64
   double panel_flops = 0.5e12;   // BLAS-2-bound Householder panel kernels
   double small_flops = 0.5e12;   // redundant n_e x n_e kernels (EVD, POTRF)
+  double factor_flops = 17.0e12; // level-3 factorization (HERK/TRSM/POTRF);
+                                 // defaults to the GEMM rate — the blocked
+                                 // engine lowers these onto GEMM — and is
+                                 // replaced by calibrate_factor()
   double hbm_bw = 1.3e12;        // bytes/s, for BLAS-1 bound residual norms
 
   // --- host <-> device staging (PCIe gen4 x16) ---
@@ -77,6 +81,13 @@ struct MachineModel {
   /// kernel time was tracked — tiny samples are all dispatch overhead and
   /// would mis-calibrate the model downward.
   void calibrate_gemm(const Tracker& t, double min_seconds = 1e-3);
+
+  /// Same for the effective factorization rate: sums the flop/second
+  /// counters of the level-3 factorization engine ("la.trsm.*", "la.trmm.*",
+  /// "la.potrf.*", "la.herk.*", "la.hetrd.*", recorded by the dispatchers in
+  /// src/la/trsm.hpp, potrf.hpp, gemm.hpp, heevd.hpp) and replaces
+  /// factor_flops with the measured aggregate rate.
+  void calibrate_factor(const Tracker& t, double min_seconds = 1e-3);
 };
 
 }  // namespace chase::perf

@@ -68,8 +68,10 @@ struct MemcpyEvent {
 
 /// Kernel class a flop count is attributed to; the machine model prices each
 /// class at a different effective rate (large GEMMs run near peak, panel
-/// factorizations at a fraction, tiny redundant kernels far below).
-enum class FlopClass : int { kGemm = 0, kPanel, kSmall, kCount_ };
+/// factorizations at a fraction, tiny redundant kernels far below; kFactor is
+/// level-3 factorization work — HERK/TRSM/POTRF/HETRD — priced at the
+/// measured rate of the blocked factorization engine).
+enum class FlopClass : int { kGemm = 0, kPanel, kSmall, kFactor, kCount_ };
 
 inline constexpr int kFlopClassCount = int(FlopClass::kCount_);
 

@@ -3,13 +3,19 @@
 // All functions orthonormalize a (possibly distributed) tall matrix X in
 // place and discard R — ChASE only consumes the Q factor. In the distributed
 // case X is the local row block of a 1D distribution over `comm` and the only
-// communication per repetition is one n x n allreduce of the Gram matrix,
-// which is what makes CholeskyQR communication-avoiding compared to the one
-// allreduce *per column* of Householder QR.
+// communication per repetition is one allreduce of the Gram matrix's upper
+// triangle — n(n+1)/2 entries, half the wire volume of the full matrix the
+// seed reduced — which is what makes CholeskyQR communication-avoiding
+// compared to the one allreduce *per column* of Householder QR.
+//
+// The Gram matrix is formed with la::herk_upper (upper triangle only, the
+// HERK flop saving) and never mirrored: POTRF and the TRSM back-substitution
+// read only the upper triangle.
 #pragma once
 
 #include <cmath>
 #include <optional>
+#include <vector>
 
 #include "comm/communicator.hpp"
 #include "common/faultinject.hpp"
@@ -31,20 +37,58 @@ namespace detail {
 
 /// Record the analytic flop counts of one CholeskyQR repetition (what the
 /// cuBLAS/cuSOLVER kernels of the paper's implementation would execute).
-/// SYRK and TRSM on a tall block with thousands of columns run at GEMM-class
-/// rates on the GPU — the very reason CholeskyQR wins over the BLAS-2-bound
-/// Householder panels.
+/// The HERK and TRSM on a tall block are kFactor work — priced at the
+/// measured factorization rate (MachineModel::factor_flops, calibrated from
+/// the la.trsm/la.herk counters) rather than assumed to hit the GEMM peak.
 template <typename T>
 void account_cholqr_flops(Index m_local, Index n) {
   if (auto* t = perf::thread_tracker()) {
     const double z = kIsComplex<T> ? 4.0 : 1.0;
-    // SYRK (Gram) + TRSM (back substitution): m n^2 each.
-    t->add_flops(perf::FlopClass::kGemm,
+    // HERK (Gram) + TRSM (back substitution): m n^2 each.
+    t->add_flops(perf::FlopClass::kFactor,
                  2.0 * z * double(m_local) * double(n) * double(n));
     // Redundant POTRF of the n x n Gram matrix.
     t->add_flops(perf::FlopClass::kSmall,
                  z * double(n) * double(n) * double(n) / 3.0);
   }
+}
+
+/// Column-major upper-triangle pack: n(n+1)/2 entries, diagonal last per
+/// column.
+template <typename T>
+void pack_upper(ConstMatrixView<T> a, T* buf) {
+  const Index n = a.rows();
+  Index idx = 0;
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i <= j; ++i) buf[idx++] = a(i, j);
+  }
+}
+
+/// Inverse of pack_upper; the diagonal is forced real (the reduced imaginary
+/// parts are exact zeros — every rank's Gram diagonal is a sum of squared
+/// moduli — so this only strips representation noise, matching the seed's
+/// post-mirror normalization).
+template <typename T>
+void unpack_upper(const T* buf, MatrixView<T> a) {
+  const Index n = a.rows();
+  Index idx = 0;
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < j; ++i) a(i, j) = buf[idx++];
+    a(j, j) = T(real_part(buf[idx++]));
+  }
+}
+
+/// Allreduce of the Gram matrix's upper triangle (no-op without a
+/// communicator): pack, reduce n(n+1)/2 scalars, unpack.
+template <typename T>
+void all_reduce_upper(MatrixView<T> gram, const Communicator* comm) {
+  if (comm == nullptr) return;
+  const Index n = gram.rows();
+  const Index packed = n * (n + 1) / 2;
+  std::vector<T> tri(static_cast<std::size_t>(packed));
+  pack_upper(gram.as_const(), tri.data());
+  comm->all_reduce(tri.data(), packed);
+  unpack_upper(tri.data(), gram);
 }
 
 }  // namespace detail
@@ -58,10 +102,8 @@ template <typename T>
 int cholqr_step(MatrixView<T> x, const Communicator* comm) {
   const Index n = x.cols();
   Matrix<T> gram(n, n);
-  la::gram(x.as_const(), gram.view());
-  if (comm != nullptr) {
-    comm->all_reduce(gram.data(), n * n);
-  }
+  la::herk_upper(T(1), x.as_const(), T(0), gram.view());
+  detail::all_reduce_upper(gram.view(), comm);
   // Simulated breakdown before the factorization: X is untouched (no trsm),
   // exactly like a real POTRF failure, so the recovery ladder restarts from
   // an intact X.
@@ -101,10 +143,10 @@ int shifted_cholqr_step(MatrixView<T> x, const Communicator* comm,
   using R = RealType<T>;
   const Index n = x.cols();
   Matrix<T> gram(n, n);
-  la::gram(x.as_const(), gram.view());
+  la::herk_upper(T(1), x.as_const(), T(0), gram.view());
   R norm2 = la::frobenius_norm_squared(x.as_const());
+  detail::all_reduce_upper(gram.view(), comm);
   if (comm != nullptr) {
-    comm->all_reduce(gram.data(), n * n);
     comm->all_reduce(&norm2, 1);
   }
   const R u = unit_roundoff<T>();

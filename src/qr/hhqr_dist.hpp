@@ -14,8 +14,10 @@
 
 #include "comm/communicator.hpp"
 #include "dist/index_map.hpp"
+#include "la/factor/policy.hpp"
 #include "la/householder.hpp"
 #include "la/qr.hpp"
+#include "la/qr_blocked.hpp"
 #include "perf/tracker.hpp"
 
 namespace chase::qr {
@@ -34,7 +36,14 @@ void hhqr_dist(la::MatrixView<T> x, const IndexMap& map,
   CHASE_CHECK_MSG(x.rows() == map.local_size(comm.rank()),
                   "hhqr_dist: local rows do not match the map");
   if (comm.size() == 1) {
-    la::householder_orthonormalize(x);
+    // Single-rank fallback path: under the blocked factorization policy use
+    // the compact-WY blocked QR (panel + larft/larfb GEMM updates) instead
+    // of the per-reflector unblocked kernel.
+    if (la::factor_kernel() == la::FactorKernel::kBlocked) {
+      la::householder_orthonormalize_blocked(x);
+    } else {
+      la::householder_orthonormalize(x);
+    }
     return;
   }
 

@@ -117,10 +117,11 @@ TYPED_TEST(TsqrTyped, RaggedBlockDistribution) {
 }
 
 TEST(Tsqr, CommunicationVolumeMatchesCholQrGram) {
-  // The Section 3.2 comparison: both exchange one n x n block per rank.
-  // Event-byte conventions differ by collective — an allreduce event records
-  // the per-rank buffer (n*n), an allgather event the full gathered payload
-  // (p*n*n) — so TSQR's recorded volume is exactly p times CholQR's.
+  // The Section 3.2 comparison: TSQR allgathers one n x n R block per rank,
+  // while CholQR allreduces only the packed upper triangle of the Hermitian
+  // Gram matrix — n(n+1)/2 scalars. Event-byte conventions differ by
+  // collective — an allreduce event records the per-rank buffer, an
+  // allgather event the full gathered payload (p * n * n).
   using T = double;
   const Index m = 64, n = 8;
   const int p = 4;
@@ -146,7 +147,10 @@ TEST(Tsqr, CommunicationVolumeMatchesCholQrGram) {
     return bytes;
   };
 
-  EXPECT_EQ(volume(true), std::size_t(p) * volume(false));
+  EXPECT_EQ(volume(true), std::size_t(p) * std::size_t(n) * std::size_t(n) *
+                              sizeof(T));
+  EXPECT_EQ(volume(false),
+            std::size_t(n) * std::size_t(n + 1) / 2 * sizeof(T));
 }
 
 }  // namespace
