@@ -34,8 +34,14 @@ Factorization-engine invariants (results/bench_factor.json, hard failures):
   * any end-to-end consumer (CholeskyQR2, Rayleigh-Ritz HEEVD) regressing
     under the blocked policy (ratio blocked/naive > 1.0).
 
-Informational: the hemm-vs-gemm median ratios, and staged-vs-seed ratios
-below parity (the staged engine being faster is fine).
+Checkpoint invariants (results/bench_checkpoint.json, hard failures):
+  * snapshot capture exceeding 5% of the filter time per solve — the
+    fault-tolerance machinery must stay a footnote next to the kernel it
+    protects.
+
+Informational: the hemm-vs-gemm median ratios, staged-vs-seed ratios below
+parity (the staged engine being faster is fine), and the wall-clock cost of
+arming the ABFT checksummed collectives.
 """
 
 import json
@@ -154,12 +160,35 @@ def check_factor(data: dict, failures: list) -> None:
                 "under the blocked policy (must be <= 1.0x)")
 
 
+def check_checkpoint(data: dict, failures: list) -> None:
+    c = data["checkpoint"]
+    print(f"checkpoint n={c['n']} ne={c['ne']} iterations={c['iterations']} "
+          f"captures={c['captures']:.0f} "
+          f"snapshot {c['snapshot_bytes']:.0f} B")
+    print(f"  capture {c['snapshot_seconds']:.4f}s  "
+          f"filter {c['filter_seconds']:.4f}s  "
+          f"overhead ratio {c['overhead_ratio']:.4f}  "
+          f"decode {c['resume_decode_seconds']:.4f}s")
+    if c["overhead_ratio"] > 0.05:
+        failures.append(
+            f"checkpoint capture is {c['overhead_ratio']:.3f}x the filter "
+            "time (budget is 0.05x)")
+    if c["captures"] <= 0:
+        failures.append("checkpointed solve recorded no captures")
+    a = c.get("abft")
+    if a:
+        print(f"  abft (n={a['n']}): off {a['off_seconds']:.4f}s  "
+              f"on {a['on_seconds']:.4f}s  ratio {a['ratio']:.3f} "
+              "(informational)")
+
+
 def main() -> int:
     paths = sys.argv[1:]
     if not paths:
         paths = [p for p in ("results/bench_kernels.json",
                              "results/bench_engine.json",
-                             "results/bench_factor.json")
+                             "results/bench_factor.json",
+                             "results/bench_checkpoint.json")
                  if os.path.exists(p)]
         if not paths:
             print("no result files found (run the micro benches first)")
@@ -176,6 +205,8 @@ def main() -> int:
             check_engine(data, failures)
         elif "factor" in data:
             check_factor(data, failures)
+        elif "checkpoint" in data:
+            check_checkpoint(data, failures)
         else:
             failures.append(f"{path}: unrecognized result shape")
         print()

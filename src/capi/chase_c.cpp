@@ -2,12 +2,29 @@
 
 #include <complex>
 #include <cstring>
+#include <memory>
+#include <mutex>
 
+#include "ckpt/restart.hpp"
 #include "core/sequential.hpp"
 
 namespace {
 
 using namespace chase;
+
+/* Process-global checkpoint policy for the C entry points: one shared
+ * file-backed sink plus the capture cadence, guarded for concurrent
+ * callers. */
+struct CkptState {
+  std::mutex mutex;
+  std::unique_ptr<ckpt::FileSink> sink;
+  int interval = 0;
+};
+
+CkptState& ckpt_state() {
+  static CkptState state;
+  return state;
+}
 
 template <typename T>
 int solve_lowest(const T* h, long n, const chase_params* p,
@@ -28,7 +45,24 @@ int solve_lowest(const T* h, long n, const chase_params* p,
 
   try {
     la::ConstMatrixView<T> hv(h, n, n, n);
-    auto result = core::solve_sequential<T>(hv, cfg);
+    // Checkpoint plumbing: capture into the shared sink at the configured
+    // cadence, and resume from the newest decodable snapshot whose shape and
+    // scalar type match this problem (decode<T> rejects a tag mismatch).
+    auto& cs = ckpt_state();
+    std::lock_guard<std::mutex> ckpt_lock(cs.mutex);
+    ckpt::SolveCkpt<T> ck;
+    ckpt::Snapshot<T> snap;
+    std::unique_ptr<ckpt::CheckpointEngine<T>> engine;
+    if (cs.sink != nullptr) {
+      engine = std::make_unique<ckpt::CheckpointEngine<T>>(cs.sink.get(),
+                                                           cs.interval);
+      ck.engine = engine.get();
+      if (ckpt::load_last_good(*cs.sink, snap) && snap.n == n &&
+          snap.ne == cfg.subspace()) {
+        ck.resume = &snap;
+      }
+    }
+    auto result = core::solve_sequential<T>(hv, cfg, nullptr, {}, ck);
     for (long j = 0; j < p->nev; ++j) {
       w[j] = result.eigenvalues[std::size_t(j)];
     }
@@ -68,6 +102,28 @@ int chase_zheev_lowest(const double* h, long n, const chase_params* p,
 int chase_dsyev_lowest(const double* h, long n, const chase_params* p,
                        double* w, double* z) {
   return solve_lowest(h, n, p, w, z);
+}
+
+int chase_checkpoint_enable(const char* dir, int interval) {
+  if (dir == nullptr || dir[0] == '\0') return CHASE_INVALID_ARGUMENT;
+  try {
+    auto sink = std::make_unique<chase::ckpt::FileSink>(dir);
+    auto& cs = ckpt_state();
+    std::lock_guard<std::mutex> lock(cs.mutex);
+    cs.sink = std::move(sink);
+    cs.interval =
+        interval > 0 ? interval : chase::ckpt::checkpoint_interval();
+    return CHASE_SUCCESS;
+  } catch (const chase::Error&) {
+    return CHASE_INVALID_ARGUMENT;
+  }
+}
+
+void chase_checkpoint_disable(void) {
+  auto& cs = ckpt_state();
+  std::lock_guard<std::mutex> lock(cs.mutex);
+  cs.sink.reset();
+  cs.interval = 0;
 }
 
 }  // extern "C"

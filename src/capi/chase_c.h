@@ -49,6 +49,23 @@ int chase_zheev_lowest(const double* h, long n, const chase_params* p,
 int chase_dsyev_lowest(const double* h, long n, const chase_params* p,
                        double* w, double* z);
 
+/* Checkpoint/restart (src/ckpt) for the solves above.
+ *
+ * chase_checkpoint_enable arms file-backed checkpointing: every subsequent
+ * solve writes a CRC-guarded snapshot of its full state into `dir` every
+ * `interval` outer iterations (interval <= 0 defers to CHASE_CKPT_INTERVAL),
+ * and — if `dir` already holds a snapshot matching the problem shape and
+ * scalar type — resumes from it instead of starting over. A snapshot that
+ * fails its CRC or does not match is skipped silently (the solve simply
+ * starts fresh), so a stale directory is never fatal.
+ * Returns CHASE_SUCCESS, or CHASE_INVALID_ARGUMENT if `dir` is NULL/empty
+ * or cannot be created.
+ */
+int chase_checkpoint_enable(const char* dir, int interval);
+
+/* Disarm checkpointing; solves neither write nor read snapshots. */
+void chase_checkpoint_disable(void);
+
 #ifdef __cplusplus
 }
 #endif

@@ -1,0 +1,47 @@
+// Checksums guarding the fault-tolerance data paths.
+//
+// Two algorithms with two jobs:
+//   * crc32 — guards checkpoint snapshots at rest. A snapshot is written
+//     once and read rarely; the strong mixing of CRC-32 (IEEE 802.3
+//     polynomial, table-driven) catches any byte-level corruption of the
+//     blob, including reordered and truncated payloads.
+//   * fletcher64 — guards collective payloads in flight. The ABFT sentinels
+//     (coll/abft.hpp) checksum every rank's reduced buffer after the hot
+//     allreduce; Fletcher's two running sums cost one pass of adds (no table
+//     lookups, vectorizes) which is what keeps the sentinel affordable on
+//     the per-iteration HEMM path, and position sensitivity is enough to
+//     expose the 0xFF chunk overwrites of a transport corruption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace chase::ckpt {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `bytes`. `seed` chains
+/// incremental computations: pass the previous return value to extend.
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed = 0);
+
+/// Fletcher-64 over the bytes of a buffer: two modulo-2^32 running sums
+/// folded into one 64-bit word. Position-sensitive (unlike a plain sum), one
+/// pass, no tables.
+inline std::uint64_t fletcher64(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t a = 0, b = 0;
+  // Process in blocks small enough that the 32-bit sums cannot overflow the
+  // 64-bit accumulators before folding (255 * 5803 * 2^8 < 2^32 headroom).
+  while (bytes > 0) {
+    std::size_t block = bytes < 5802 ? bytes : 5802;
+    bytes -= block;
+    while (block-- > 0) {
+      a += *p++;
+      b += a;
+    }
+    a %= 0xFFFFFFFFull;
+    b %= 0xFFFFFFFFull;
+  }
+  return (b << 32) | a;
+}
+
+}  // namespace chase::ckpt

@@ -1,0 +1,38 @@
+#include "ckpt/policy.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace chase::ckpt {
+
+namespace {
+
+int env_interval() {
+  static const int v = [] {
+    if (const char* env = std::getenv("CHASE_CKPT_INTERVAL")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) return parsed;
+    }
+    return 0;
+  }();
+  return v;
+}
+
+std::atomic<int>& override_interval() {
+  static std::atomic<int> v{-1};
+  return v;
+}
+
+}  // namespace
+
+int checkpoint_interval() {
+  const int o = override_interval().load(std::memory_order_relaxed);
+  return o >= 0 ? o : env_interval();
+}
+
+void set_checkpoint_interval(int interval) {
+  override_interval().store(interval < 0 ? -1 : interval,
+                            std::memory_order_relaxed);
+}
+
+}  // namespace chase::ckpt

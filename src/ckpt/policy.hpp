@@ -1,0 +1,30 @@
+// Checkpoint cadence policy.
+//
+// CHASE_CKPT_INTERVAL=k captures a snapshot every k-th iteration boundary
+// (0 or unset: checkpointing disabled). Programmatic overrides
+// (set_checkpoint_interval / ScopedCheckpointInterval) shadow the
+// environment — tests and the elastic restart driver use them so cadence is
+// never process-global state they cannot control.
+#pragma once
+
+namespace chase::ckpt {
+
+/// Effective capture cadence: the programmatic override if one is set,
+/// otherwise CHASE_CKPT_INTERVAL, otherwise 0 (disabled).
+int checkpoint_interval();
+
+/// Override the cadence (-1 clears the override, restoring the env value).
+void set_checkpoint_interval(int interval);
+
+class ScopedCheckpointInterval {
+ public:
+  explicit ScopedCheckpointInterval(int interval) {
+    set_checkpoint_interval(interval);
+  }
+  ~ScopedCheckpointInterval() { set_checkpoint_interval(-1); }
+  ScopedCheckpointInterval(const ScopedCheckpointInterval&) = delete;
+  ScopedCheckpointInterval& operator=(const ScopedCheckpointInterval&) =
+      delete;
+};
+
+}  // namespace chase::ckpt

@@ -1,0 +1,215 @@
+// Elastic restart driver: bounded-retry solve over a shrinking team.
+//
+// Each attempt launches the full-size Team (rank threads are cheap here; on
+// a real machine this is the job's original allocation), then ranks known to
+// be dead immediately leave through one side of a collective
+// Communicator::split while the survivors re-form the working communicator
+// on the other side — the MPI_Comm_shrink idiom of ULFM, expressed with the
+// primitives this runtime has. The survivors build a fresh nearly-square
+// grid, re-block the 1D index maps over it, refill their local H panels,
+// restore the last good snapshot from the shared sink and resume the solve
+// at the checkpointed iteration.
+//
+// Degradation ladder (the rung escalates when a failed attempt made no
+// checkpoint progress, and drops back to 0 when one did):
+//   rung 0 — resume from the last good snapshot;
+//   rung 1 — discard the subspace and re-randomize with a salted seed (the
+//            snapshot itself may be implicated in the failure);
+//   rung 2 — give up on the team entirely and fall back to the sequential
+//            driver, still resuming from a snapshot when one decodes.
+// Attempts back off exponentially (transient-fault spacing), and the whole
+// loop is bounded by max_attempts; exhausting it rethrows the last abort.
+//
+// Only a failure whose originating site is "rank.die" names the dead rank
+// (the injected death propagates out of that rank's own thread, so the
+// recorded rank is trustworthy). Watchdog sites name the *detecting* rank —
+// shrinking on those would evict a healthy survivor, so they retry on the
+// same team shape and rely on the ladder instead.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ckpt/engine.hpp"
+#include "comm/communicator.hpp"
+#include "core/sequential.hpp"
+#include "dist/dist_matrix.hpp"
+#include "dist/multivector.hpp"
+
+namespace chase::ckpt {
+
+struct RestartOptions {
+  int nranks = 1;                       // team size of the first attempt
+  perf::Backend backend = perf::Backend::kHostMpi;
+  int max_attempts = 5;                 // bounded retry
+  int backoff_ms = 1;                   // base of the exponential backoff
+  int ckpt_interval = 1;                // snapshot cadence (iterations)
+  SnapshotSink* sink = nullptr;         // nullptr: private in-memory sink
+  bool allow_sequential = true;         // permit the final rung
+};
+
+struct RestartReport {
+  int attempts = 0;                 // team launches (sequential rung excluded)
+  int shrinks = 0;                  // times the team re-formed smaller
+  int rung = 0;                     // highest ladder rung reached
+  bool resumed = false;             // some attempt restored a snapshot
+  bool sequential_fallback = false;
+  std::vector<comm::RankError> failures;  // one per failed attempt, in order
+};
+
+namespace detail {
+
+/// Iteration stamp of the newest decodable snapshot; -1 if none.
+template <typename T>
+long newest_snapshot_iter(SnapshotSink& sink) {
+  Snapshot<T> probe;
+  return load_last_good(sink, probe) ? probe.iter : -1;
+}
+
+}  // namespace detail
+
+/// Solve for cfg.nev eigenpairs of the n x n Hermitian matrix defined by
+/// `element(i, j)` on an elastic team, riding out rank deaths via
+/// checkpoint/restart. The returned eigenvectors are the FULL n x nev block
+/// (gathered before the team disbands — the final grid shape is an
+/// implementation detail the caller cannot predict).
+template <typename T, typename F>
+core::ChaseResult<T> solve_elastic(Index n, F&& element,
+                                   const core::ChaseConfig& cfg,
+                                   const RestartOptions& opts,
+                                   RestartReport* report = nullptr) {
+  CHASE_CHECK_MSG(opts.nranks >= 1 && opts.max_attempts >= 1,
+                  "solve_elastic: invalid options");
+  MemorySink private_sink;
+  SnapshotSink& sink = opts.sink != nullptr ? *opts.sink : private_sink;
+
+  RestartReport local_report;
+  RestartReport& rep = report != nullptr ? *report : local_report;
+  rep = RestartReport{};
+
+  std::set<int> dead;           // world ranks known lost, across attempts
+  int rung = 0;
+  long last_snap_iter = -1;
+  std::optional<comm::TeamAborted> last_abort;
+
+  const auto run_sequential = [&]() -> core::ChaseResult<T> {
+    rep.sequential_fallback = true;
+    rep.rung = std::max(rep.rung, 2);
+    perf::bump_counter("ckpt.restart.sequential");
+    la::Matrix<T> hfull(n, n);
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i < n; ++i) hfull(i, j) = element(i, j);
+    }
+    Snapshot<T> snap;
+    SolveCkpt<T> ck;
+    CheckpointEngine<T> engine(&sink, opts.ckpt_interval);
+    ck.engine = &engine;
+    if (load_last_good(sink, snap)) {
+      ck.resume = &snap;
+      rep.resumed = true;
+    }
+    return core::solve_sequential<T>(hfull.view().as_const(), cfg, nullptr, {},
+                                     ck);
+  };
+
+  for (int attempt = 1; attempt <= opts.max_attempts; ++attempt) {
+    if (rung >= 2) break;  // ladder bottomed out: sequential below
+    if (int(dead.size()) >= opts.nranks) break;  // nobody left to run
+
+    // Decode once on the driver thread; rank threads share it read-only.
+    Snapshot<T> snap;
+    const bool have_snap = rung == 0 && load_last_good(sink, snap);
+    if (have_snap) last_snap_iter = snap.iter;
+
+    core::ChaseConfig acfg = cfg;
+    if (rung == 1) {
+      // Salt, don't replace: distinct per attempt, reproducible per run.
+      acfg.seed = cfg.seed ^ (0x9E3779B97F4A7C15ull * std::uint64_t(attempt));
+      perf::bump_counter("ckpt.restart.rerandomize");
+    }
+
+    ++rep.attempts;
+    core::ChaseResult<T> result;
+    std::mutex result_mutex;
+    bool have_result = false;  // guards a team that aborts post-solve
+
+    try {
+      comm::Team team(opts.nranks, opts.backend);
+      team.run([&](comm::Communicator& world) {
+        if (dead.count(world.rank()) != 0) {
+          // Lost ranks still exist as threads here; leaving through the
+          // other split color is how this runtime spells MPI_Comm_shrink.
+          world.split(/*color=*/1, world.rank());
+          return;
+        }
+        comm::Communicator comm = world.split(/*color=*/0, world.rank());
+        const auto [nprow, npcol] = comm::Grid2d::nearly_square(comm.size());
+        comm::Grid2d grid(comm, nprow, npcol);
+        auto rmap = dist::IndexMap::block(n, nprow);
+        auto cmap = dist::IndexMap::block(n, npcol);
+        dist::DistHermitianMatrix<T> h(grid, rmap, cmap);
+        h.fill(element);
+
+        CheckpointEngine<T> engine(&sink, opts.ckpt_interval);
+        SolveCkpt<T> ck;
+        ck.engine = &engine;
+        if (have_snap) ck.resume = &snap;
+
+        core::ChaseResult<T> r = core::solve(
+            h, acfg, static_cast<core::ChaseObserver<T>*>(nullptr),
+            la::ConstMatrixView<T>{}, ck);
+        // Gather the full eigenvector block while the team is still alive.
+        la::Matrix<T> vfull(n, Index(acfg.nev));
+        dist::gather_rows<T>(grid.col_comm(), rmap,
+                             r.eigenvectors.view().as_const(), vfull.view());
+        if (comm.rank() == 0) {
+          std::lock_guard<std::mutex> lock(result_mutex);
+          result = std::move(r);
+          result.eigenvectors = std::move(vfull);
+          have_result = true;
+        }
+      });
+      CHASE_CHECK_MSG(have_result, "solve_elastic: team produced no result");
+      if (have_snap) rep.resumed = true;
+      rep.rung = std::max(rep.rung, rung);
+      return result;
+    } catch (const comm::TeamAborted& aborted) {
+      last_abort = aborted;
+      rep.failures.push_back(aborted.error());
+      perf::bump_counter("ckpt.restart.aborts");
+      const comm::RankError& err = aborted.error();
+      if (err.site == "rank.die" && err.rank >= 0 &&
+          err.rank < opts.nranks && dead.count(err.rank) == 0) {
+        dead.insert(err.rank);
+        ++rep.shrinks;
+      }
+      // Ladder: a failed attempt that still advanced the checkpoint keeps
+      // (or regains) the resume rung; one that didn't escalates.
+      const long newest = detail::newest_snapshot_iter<T>(sink);
+      if (newest > last_snap_iter) {
+        last_snap_iter = newest;
+        rung = 0;
+      } else {
+        ++rung;
+      }
+      rep.rung = std::max(rep.rung, std::min(rung, 2));
+      if (attempt < opts.max_attempts) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::int64_t(opts.backoff_ms) << (attempt - 1)));
+      }
+    }
+  }
+
+  if (opts.allow_sequential) return run_sequential();
+  if (last_abort.has_value()) throw *last_abort;
+  throw Error("solve_elastic: no attempt possible");
+}
+
+}  // namespace chase::ckpt

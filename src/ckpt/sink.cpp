@@ -1,0 +1,104 @@
+#include "ckpt/sink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/check.hpp"
+
+namespace chase::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kPrefix = "chase_ckpt_";
+constexpr const char* kSuffix = ".bin";
+
+/// Iteration number encoded in a snapshot file name; -1 if the name is not
+/// ours.
+long iter_of(const fs::path& p) {
+  const std::string name = p.filename().string();
+  const std::size_t plen = std::string(kPrefix).size();
+  const std::size_t slen = std::string(kSuffix).size();
+  if (name.size() <= plen + slen || name.compare(0, plen, kPrefix) != 0 ||
+      name.compare(name.size() - slen, slen, kSuffix) != 0) {
+    return -1;
+  }
+  const std::string digits = name.substr(plen, name.size() - plen - slen);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return std::atol(digits.c_str());
+}
+
+/// Snapshot files in `dir`, newest (highest iteration) first.
+std::vector<fs::path> list_snapshots(const std::string& dir) {
+  std::vector<std::pair<long, fs::path>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const long iter = iter_of(entry.path());
+    if (iter >= 0) found.emplace_back(iter, entry.path());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<fs::path> out;
+  out.reserve(found.size());
+  for (auto& [iter, path] : found) out.push_back(std::move(path));
+  return out;
+}
+
+}  // namespace
+
+FileSink::FileSink(std::string dir) : dir_(std::move(dir)) {
+  CHASE_CHECK_MSG(!dir_.empty(), "FileSink: empty directory");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  CHASE_CHECK_MSG(!ec, "FileSink: cannot create directory " + dir_);
+}
+
+void FileSink::store(const std::vector<unsigned char>& blob, long iter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const fs::path final_path =
+      fs::path(dir_) / (kPrefix + std::to_string(iter) + kSuffix);
+  const fs::path tmp_path = fs::path(dir_) / (kPrefix + std::to_string(iter) +
+                                              std::string(kSuffix) + ".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    CHASE_CHECK_MSG(out.good(),
+                    "FileSink: cannot write " + tmp_path.string());
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              std::streamsize(blob.size()));
+    CHASE_CHECK_MSG(out.good(), "FileSink: short write to " +
+                                    tmp_path.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  CHASE_CHECK_MSG(!ec, "FileSink: rename failed for " + final_path.string());
+  // Prune to the newest two generations (double buffering on disk).
+  const auto snapshots = list_snapshots(dir_);
+  for (std::size_t k = 2; k < snapshots.size(); ++k) {
+    fs::remove(snapshots[k], ec);
+  }
+}
+
+std::vector<std::vector<unsigned char>> FileSink::load_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::vector<unsigned char>> out;
+  for (const auto& path : list_snapshots(dir_)) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in.good()) continue;
+    const std::streamsize bytes = in.tellg();
+    in.seekg(0);
+    std::vector<unsigned char> blob(static_cast<std::size_t>(bytes));
+    in.read(reinterpret_cast<char*>(blob.data()), bytes);
+    if (in.gcount() == bytes) out.push_back(std::move(blob));
+    if (out.size() == 2) break;  // only two generations are retained
+  }
+  return out;
+}
+
+}  // namespace chase::ckpt

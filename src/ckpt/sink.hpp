@@ -1,0 +1,97 @@
+// Snapshot sinks: where the encoded blobs live between a failure and the
+// resume.
+//
+// Both sinks keep the last *two* generations — double buffering is what
+// makes the store itself crash-safe: a failure (or corruption) during the
+// write of generation k leaves generation k-1 intact, and load_all() hands
+// candidates back newest-first so the restore path can fall through to the
+// previous good snapshot when the newest one fails its CRC.
+//
+//   MemorySink — two in-memory slots, alternating. The elastic restart
+//     driver's default: the process survives a rank death (ranks are
+//     threads), so the blob only has to survive the Team, not the process.
+//   FileSink   — one file per snapshot in a directory, written to a
+//     temporary name and atomically renamed, pruned to the newest two.
+//     Survives the process; the C API's checkpoint entry points use it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chase::ckpt {
+
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+
+  /// Store one encoded snapshot taken at iteration `iter`. Called by one
+  /// rank per capture; must be safe against concurrent load_all().
+  virtual void store(const std::vector<unsigned char>& blob, long iter) = 0;
+
+  /// All retained blobs, newest first. Callers decode in order and keep the
+  /// first one that validates.
+  virtual std::vector<std::vector<unsigned char>> load_all() = 0;
+};
+
+/// Double-buffered in-memory sink (two slots, alternating writes).
+class MemorySink final : public SnapshotSink {
+ public:
+  void store(const std::vector<unsigned char>& blob, long iter) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[next_].blob = blob;
+    slots_[next_].iter = iter;
+    slots_[next_].valid = true;
+    next_ ^= 1;
+  }
+
+  std::vector<std::vector<unsigned char>> load_all() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::vector<unsigned char>> out;
+    const int newest = slots_[0].valid && slots_[1].valid
+                           ? (slots_[0].iter >= slots_[1].iter ? 0 : 1)
+                           : (slots_[0].valid ? 0 : 1);
+    for (int k = 0; k < 2; ++k) {
+      const auto& slot = slots_[(newest + k) % 2];
+      if (slot.valid) out.push_back(slot.blob);
+    }
+    return out;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[0] = Slot{};
+    slots_[1] = Slot{};
+    next_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::vector<unsigned char> blob;
+    long iter = -1;
+    bool valid = false;
+  };
+  std::mutex mutex_;
+  Slot slots_[2];
+  int next_ = 0;
+};
+
+/// File-backed sink: `dir/chase_ckpt_<iter>.bin`, written via a temporary
+/// name + rename, pruned to the newest two snapshots. The directory is
+/// created if missing.
+class FileSink final : public SnapshotSink {
+ public:
+  explicit FileSink(std::string dir);
+
+  void store(const std::vector<unsigned char>& blob, long iter) override;
+  std::vector<std::vector<unsigned char>> load_all() override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::mutex mutex_;
+  std::string dir_;
+};
+
+}  // namespace chase::ckpt

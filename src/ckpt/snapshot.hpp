@@ -1,0 +1,195 @@
+// Versioned, CRC-guarded snapshot of the full solver state at an iteration
+// boundary.
+//
+// The staged pipeline is designed so that the state crossing an iteration
+// boundary is exactly: the orthonormal subspace C (== C2 after the
+// back-transform), the Ritz values / residuals / filter degrees per column,
+// the locked count, the filter-recovery counter, the spectral bounds from
+// the one-off Lanczos pass, and the RNG identifiers (config seed + the
+// sequence driver's stream counter). Everything else (B, B2, the Rayleigh
+// quotient, the QR workspace) is recomputed inside each iteration, so a
+// solve restored from a snapshot replays the uninterrupted run bitwise.
+//
+// The wire format is a single byte blob:
+//
+//   u64 magic  "CHASEKPT"          u32 version (kSnapshotVersion)
+//   u32 scalar tag                 i64 n, ne, iter, locked,
+//   i64 nan_recoveries, matvecs    u64 seed, rng_stream
+//   f64 b_sup, mu_1, mu_ne
+//   R[ne] ritz   R[ne] resid   i32[ne] degs   T[n*ne] V (column-major)
+//   u32 crc32 of everything above
+//
+// decode() validates magic, version, scalar tag, the declared shape against
+// the blob length, and the trailing CRC; any mismatch rejects the blob (the
+// sinks then fall back to the previous snapshot — the reason both sinks keep
+// two generations).
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "ckpt/checksum.hpp"
+#include "common/scalar.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::ckpt {
+
+using la::Index;
+
+inline constexpr std::uint64_t kSnapshotMagic = 0x54504B4553414843ull;  // "CHASEKPT"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Scalar tag pinning T across a save/load pair.
+template <typename T>
+constexpr std::uint32_t scalar_tag() {
+  if constexpr (kIsComplex<T>) {
+    return sizeof(T) == 8 ? 3u : 4u;  // complex<float> / complex<double>
+  } else {
+    return sizeof(T) == 4 ? 1u : 2u;  // float / double
+  }
+}
+
+template <typename T>
+struct Snapshot {
+  using R = RealType<T>;
+
+  Index n = 0;   // global problem size
+  Index ne = 0;  // subspace width (nev + nex)
+  long iter = 0;
+  Index locked = 0;
+  int nan_recoveries = 0;
+  long matvecs = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t rng_stream = 0;  // sequence-driver stream counter
+  double b_sup = 0, mu_1 = 0, mu_ne = 0;
+  std::vector<R> ritz, resid;
+  std::vector<int> degs;
+  la::Matrix<T> v;  // global n x ne subspace, replicated
+};
+
+namespace detail {
+
+template <typename V>
+void put(std::vector<unsigned char>& out, const V& value) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&value);
+  out.insert(out.end(), p, p + sizeof(V));
+}
+
+inline void put_bytes(std::vector<unsigned char>& out, const void* data,
+                      std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  out.insert(out.end(), p, p + bytes);
+}
+
+/// Bounds-checked sequential reader over a blob.
+struct Reader {
+  const unsigned char* p;
+  std::size_t left;
+
+  template <typename V>
+  bool get(V& value) {
+    if (left < sizeof(V)) return false;
+    std::memcpy(&value, p, sizeof(V));
+    p += sizeof(V);
+    left -= sizeof(V);
+    return true;
+  }
+
+  bool get_bytes(void* data, std::size_t bytes) {
+    if (left < bytes) return false;
+    std::memcpy(data, p, bytes);
+    p += bytes;
+    left -= bytes;
+    return true;
+  }
+};
+
+}  // namespace detail
+
+/// Serialize `snap` into `out` (replacing its contents).
+template <typename T>
+void encode(const Snapshot<T>& snap, std::vector<unsigned char>& out) {
+  using R = RealType<T>;
+  out.clear();
+  const std::size_t ne = std::size_t(snap.ne);
+  out.reserve(128 + ne * (2 * sizeof(R) + sizeof(int)) +
+              std::size_t(snap.n) * ne * sizeof(T) + sizeof(std::uint32_t));
+  detail::put(out, kSnapshotMagic);
+  detail::put(out, kSnapshotVersion);
+  detail::put(out, scalar_tag<T>());
+  detail::put(out, std::int64_t(snap.n));
+  detail::put(out, std::int64_t(snap.ne));
+  detail::put(out, std::int64_t(snap.iter));
+  detail::put(out, std::int64_t(snap.locked));
+  detail::put(out, std::int64_t(snap.nan_recoveries));
+  detail::put(out, std::int64_t(snap.matvecs));
+  detail::put(out, snap.seed);
+  detail::put(out, snap.rng_stream);
+  detail::put(out, snap.b_sup);
+  detail::put(out, snap.mu_1);
+  detail::put(out, snap.mu_ne);
+  detail::put_bytes(out, snap.ritz.data(), ne * sizeof(R));
+  detail::put_bytes(out, snap.resid.data(), ne * sizeof(R));
+  detail::put_bytes(out, snap.degs.data(), ne * sizeof(int));
+  // V is tightly packed column by column (the matrix may carry ld > rows).
+  for (Index j = 0; j < snap.ne; ++j) {
+    detail::put_bytes(out, snap.v.view().col(j),
+                      std::size_t(snap.n) * sizeof(T));
+  }
+  detail::put(out, crc32(out.data(), out.size()));
+}
+
+/// Deserialize a blob into `snap`. Returns false (leaving `snap`
+/// unspecified) on any mismatch: magic, version, scalar type, declared
+/// shape vs blob length, or CRC.
+template <typename T>
+bool decode(const std::vector<unsigned char>& blob, Snapshot<T>& snap) {
+  using R = RealType<T>;
+  if (blob.size() < sizeof(std::uint32_t)) return false;
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, blob.data() + blob.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (crc32(blob.data(), blob.size() - sizeof(stored_crc)) != stored_crc) {
+    return false;
+  }
+  detail::Reader r{blob.data(), blob.size() - sizeof(stored_crc)};
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0, tag = 0;
+  if (!r.get(magic) || magic != kSnapshotMagic) return false;
+  if (!r.get(version) || version != kSnapshotVersion) return false;
+  if (!r.get(tag) || tag != scalar_tag<T>()) return false;
+  std::int64_t n = 0, ne = 0, iter = 0, locked = 0, nanrec = 0, matvecs = 0;
+  if (!r.get(n) || !r.get(ne) || !r.get(iter) || !r.get(locked) ||
+      !r.get(nanrec) || !r.get(matvecs)) {
+    return false;
+  }
+  if (n < 0 || ne < 0 || ne > n || locked < 0 || locked > ne) return false;
+  if (!r.get(snap.seed) || !r.get(snap.rng_stream)) return false;
+  if (!r.get(snap.b_sup) || !r.get(snap.mu_1) || !r.get(snap.mu_ne)) {
+    return false;
+  }
+  snap.n = Index(n);
+  snap.ne = Index(ne);
+  snap.iter = long(iter);
+  snap.locked = Index(locked);
+  snap.nan_recoveries = int(nanrec);
+  snap.matvecs = long(matvecs);
+  snap.ritz.resize(std::size_t(ne));
+  snap.resid.resize(std::size_t(ne));
+  snap.degs.resize(std::size_t(ne));
+  if (!r.get_bytes(snap.ritz.data(), std::size_t(ne) * sizeof(R)) ||
+      !r.get_bytes(snap.resid.data(), std::size_t(ne) * sizeof(R)) ||
+      !r.get_bytes(snap.degs.data(), std::size_t(ne) * sizeof(int))) {
+    return false;
+  }
+  snap.v.resize(Index(n), Index(ne));
+  for (Index j = 0; j < snap.ne; ++j) {
+    if (!r.get_bytes(snap.v.view().col(j), std::size_t(n) * sizeof(T))) {
+      return false;
+    }
+  }
+  return r.left == 0;  // trailing garbage is corruption too
+}
+
+}  // namespace chase::ckpt

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <thread>
 
@@ -14,7 +15,11 @@ namespace {
 std::atomic<long>& timeout_ms() {
   static std::atomic<long> ms = [] {
     long v = 120000;  // generous: legitimate waits cover imbalanced compute
-    if (const char* env = std::getenv("CHASE_BARRIER_TIMEOUT_MS")) {
+    // CHASE_WATCHDOG_MS is the documented knob; CHASE_BARRIER_TIMEOUT_MS is
+    // the original name, kept as a fallback.
+    const char* env = std::getenv("CHASE_WATCHDOG_MS");
+    if (env == nullptr) env = std::getenv("CHASE_BARRIER_TIMEOUT_MS");
+    if (env != nullptr) {
       const long parsed = std::atol(env);
       if (parsed > 0) v = parsed;
     }
@@ -81,13 +86,49 @@ void CommState::barrier_wait(int rank) {
     if (std::chrono::steady_clock::now() >= deadline) {
       --bar_arrived;
       std::ostringstream os;
-      os << "no barrier progress within " << barrier_timeout().count()
-         << " ms (" << bar_arrived + 1 << "/" << size
+      os << "watchdog on rank " << rank << ": no barrier progress within "
+         << barrier_timeout().count() << " ms (" << bar_arrived + 1 << "/"
+         << size
          << " ranks arrived; a sibling likely died outside any collective)";
       errors->record(RankError{rank, "barrier.watchdog", os.str()});
       errors->raise();
     }
   }
+}
+
+void CommState::quiesce_wait(int rank) {
+  std::unique_lock<std::mutex> lock(bar_mutex);
+  // No up-front poison check, and no poison exit from the wait loop: a
+  // sibling may still be reading the buffer this rank published in the
+  // current collective, and leaving early would free it mid-read. All
+  // participants passed the publish barrier, so they arrive here after a
+  // bounded read phase; only the watchdog breaks a (never-expected) hang.
+  const std::uint64_t gen = bar_generation;
+  if (++bar_arrived == size) {
+    bar_arrived = 0;
+    ++bar_generation;
+    bar_cv.notify_all();
+  } else {
+    const auto deadline = std::chrono::steady_clock::now() + barrier_timeout();
+    while (bar_generation == gen) {
+      bar_cv.wait_for(lock, std::chrono::milliseconds(50));
+      if (bar_generation != gen) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        --bar_arrived;
+        std::ostringstream os;
+        os << "watchdog on rank " << rank << ": collective quiesce made no "
+           << "progress within " << barrier_timeout().count() << " ms ("
+           << bar_arrived + 1 << "/" << size << " ranks arrived)";
+        errors->record(RankError{rank, "barrier.watchdog", os.str()});
+        errors->raise();
+      }
+    }
+  }
+  // No poison re-check after the generation completes: a rank that cleared
+  // the collective keeps its result and aborts at the *next* entry check,
+  // exactly like the pre-quiesce barrier. Raising here would race local
+  // post-collective work (e.g. the checkpoint store on rank 0) against a
+  // sibling that already died one collective ahead.
 }
 
 }  // namespace detail
@@ -195,7 +236,7 @@ void Communicator::recv_chunk(int src, std::uint64_t tag, void* data,
                               std::size_t bytes) const {
   std::uint64_t seen = inbox_arrivals();
   while (!try_recv_chunk(src, tag, data, bytes)) {
-    seen = wait_new_arrival(seen);
+    seen = wait_new_arrival(seen, src, tag);
   }
 }
 
@@ -205,7 +246,8 @@ std::uint64_t Communicator::inbox_arrivals() const {
   return box.arrivals;
 }
 
-std::uint64_t Communicator::wait_new_arrival(std::uint64_t seen) const {
+std::uint64_t Communicator::wait_new_arrival(std::uint64_t seen, int src,
+                                             std::uint64_t tag) const {
   auto& st = *state_;
   auto& box = *st.mailboxes[std::size_t(rank_)];
   const auto deadline = std::chrono::steady_clock::now() + barrier_timeout();
@@ -219,14 +261,34 @@ std::uint64_t Communicator::wait_new_arrival(std::uint64_t seen) const {
     if (st.errors->poisoned()) st.errors->raise();
     if (std::chrono::steady_clock::now() >= deadline) {
       std::ostringstream os;
-      os << "no chunk arrived within " << barrier_timeout().count()
-         << " ms (a peer of the collective likely died or stalled)";
+      os << "watchdog on rank " << rank_ << ": no chunk arrived within "
+         << barrier_timeout().count() << " ms";
+      if (src >= 0) {
+        os << " while waiting for rank " << src << " (tag " << tag << ")";
+      }
+      os << " (a peer of the collective likely died or stalled)";
       lock.unlock();
       st.errors->record(RankError{rank_, "p2p.watchdog", os.str()});
       st.errors->raise();
     }
   }
   return box.arrivals;
+}
+
+bool Communicator::agree(std::uint64_t value) const {
+  if (size() <= 1) return true;
+  // Trusted naive transport: publication slots + barriers only — no chunk
+  // channels, so neither p2p.corrupt nor the algorithmic engine can touch
+  // the verification word the ABFT sentinels exchange here.
+  publish_and_sync(&value, sizeof(value), /*tag=*/500);
+  bool same = true;
+  for (int r = 0; r < size(); ++r) {
+    std::uint64_t peer = 0;
+    std::memcpy(&peer, peer_ptr(r), sizeof(peer));
+    same = same && peer == value;
+  }
+  sync_quiesce();  // all ranks done reading the stack slot
+  return same;
 }
 
 std::uint64_t Communicator::next_collective_seq() const {

@@ -99,6 +99,18 @@ struct CommState {
   /// siblings fail to arrive within the watchdog timeout.
   void barrier_wait(int rank);
 
+  /// Quiescing variant for the *final* sync of a publish/read collective:
+  /// siblings may still be reading this rank's published buffer, so poison
+  /// must not release the wait early — unwinding here frees memory a reader
+  /// is touching (the tsan-visible use-after-free of an aborting team). Once
+  /// the publish barrier has completed, every participant finishes its
+  /// bounded read phase and arrives here without throwing (no fault sites or
+  /// nested collectives in between), so waiting out the generation is
+  /// deadlock-free; poison is re-checked and raised only *after* it
+  /// completes. The watchdog stays as the last-resort escape if that
+  /// invariant is ever violated.
+  void quiesce_wait(int rank);
+
   struct Slot {
     const void* ptr = nullptr;
     std::size_t bytes = 0;
@@ -205,8 +217,16 @@ class Communicator {
   std::uint64_t inbox_arrivals() const;
 
   /// Block until the arrival count differs from `seen` (poison-aware,
-  /// watchdog-diagnosed); returns the current count.
-  std::uint64_t wait_new_arrival(std::uint64_t seen) const;
+  /// watchdog-diagnosed); returns the current count. `src`/`tag`, when
+  /// known, name the awaited sender in the watchdog diagnosis.
+  std::uint64_t wait_new_arrival(std::uint64_t seen, int src = -1,
+                                 std::uint64_t tag = 0) const;
+
+  /// Control-plane agreement: true iff every rank passed the same value.
+  /// Runs on the trusted naive publication-slot transport (no chunk
+  /// channels), so the ABFT sentinels can verify data-plane payloads over a
+  /// path the injected transport corruptions cannot reach. Collective.
+  bool agree(std::uint64_t value) const;
 
   /// Next per-rank collective sequence number (tag namespace of one
   /// collective call). Every rank of a communicator must consume these in
@@ -241,6 +261,10 @@ class Communicator {
   void publish_and_sync(const void* ptr, std::size_t bytes, int tag) const;
   const void* peer_ptr(int r) const { return state_->slots[std::size_t(r)].ptr; }
   void sync() const { state_->barrier_wait(rank_); }
+  /// Final sync of a publish/read collective: published buffers may still be
+  /// under a sibling's read, so this wait survives poison until everyone has
+  /// arrived (see CommState::quiesce_wait).
+  void sync_quiesce() const { state_->quiesce_wait(rank_); }
 
   // Perf accounting around a collective body, including the STD backend's
   // staging copies (Section 3.3): D2H before, H2D after. `bytes` is the
@@ -354,7 +378,7 @@ void Communicator::naive_all_reduce(T* data, Index count, Reduction op) const {
       detail::reduce_assign(op, acc[std::size_t(i)], src[i]);
     }
   }
-  sync();  // all ranks done reading
+  sync_quiesce();  // all ranks done reading
   std::copy_n(acc.data(), count, data);
   detail::corrupt_reduced(data, count);
   account_end(perf::CollKind::kAllReduce, bytes, bytes);
@@ -368,7 +392,7 @@ void Communicator::naive_broadcast(T* data, Index count, int root) const {
   if (rank_ != root) {
     std::copy_n(static_cast<const T*>(peer_ptr(root)), count, data);
   }
-  sync();  // root's buffer free again
+  sync_quiesce();  // root's buffer free again
   account_end(perf::CollKind::kBroadcast, bytes, bytes);
 }
 
@@ -388,7 +412,7 @@ void Communicator::naive_all_gather(const T* send, Index count, T* recv) const {
       std::copy_n(static_cast<const T*>(peer_ptr(r)), count,
                   recv + Index(r) * count);
     }
-    sync();
+    sync_quiesce();
   }
   account_end(perf::CollKind::kAllGather, total_bytes, local_bytes);
 }
@@ -412,7 +436,7 @@ void Communicator::naive_all_gather_v(const T* send, Index count, T* recv,
       std::copy_n(static_cast<const T*>(peer_ptr(r)), counts[std::size_t(r)],
                   recv + displs[std::size_t(r)]);
     }
-    sync();
+    sync_quiesce();
   }
   account_end(perf::CollKind::kAllGather, total_bytes, local_bytes);
 }

@@ -30,18 +30,28 @@
 // Sites are armed programmatically (arm / disarm_all) or through the
 // environment:
 //
-//   CHASE_FAULT_INJECT=site[@rank][:times],...
+//   CHASE_FAULT_INJECT=site[@rank][@iter=k][:times],...
 //
 // where rank -1 (default) matches every rank and times -1 fires on every
-// hit (default 1). Trigger budgets are tracked *per rank* so that arming a
+// hit (default 1). `@iter=k` restricts a site to the solver's k-th outer
+// iteration (the pipeline publishes the counter via set_iteration), which
+// is how a failure is planted at a precise point of a long run — e.g.
+// CHASE_FAULT_INJECT=rank.die@1@iter=3 kills rank 1 at its first collective
+// of iteration 3. Trigger budgets are tracked *per rank* so that arming a
 // site with rank -1 fires identically on every rank of an SPMD region —
 // collective-consistent injection, the only kind that keeps ranks in step.
+//
+// The special entry `list` arms nothing; it requests a dump_sites() report
+// on stderr at process exit, so a test run can assert the injected site
+// actually fired (and how often, per rank).
 #pragma once
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -67,6 +77,7 @@ namespace detail {
 struct Site {
   std::string name;
   int rank = -1;   // -1: matches every rank
+  int iter = -1;   // -1: any iteration; else only the solver's k-th one
   int times = 1;   // per-rank trigger budget; -1: unlimited
   int skip = 0;    // per-rank: let this many matching checks pass first
   std::map<int, int> remaining;  // per-rank budget left (seeded from times)
@@ -74,14 +85,25 @@ struct Site {
   std::map<int, long> hits;      // per-rank fire count (observability)
 };
 
+std::string dump_sites_locked(const std::vector<Site>& sites);
+
 struct Registry {
   std::mutex mutex;
   std::vector<Site> sites;
   std::atomic<int> armed{0};
+  bool dump_at_exit = false;  // CHASE_FAULT_INJECT contained "list"
 
   Registry() { load_env(); }
 
-  // CHASE_FAULT_INJECT=site[@rank][:times],...
+  ~Registry() {
+    // Static destruction order is unpredictable, so the report only touches
+    // this object and stderr.
+    if (dump_at_exit) {
+      std::fputs(dump_sites_locked(sites).c_str(), stderr);
+    }
+  }
+
+  // CHASE_FAULT_INJECT=site[@rank][@iter=k][:times],...
   void load_env() {
     const char* env = std::getenv("CHASE_FAULT_INJECT");
     if (env == nullptr) return;
@@ -92,15 +114,25 @@ struct Registry {
       rest = comma == std::string_view::npos ? std::string_view{}
                                              : rest.substr(comma + 1);
       if (entry.empty()) continue;
+      if (entry == "list") {
+        dump_at_exit = true;
+        continue;
+      }
       Site site;
       const auto colon = entry.find(':');
       if (colon != std::string_view::npos) {
         site.times = std::atoi(std::string(entry.substr(colon + 1)).c_str());
         entry = entry.substr(0, colon);
       }
-      const auto at = entry.find('@');
-      if (at != std::string_view::npos) {
-        site.rank = std::atoi(std::string(entry.substr(at + 1)).c_str());
+      // Strip @qualifiers right to left: each pass consumes the last one.
+      for (auto at = entry.rfind('@'); at != std::string_view::npos;
+           at = entry.rfind('@')) {
+        const std::string_view token = entry.substr(at + 1);
+        if (token.substr(0, 5) == "iter=") {
+          site.iter = std::atoi(std::string(token.substr(5)).c_str());
+        } else {
+          site.rank = std::atoi(std::string(token).c_str());
+        }
         entry = entry.substr(0, at);
       }
       site.name = std::string(entry);
@@ -122,26 +154,73 @@ inline int& thread_rank() {
   return rank;
 }
 
+/// Outer-iteration counter of the calling thread's solve (published by the
+/// engine pipeline; 0 outside any solve). Iteration-qualified sites match
+/// against this.
+inline int& thread_iteration() {
+  thread_local int iter = 0;
+  return iter;
+}
+
+/// Human-readable site report: spec, per-rank hit counts, totals.
+inline std::string dump_sites_locked(const std::vector<Site>& sites) {
+  std::ostringstream os;
+  os << "fault sites (" << sites.size() << " registered):\n";
+  if (sites.empty()) os << "  (none)\n";
+  for (const auto& s : sites) {
+    os << "  " << s.name;
+    if (s.rank >= 0) os << "@" << s.rank;
+    if (s.iter >= 0) os << "@iter=" << s.iter;
+    os << ":" << s.times;
+    long total = 0;
+    os << " hits={";
+    bool first = true;
+    for (const auto& [rank, hits] : s.hits) {
+      if (!first) os << ", ";
+      os << rank << ":" << hits;
+      total += hits;
+      first = false;
+    }
+    os << "} total=" << total << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace detail
 
 inline void set_thread_rank(int rank) { detail::thread_rank() = rank; }
+
+/// Publish the solver's outer-iteration counter for @iter-qualified sites
+/// (0: outside any iteration). Thread-local, like the rank.
+inline void set_iteration(int iter) { detail::thread_iteration() = iter; }
 
 /// Arm `site` to fire `times` times per matching rank (-1: every hit) on
 /// `rank` (-1: every rank — the collective-consistent choice for SPMD code).
 /// `skip` lets the first `skip` matching checks on each rank pass unharmed,
 /// which places a failure deep inside a run (e.g. past the split() a test
 /// needs to succeed before the death it stages).
+/// `iter` (>= 1) restricts the site to the solver's iter-th outer iteration
+/// (-1: any); see set_iteration.
 inline void arm(std::string_view site, int rank = -1, int times = 1,
-                int skip = 0) {
+                int skip = 0, int iter = -1) {
   auto& reg = detail::registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
   detail::Site s;
   s.name = std::string(site);
   s.rank = rank;
+  s.iter = iter;
   s.times = times;
   s.skip = skip;
   reg.sites.push_back(std::move(s));
   reg.armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Report every registered site with its spec and per-rank hit counts —
+/// what CHASE_FAULT_INJECT=list prints at exit, callable any time.
+inline std::string dump_sites() {
+  auto& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return detail::dump_sites_locked(reg.sites);
 }
 
 inline void disarm_all() {
@@ -173,6 +252,7 @@ inline bool fired(std::string_view site) {
   for (auto& s : reg.sites) {
     if (s.name != site) continue;
     if (s.rank >= 0 && s.rank != me) continue;
+    if (s.iter >= 0 && s.iter != detail::thread_iteration()) continue;
     if (s.skip > 0) {
       auto [it, fresh] = s.to_skip.try_emplace(me, s.skip);
       if (it->second > 0) {
@@ -200,8 +280,9 @@ inline void check(std::string_view site) {
 /// RAII arming for tests: disarms everything on scope exit.
 class Scoped {
  public:
-  Scoped(std::string_view site, int rank = -1, int times = 1, int skip = 0) {
-    arm(site, rank, times, skip);
+  Scoped(std::string_view site, int rank = -1, int times = 1, int skip = 0,
+         int iter = -1) {
+    arm(site, rank, times, skip, iter);
   }
   ~Scoped() { disarm_all(); }
   Scoped(const Scoped&) = delete;

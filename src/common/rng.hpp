@@ -43,8 +43,9 @@ class Rng {
 
   std::uint64_t next_u64() { return engine_(); }
 
- private:
-  // splitmix64-style mixing so (seed, stream) pairs give decorrelated engines.
+  /// splitmix64-style mixing so (seed, stream) pairs give decorrelated
+  /// engines. Public: stream-deriving drivers (ChaseSequence) use it to turn
+  /// a base seed plus a restorable stream counter into per-problem seeds.
   static std::uint64_t mix(std::uint64_t seed, std::uint64_t stream) {
     std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
@@ -52,6 +53,7 @@ class Rng {
     return z ^ (z >> 31);
   }
 
+ private:
   std::mt19937_64 engine_;
 };
 

@@ -25,6 +25,7 @@
 #include <numeric>
 #include <vector>
 
+#include "ckpt/engine.hpp"
 #include "common/log.hpp"
 #include "core/config.hpp"
 #include "core/degrees.hpp"
@@ -54,10 +55,17 @@ namespace chase::core {
 /// columns; the rest is filled randomly). This is the warm start that makes
 /// ChASE effective on DFT self-consistency sequences (Section 1): correlated
 /// consecutive Hamiltonians re-converge in a fraction of the MatVecs.
+/// `ck` optionally wires in the checkpoint/restart engine (src/ckpt):
+/// ck.engine captures snapshots at iteration boundaries under its cadence,
+/// ck.resume restores a decoded snapshot instead of running the Lanczos
+/// bounds pass and the random seeding — iteration numbering continues where
+/// the snapshot left off, making the resumed solve bitwise-equal to an
+/// uninterrupted one.
 template <typename HOp, typename T = typename HOp::Scalar>
 ChaseResult<T> solve(HOp& h, const ChaseConfig& cfg,
                      ChaseObserver<T>* observer = nullptr,
-                     la::ConstMatrixView<T> initial_subspace = {}) {
+                     la::ConstMatrixView<T> initial_subspace = {},
+                     const ckpt::SolveCkpt<T>& ck = {}) {
   const Index ne = cfg.subspace();
   CHASE_CHECK_MSG(cfg.nev > 0 && ne <= h.global_size(), "invalid nev/nex");
   CHASE_CHECK_MSG(cfg.initial_degree >= 2, "invalid initial degree");
@@ -67,11 +75,16 @@ ChaseResult<T> solve(HOp& h, const ChaseConfig& cfg,
   dla.setup(ws, cfg);
 
   ChaseResult<T> result;
-  result.bounds = dla.estimate_bounds(cfg);
-  engine::seed_initial_subspace<T>(ws, dla, cfg, initial_subspace);
-
   engine::SolveContext<T> ctx{cfg, observer, result, ws};
-  ctx.init_from_bounds();
+  int first_iter = 1;
+  if (ck.resume != nullptr) {
+    ckpt::apply_resume(*ck.resume, ctx, dla);
+    first_iter = int(ck.resume->iter) + 1;
+  } else {
+    result.bounds = dla.estimate_bounds(cfg);
+    engine::seed_initial_subspace<T>(ws, dla, cfg, initial_subspace);
+    ctx.init_from_bounds();
+  }
 
   engine::PrepStage<T> prep;
   engine::FilterStage<T> filter(/*recover=*/true);
@@ -79,9 +92,13 @@ ChaseResult<T> solve(HOp& h, const ChaseConfig& cfg,
   engine::RayleighRitzStage<T> rr;
   engine::ResidualStage<T> residual;
   engine::LockingStage<T> locking;
-  const std::vector<engine::Stage<T>*> stages{&prep, &filter,   &qr,
-                                              &rr,   &residual, &locking};
-  engine::run_pipeline(ctx, dla, stages);
+  ckpt::CheckpointStage<T> checkpoint(ck.engine);
+  std::vector<engine::Stage<T>*> stages{&prep, &filter,   &qr,
+                                        &rr,   &residual, &locking};
+  if (ck.engine != nullptr && ck.engine->enabled()) {
+    stages.push_back(&checkpoint);
+  }
+  engine::run_pipeline(ctx, dla, stages, first_iter);
 
   const Index mloc = dla.c_rows();
   result.eigenvalues.assign(ctx.ritz.begin(), ctx.ritz.begin() + cfg.nev);

@@ -19,6 +19,7 @@
 #include "core/engine/workspace.hpp"
 #include "core/types.hpp"
 #include "dist/index_map.hpp"
+#include "dist/multivector.hpp"
 #include "qr/qr_selector.hpp"
 
 namespace chase::core {
@@ -92,6 +93,22 @@ class DlaBackend {
   /// Post-iteration bookkeeping (the legacy scheme refreshes its redundant
   /// full basis copy here); default: nothing.
   virtual void end_iteration(Workspace& /*ws*/) {}
+
+  /// Gather the subspace into a replicated global matrix (collective over
+  /// the column communicator) — the checkpoint capture primitive. Rare and
+  /// off the hot path, so the v1.2 collection pattern is fine here.
+  virtual void save_basis(Workspace& ws, la::MatrixView<T> v_global) {
+    dist::gather_rows<T>(grid().col_comm(), row_map(),
+                         ws.c().view().as_const(), v_global);
+  }
+
+  /// Restore the subspace from a replicated global matrix (pure-local
+  /// scatter; every rank holds the same snapshot, so no collective is
+  /// needed). Backends layer their redundant copies on top.
+  virtual void restore_basis(Workspace& ws, la::ConstMatrixView<T> v_global) {
+    dist::scatter_rows<T>(row_map(), grid().my_row(), v_global,
+                          ws.c().view());
+  }
 
   /// Apply permutation `perm` (new position j takes old column perm[j]) to
   /// the active columns of C and the aligned per-column arrays. Layout-local

@@ -15,6 +15,7 @@
 // Section 2.3 recorded for the Figure-2 movement bars.
 #pragma once
 
+#include "coll/abft.hpp"
 #include "core/dla.hpp"
 #include "core/filter.hpp"
 #include "core/lanczos.hpp"
@@ -84,8 +85,8 @@ class DenseDlaBackend : public DlaBackend<T> {
   }
 
   void column_consensus(std::vector<R>& col_ok) override {
-    grid().col_comm().all_reduce(col_ok.data(), Index(col_ok.size()),
-                                 comm::Reduction::kMin);
+    coll::checked_all_reduce(grid().col_comm(), col_ok.data(),
+                             Index(col_ok.size()), comm::Reduction::kMin);
   }
 
   // Distributed 1D-CAQR over the column communicator (Algorithm 2 line 12)
@@ -134,7 +135,7 @@ class DenseDlaBackend : public DlaBackend<T> {
       t->add_flops(perf::FlopClass::kGemm,
                    z * double(bloc) * double(act) * double(act));
     }
-    grid().row_comm().all_reduce(a_act.data(), act * act);
+    coll::checked_all_reduce(grid().row_comm(), a_act.data(), act * act);
   }
 
   // Redundant diagonalization of the Rayleigh quotient (line 18), via
@@ -167,6 +168,14 @@ class DenseDlaBackend : public DlaBackend<T> {
     la::copy(c_act.as_const(), c2_act);
   }
 
+  // At an iteration boundary C2 == C (qr copies active C into C2, the
+  // back-transform refreshes it), so restoring C and mirroring it into C2
+  // reproduces the exact post-iteration state.
+  void restore_basis(Workspace& ws, la::ConstMatrixView<T> v_global) override {
+    DlaBackend<T>::restore_basis(ws, v_global);
+    la::copy(ws.c().view().as_const(), ws.c2().view());
+  }
+
   void residual_norms(Workspace& ws, Index locked, Index act,
                       const std::vector<R>& ritz, R scale,
                       std::vector<R>& resid) override {
@@ -189,7 +198,7 @@ class DenseDlaBackend : public DlaBackend<T> {
     if (auto* t = perf::thread_tracker()) {
       t->add_mem_bytes(3.0 * double(bloc) * double(act) * sizeof(T));
     }
-    grid().row_comm().all_reduce(nrm.data(), act);
+    coll::checked_all_reduce(grid().row_comm(), nrm.data(), act);
     for (Index j = 0; j < act; ++j) {
       resid[std::size_t(locked + j)] = std::sqrt(nrm[std::size_t(j)]) / scale;
     }
@@ -346,6 +355,15 @@ class RedundantDlaBackend : public DenseDlaBackend<HOp, T> {
   // locked-column re-injection.
   void end_iteration(Workspace& ws) override {
     la::copy(ws.cfull().view().as_const(), ws.wfull().view());
+  }
+
+  // The redundant scheme's boundary invariant is wfull == gather(C) (set by
+  // end_iteration); the snapshot's V *is* that gathered basis, so the
+  // restore refills both redundant full buffers directly — no collective.
+  void restore_basis(Workspace& ws, la::ConstMatrixView<T> v_global) override {
+    DlaBackend<T>::restore_basis(ws, v_global);
+    la::copy(v_global, ws.cfull().view());
+    la::copy(v_global, ws.wfull().view());
   }
 };
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/faultinject.hpp"
 #include "common/timer.hpp"
 #include "core/degrees.hpp"
 #include "core/dla.hpp"
@@ -110,16 +111,23 @@ void seed_initial_subspace(SolverWorkspace<T>& ws, DlaBackend<T>& dla,
 }
 
 /// Drive the stage list until convergence, abort, or the iteration cap.
+/// `first_iter > 1` resumes a checkpointed solve: the iteration numbering
+/// continues where the snapshot left off, so cadence policies, observers
+/// and iteration-qualified fault sites see the same counter an
+/// uninterrupted run would.
 template <typename T>
 void run_pipeline(SolveContext<T>& ctx, DlaBackend<T>& dla,
-                  const std::vector<Stage<T>*>& stages) {
-  for (int iter = 1; iter <= ctx.cfg.max_iterations; ++iter) {
+                  const std::vector<Stage<T>*>& stages, int first_iter = 1) {
+  for (int iter = first_iter; iter <= ctx.cfg.max_iterations; ++iter) {
     ctx.iter = iter;
+    // Iteration-qualified fault sites (site@iter=k) key off this counter.
+    fault::set_iteration(iter);
     ctx.stats = IterationStats{};
     ctx.stats.iteration = iter;
     ctx.stats.locked_before = int(ctx.locked);
-    // Iterations >= 2 are steady state: the arena must not grow in them.
-    ctx.ws.set_steady_state(iter >= 2);
+    // Iterations past the first executed one are steady state: the arena
+    // must not grow in them (the first one sizes whatever setup could not).
+    ctx.ws.set_steady_state(iter >= first_iter + 1);
     const long arena_before = ctx.ws.alloc_events();
 
     StageOutcome outcome = StageOutcome::kContinue;
@@ -143,6 +151,7 @@ void run_pipeline(SolveContext<T>& ctx, DlaBackend<T>& dla,
       break;
     }
   }
+  fault::set_iteration(0);
   ctx.ws.set_steady_state(false);
 }
 

@@ -27,10 +27,14 @@ namespace chase::core {
 /// Solve with the v1.2 scheme. Numerically equivalent to core::solve (same
 /// filter, same locking); only the parallelization of QR/RR/Residuals
 /// differs. Always uses Householder QR, as v1.2 did.
+/// `ck` wires in the checkpoint/restart engine exactly as in core::solve;
+/// the redundant backend restores its full basis copies from the snapshot's
+/// replicated V directly (no collective), see RedundantDlaBackend.
 template <typename HOp, typename T = typename HOp::Scalar>
 ChaseResult<T> solve_lms(HOp& h,
                          const ChaseConfig& cfg,
-                         ChaseObserver<T>* observer = nullptr) {
+                         ChaseObserver<T>* observer = nullptr,
+                         const ckpt::SolveCkpt<T>& ck = {}) {
   const Index ne = cfg.subspace();
   CHASE_CHECK_MSG(cfg.nev > 0 && ne <= h.global_size(), "invalid nev/nex");
 
@@ -39,11 +43,16 @@ ChaseResult<T> solve_lms(HOp& h,
   dla.setup(ws, cfg);
 
   ChaseResult<T> result;
-  result.bounds = dla.estimate_bounds(cfg);
-  engine::seed_initial_subspace<T>(ws, dla, cfg, {});
-
   engine::SolveContext<T> ctx{cfg, observer, result, ws};
-  ctx.init_from_bounds();
+  int first_iter = 1;
+  if (ck.resume != nullptr) {
+    ckpt::apply_resume(*ck.resume, ctx, dla);
+    first_iter = int(ck.resume->iter) + 1;
+  } else {
+    result.bounds = dla.estimate_bounds(cfg);
+    engine::seed_initial_subspace<T>(ws, dla, cfg, {});
+    ctx.init_from_bounds();
+  }
 
   engine::PrepStage<T> prep;
   engine::FilterStage<T> filter(/*recover=*/false);
@@ -52,9 +61,13 @@ ChaseResult<T> solve_lms(HOp& h,
   engine::ResidualStage<T> residual;
   engine::BasisSyncStage<T> basis_sync;
   engine::LockingStage<T> locking;
-  const std::vector<engine::Stage<T>*> stages{
+  ckpt::CheckpointStage<T> checkpoint(ck.engine);
+  std::vector<engine::Stage<T>*> stages{
       &prep, &filter, &qr, &rr, &residual, &basis_sync, &locking};
-  engine::run_pipeline(ctx, dla, stages);
+  if (ck.engine != nullptr && ck.engine->enabled()) {
+    stages.push_back(&checkpoint);
+  }
+  engine::run_pipeline(ctx, dla, stages, first_iter);
 
   const Index mloc = dla.c_rows();
   result.eigenvalues.assign(ctx.ritz.begin(), ctx.ritz.begin() + cfg.nev);

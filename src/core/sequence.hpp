@@ -9,6 +9,7 @@
 // exactly the "approximate solutions as input" rationale of Section 1).
 #pragma once
 
+#include "common/rng.hpp"
 #include "core/chase.hpp"
 
 namespace chase::core {
@@ -22,18 +23,35 @@ class ChaseSequence {
   const ChaseConfig& config() const { return cfg_; }
   bool has_guess() const { return !previous_.empty(); }
 
+  /// Position in the sequence's RNG stream: problem k draws its randomness
+  /// from the derived seed mix(seed, k) (k = 0 keeps the base seed, so a
+  /// one-problem sequence is bitwise-identical to a plain solve). The
+  /// counter is checkpointed with every snapshot and restorable, which is
+  /// what keeps a resumed sequence bitwise-comparable to an uninterrupted
+  /// one — reseeding from the *global* seed after a resume would hand every
+  /// problem the same randomness.
+  std::uint64_t stream() const { return stream_; }
+  void set_stream(std::uint64_t stream) { stream_ = stream; }
+
   /// Solve the next problem of the sequence; H may be any Hamiltonian
   /// operator (dense distributed or matrix-free) but must keep the same
-  /// layout (grid + maps) across the sequence.
+  /// layout (grid + maps) across the sequence. `ck` threads the
+  /// checkpoint/restart plumbing through to core::solve; resuming restores
+  /// the stream counter from the snapshot before deriving the seed.
   template <typename HOp>
-  ChaseResult<T> solve_next(HOp& h, ChaseObserver<T>* observer = nullptr) {
+  ChaseResult<T> solve_next(HOp& h, ChaseObserver<T>* observer = nullptr,
+                            const ckpt::SolveCkpt<T>& ck = {}) {
     ChaseConfig cfg = cfg_;
+    if (ck.resume != nullptr) stream_ = ck.resume->rng_stream;
+    cfg.seed = stream_ == 0 ? cfg_.seed : Rng::mix(cfg_.seed, stream_);
+    if (ck.engine != nullptr) ck.engine->set_rng_stream(stream_);
     la::ConstMatrixView<T> guess;
     if (has_guess()) {
       cfg.initial_degree = warm_degree_;
       guess = previous_.cview();
     }
-    auto result = core::solve(h, cfg, observer, guess);
+    auto result = core::solve(h, cfg, observer, guess, ck);
+    ++stream_;
     if (result.converged) {
       previous_ = la::clone(result.eigenvectors.view().as_const());
     }
@@ -46,6 +64,7 @@ class ChaseSequence {
  private:
   ChaseConfig cfg_;
   int warm_degree_;
+  std::uint64_t stream_ = 0;  // index of the next problem's RNG stream
   la::Matrix<T> previous_;  // local C-layout eigenvectors of the last solve
 };
 

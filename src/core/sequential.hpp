@@ -15,7 +15,8 @@ template <typename T>
 ChaseResult<T> solve_sequential(la::ConstMatrixView<T> h_full,
                                 const ChaseConfig& cfg,
                                 ChaseObserver<T>* observer = nullptr,
-                                la::ConstMatrixView<T> initial_subspace = {}) {
+                                la::ConstMatrixView<T> initial_subspace = {},
+                                const ckpt::SolveCkpt<T>& ck = {}) {
   CHASE_CHECK(h_full.rows() == h_full.cols());
   comm::Communicator self;
   comm::Grid2d grid(self, 1, 1);
@@ -23,7 +24,7 @@ ChaseResult<T> solve_sequential(la::ConstMatrixView<T> h_full,
   dist::DistHermitianMatrix<T> h(grid, dist::IndexMap::block(n, 1),
                                  dist::IndexMap::block(n, 1));
   h.fill_from_global(h_full);
-  return solve(h, cfg, observer, initial_subspace);
+  return solve(h, cfg, observer, initial_subspace, ck);
 }
 
 }  // namespace chase::core

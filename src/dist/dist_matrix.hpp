@@ -17,6 +17,9 @@
 // in the C layout).
 #pragma once
 
+#include <vector>
+
+#include "coll/abft.hpp"
 #include "coll/engine.hpp"
 #include "coll/request.hpp"
 #include "comm/communicator.hpp"
@@ -72,6 +75,8 @@ class DistHermitianMatrix {
   /// must describe a Hermitian matrix; this is not re-checked here.
   template <typename F>
   void fill(F&& f) {
+    diag_base_.clear();  // re-capture the pristine diagonal on next shift
+    shift_ = RealType<T>(0);
     const auto row_runs = row_map_.runs(grid_->my_row());
     const auto col_runs = col_map_.runs(grid_->my_col());
     for (const auto& cr : col_runs) {
@@ -99,13 +104,21 @@ class DistHermitianMatrix {
   /// it afterwards (the cuBLAS build of ChASE shifts the device copy of H the
   /// same way).
   void shift_diagonal(RealType<T> s) {
-    const auto row_runs = row_map_.runs(grid_->my_row());
-    for (const auto& rr : row_runs) {
-      for (Index k = 0; k < rr.length; ++k) {
-        const Index g = rr.global_begin + k;
-        if (col_map_.owner(g) != grid_->my_col()) continue;
-        local_(rr.local_begin + k, col_map_.local_index(g)) += T(s);
-      }
+    // The shift accumulates in a scalar and the diagonal is rewritten as
+    // pristine + shift, so a paired shift(-c)/shift(+c) restores the exact
+    // stored entries: naive `+= s` would leave ((d - c) + c) != d in the
+    // last ulp, and that drift is what the checkpoint/restart bitwise-resume
+    // guarantee (src/ckpt) cannot tolerate — a resumed solve refills H from
+    // the source while an uninterrupted one would carry the drifted copy.
+    if (diag_base_.empty()) {
+      for_each_diag([&](T& d) { diag_base_.push_back(d); });
+    }
+    shift_ += s;
+    std::size_t k = 0;
+    if (shift_ == RealType<T>(0)) {
+      for_each_diag([&](T& d) { d = diag_base_[k++]; });
+    } else {
+      for_each_diag([&](T& d) { d = diag_base_[k++] + T(shift_); });
     }
   }
 
@@ -126,6 +139,20 @@ class DistHermitianMatrix {
   }
 
  private:
+  /// Visit the locally held entries of the global diagonal, in a fixed
+  /// (row-run, offset) order shared by the capture and rewrite passes of
+  /// shift_diagonal.
+  template <typename Fn>
+  void for_each_diag(Fn&& fn) {
+    for (const auto& rr : row_map_.runs(grid_->my_row())) {
+      for (Index k = 0; k < rr.length; ++k) {
+        const Index g = rr.global_begin + k;
+        if (col_map_.owner(g) != grid_->my_col()) continue;
+        fn(local_(rr.local_begin + k, col_map_.local_index(g)));
+      }
+    }
+  }
+
   void apply_impl(la::Op op, T alpha, la::ConstMatrixView<T> x, T beta,
                   la::MatrixView<T> y, const comm::Communicator& reduce_comm) {
     const Index ncols = x.cols();
@@ -177,8 +204,12 @@ class DistHermitianMatrix {
     // k+1 multiplies. Bitwise-safe: both the gemm and the hemm engines
     // compute each output column with a fixed k-loop order regardless of how
     // columns are grouped, and per-column reductions are independent.
+    // ABFT forces the synchronous path: the checksum lane must ride next to
+    // the full payload, and replaying an in-flight overlapped block would
+    // tangle with the pipeline's outstanding requests.
+    const bool abft = coll::abft_enabled();
     const Index nblk =
-        coll::overlap_enabled() && reduce_comm.size() > 1 && ncols > 1
+        !abft && coll::overlap_enabled() && reduce_comm.size() > 1 && ncols > 1
             ? std::min<Index>(ncols, 4)
             : 1;
     if (nblk <= 1) {
@@ -186,7 +217,11 @@ class DistHermitianMatrix {
       if (auto* t = perf::thread_tracker()) {
         t->add_flops(perf::FlopClass::kGemm, flop_mul * double(ncols));
       }
-      reduce_comm.all_reduce(partial.data(), /*count=*/out_rows * ncols);
+      if (abft) {
+        coll::checked_block_reduce(reduce_comm, partial);
+      } else {
+        reduce_comm.all_reduce(partial.data(), /*count=*/out_rows * ncols);
+      }
       write_back(0, ncols);
       return;
     }
@@ -222,6 +257,8 @@ class DistHermitianMatrix {
   IndexMap col_map_;
   bool local_hermitian_ = false;  // this rank holds a diagonal block of H
   la::Matrix<T> local_;
+  std::vector<T> diag_base_;      // pristine owned diagonal (lazy capture)
+  RealType<T> shift_ = RealType<T>(0);  // cumulative diagonal shift
   la::Matrix<T> ws_c2b_;  // partial-product workspaces, grown on demand
   la::Matrix<T> ws_b2c_;
 };

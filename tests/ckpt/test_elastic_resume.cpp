@@ -1,0 +1,180 @@
+// Elastic restart driver: rank deaths planted at precise iterations must
+// ride through checkpoint/restart — shrink the team, resume from the last
+// good snapshot, escalate the degradation ladder when no snapshot exists,
+// and bottom out in the sequential driver when teams keep dying.
+#include "ckpt/restart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/faultinject.hpp"
+#include "core/sequential.hpp"
+#include "gen/spectrum.hpp"
+#include "tests/testing.hpp"
+
+namespace chase::ckpt {
+namespace {
+
+template <typename T>
+la::Matrix<T> test_hamiltonian(Index n, std::uint64_t seed) {
+  return gen::hermitian_with_spectrum<T>(
+      gen::dft_like_spectrum<double>(n, seed), seed);
+}
+
+core::ChaseConfig small_cfg() {
+  core::ChaseConfig cfg;
+  cfg.nev = 6;
+  cfg.nex = 6;
+  cfg.tol = 1e-9;
+  return cfg;
+}
+
+TEST(ElasticResume, KillRankAtIterationResumesOnShrunkenTeam) {
+  using T = double;
+  const Index n = 60;
+  auto h = test_hamiltonian<T>(n, 61);
+  auto cfg = small_cfg();
+  const auto element = [&h](Index i, Index j) { return h(i, j); };
+
+  auto clean = core::solve_sequential<T>(h.cview(), cfg);
+  ASSERT_TRUE(clean.converged);
+  ASSERT_GE(clean.iterations, 3);  // the staged death must hit a live run
+
+  // World rank 1 dies at its first collective of iteration 3. The iteration-1
+  // snapshot is then guaranteed: before rank 1 can reach iteration 3 it must
+  // clear iteration 2's row-communicator collectives with rank 0, which rank
+  // 0 only enters after completing iteration 1's capture. (A death staged one
+  // iteration after a capture would race against it — the capture gather runs
+  // in a disjoint column communicator and a poisoned team aborts it, which is
+  // exactly the crash-during-store case the double-buffered sink absorbs.)
+  fault::Scoped die("rank.die", /*rank=*/1, /*times=*/1, /*skip=*/0,
+                    /*iter=*/3);
+  RestartOptions opts;
+  opts.nranks = 4;
+  opts.ckpt_interval = 1;
+  opts.max_attempts = 3;
+  opts.backoff_ms = 1;
+  RestartReport rep;
+  auto r = solve_elastic<T>(n, element, cfg, opts, &rep);
+
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(rep.attempts, 2);
+  EXPECT_EQ(rep.shrinks, 1);
+  EXPECT_EQ(rep.rung, 0);  // snapshot progress: resume rung held
+  EXPECT_TRUE(rep.resumed);
+  EXPECT_FALSE(rep.sequential_fallback);
+  ASSERT_EQ(rep.failures.size(), 1u);
+  EXPECT_EQ(rep.failures[0].site, "rank.die");
+  EXPECT_EQ(rep.failures[0].rank, 1);
+  ASSERT_EQ(r.eigenvalues.size(), clean.eigenvalues.size());
+  for (std::size_t j = 0; j < clean.eigenvalues.size(); ++j) {
+    // Different grid shape after the shrink changes reduction order, so the
+    // match is to convergence accuracy, not bitwise.
+    EXPECT_NEAR(r.eigenvalues[j], clean.eigenvalues[j], 1e-7) << "pair " << j;
+  }
+  // Full gathered eigenvectors, not a rank-local slice.
+  EXPECT_EQ(r.eigenvectors.rows(), n);
+  EXPECT_EQ(r.eigenvectors.cols(), Index(cfg.nev));
+}
+
+TEST(ElasticResume, DeathBeforeFirstCheckpointEscalatesToRerandomize) {
+  using T = std::complex<double>;
+  const Index n = 48;
+  auto h = test_hamiltonian<T>(n, 62);
+  auto cfg = small_cfg();
+  const auto element = [&h](Index i, Index j) { return h(i, j); };
+
+  auto clean = core::solve_sequential<T>(h.cview(), cfg);
+  ASSERT_TRUE(clean.converged);
+
+  // Rank 1 dies inside iteration 1 — before the first checkpoint stage ever
+  // runs, so the retry has nothing to resume and must re-randomize (rung 1).
+  fault::Scoped die("rank.die", /*rank=*/1, /*times=*/1, /*skip=*/0,
+                    /*iter=*/1);
+  RestartOptions opts;
+  opts.nranks = 4;
+  opts.ckpt_interval = 1;
+  opts.max_attempts = 3;
+  opts.backoff_ms = 1;
+  RestartReport rep;
+  auto r = solve_elastic<T>(n, element, cfg, opts, &rep);
+
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(rep.shrinks, 1);
+  EXPECT_EQ(rep.rung, 1);
+  EXPECT_FALSE(rep.resumed);  // no snapshot ever existed
+  EXPECT_FALSE(rep.sequential_fallback);
+  for (std::size_t j = 0; j < clean.eigenvalues.size(); ++j) {
+    EXPECT_NEAR(std::abs(r.eigenvalues[j] - clean.eigenvalues[j]), 0.0, 1e-7);
+  }
+}
+
+TEST(ElasticResume, DegradationLadderFallsBackToSequential) {
+  using T = double;
+  const Index n = 48;
+  auto h = test_hamiltonian<T>(n, 63);
+  auto cfg = small_cfg();
+  const auto element = [&h](Index i, Index j) { return h(i, j); };
+
+  auto clean = core::solve_sequential<T>(h.cview(), cfg);
+  ASSERT_TRUE(clean.converged);
+
+  // Two staged deaths exhaust the attempt budget: rank 1 dies in iteration 1
+  // of attempt 1 (attempt 1 never reaches iteration 2, so rank 2's trigger
+  // survives it untouched — lockstep makes that deterministic), then rank 2
+  // dies in iteration 2 of attempt 2. The driver bottoms out on the
+  // sequential rung. Rank 0 must stay unarmed: the sequential fallback runs
+  // with fault thread rank 0 and its collectives degenerate to fault-checked
+  // no-op barriers.
+  fault::Scoped die1("rank.die", /*rank=*/1, /*times=*/1, /*skip=*/0,
+                     /*iter=*/1);
+  fault::Scoped die2("rank.die", /*rank=*/2, /*times=*/1, /*skip=*/0,
+                     /*iter=*/2);
+  RestartOptions opts;
+  opts.nranks = 4;
+  opts.ckpt_interval = 1;
+  opts.max_attempts = 2;
+  opts.backoff_ms = 1;
+  RestartReport rep;
+  auto r = solve_elastic<T>(n, element, cfg, opts, &rep);
+
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(rep.attempts, 2);
+  EXPECT_TRUE(rep.sequential_fallback);
+  EXPECT_EQ(rep.rung, 2);
+  EXPECT_EQ(rep.shrinks, 2);
+  ASSERT_EQ(rep.failures.size(), 2u);
+  EXPECT_EQ(rep.failures[0].site, "rank.die");
+  EXPECT_EQ(rep.failures[0].rank, 1);
+  EXPECT_EQ(rep.failures[1].site, "rank.die");
+  EXPECT_EQ(rep.failures[1].rank, 2);
+  // Attempt 2 checkpointed iteration 1 before dying, so the sequential rung
+  // resumed rather than starting over.
+  EXPECT_TRUE(rep.resumed);
+  for (std::size_t j = 0; j < clean.eigenvalues.size(); ++j) {
+    EXPECT_NEAR(r.eigenvalues[j], clean.eigenvalues[j], 1e-7);
+  }
+}
+
+TEST(FaultSites, IterationQualifierGatesFiring) {
+  fault::Scoped site("test.site", /*rank=*/-1, /*times=*/-1, /*skip=*/0,
+                     /*iter=*/5);
+  fault::set_iteration(4);
+  EXPECT_FALSE(fault::fired("test.site"));
+  fault::set_iteration(5);
+  EXPECT_TRUE(fault::fired("test.site"));
+  EXPECT_TRUE(fault::fired("test.site"));  // unlimited budget
+  fault::set_iteration(6);
+  EXPECT_FALSE(fault::fired("test.site"));
+  fault::set_iteration(0);
+
+  const std::string report = fault::dump_sites();
+  EXPECT_NE(report.find("test.site"), std::string::npos);
+  EXPECT_NE(report.find("@iter=5"), std::string::npos);
+  EXPECT_NE(report.find("total=2"), std::string::npos);
+  EXPECT_EQ(fault::fire_count("test.site"), 2);
+}
+
+}  // namespace
+}  // namespace chase::ckpt
