@@ -39,6 +39,20 @@ Checkpoint invariants (results/bench_checkpoint.json, hard failures):
     fault-tolerance machinery must stay a footnote next to the kernel it
     protects.
 
+Service invariants (results/bench_service.json, hard failures):
+  * any steady-state arena growth — the size-bucketed pool must give the
+    whole fleet zero steady-state allocation;
+  * mean batch occupancy below 1.5 on the submit-all run — the batching
+    scheduler must actually coalesce same-size jobs;
+  * the oversubscription segment accepting more than the bounded queue
+    depth, or rejecting nothing — admission control must reject typed;
+  * batched submission below 1.5x serial one-at-a-time jobs/sec when the
+    run had parallel hardware (workers > 1 and cpus > 1). On a single-CPU
+    host batching cannot beat serial by running jobs concurrently and every
+    job's arithmetic is bitwise-pinned to its solo run, so the gate there
+    is "batching must not lose" (>= 0.95x, the recorded cpu count makes
+    the mode auditable).
+
 Informational: the hemm-vs-gemm median ratios, staged-vs-seed ratios below
 parity (the staged engine being faster is fine), and the wall-clock cost of
 arming the ABFT checksummed collectives.
@@ -182,13 +196,61 @@ def check_checkpoint(data: dict, failures: list) -> None:
               "(informational)")
 
 
+def check_service(data: dict, failures: list) -> None:
+    s = data["service"]
+    print(f"service {s['jobs']} jobs, {s['workers']} workers, "
+          f"{s['cpus']} cpus, max_batch {s['max_batch']}")
+    print(f"  standalone {s['standalone_jobs_per_sec']:8.1f} jobs/s  "
+          f"serial {s['serial_jobs_per_sec']:8.1f}  "
+          f"batched {s['batched_jobs_per_sec']:8.1f}  "
+          f"(batched/serial {s['speedup_vs_serial']:.2f}x, "
+          f"/standalone {s['speedup_vs_standalone']:.2f}x)")
+    print(f"  latency p50 {s['p50_ms']:.2f}ms p99 {s['p99_ms']:.2f}ms  "
+          f"occupancy {s['mean_batch_occupancy']:.2f}  "
+          f"pool {s['pool_entries']} arenas "
+          f"(high-water {s['pool_high_water']})  "
+          f"steady growth {s['steady_arena_growth']}")
+    print(f"  oversubscription: {s['oversub_submitted']} submitted, "
+          f"{s['oversub_accepted']} accepted, "
+          f"{s['oversub_rejected']} rejected typed")
+
+    if s["steady_arena_growth"] != 0:
+        failures.append(
+            f"warm arenas grew by {s['steady_arena_growth']} alloc events "
+            "— the pooled fleet must run at zero steady-state allocation")
+    if s["mean_batch_occupancy"] < 1.5:
+        failures.append(
+            f"mean batch occupancy {s['mean_batch_occupancy']:.2f} on the "
+            "submit-all run — same-size jobs were not coalesced")
+    if s["oversub_rejected"] <= 0 or \
+            s["oversub_accepted"] + s["oversub_rejected"] != \
+            s["oversub_submitted"]:
+        failures.append(
+            "oversubscribed queue did not reject the overflow typed "
+            f"({s['oversub_accepted']} accepted + {s['oversub_rejected']} "
+            f"rejected != {s['oversub_submitted']} submitted)")
+    parallel_host = s["workers"] > 1 and s["cpus"] > 1
+    required = 1.5 if parallel_host else 0.95
+    if s["speedup_vs_serial"] < required:
+        failures.append(
+            f"batched submission only {s['speedup_vs_serial']:.2f}x serial "
+            f"jobs/sec (need >= {required:.2f}x "
+            f"{'on parallel hardware' if parallel_host else 'even single-cpu'}"
+            ")")
+    if not parallel_host:
+        print(f"  note: single-cpu host ({s['cpus']} cpu) — the 1.5x "
+              "batching gate needs parallel workers; gating at 0.95x "
+              "(batching must not lose)")
+
+
 def main() -> int:
     paths = sys.argv[1:]
     if not paths:
         paths = [p for p in ("results/bench_kernels.json",
                              "results/bench_engine.json",
                              "results/bench_factor.json",
-                             "results/bench_checkpoint.json")
+                             "results/bench_checkpoint.json",
+                             "results/bench_service.json")
                  if os.path.exists(p)]
         if not paths:
             print("no result files found (run the micro benches first)")
@@ -207,6 +269,8 @@ def main() -> int:
             check_factor(data, failures)
         elif "checkpoint" in data:
             check_checkpoint(data, failures)
+        elif "service" in data:
+            check_service(data, failures)
         else:
             failures.append(f"{path}: unrecognized result shape")
         print()

@@ -61,17 +61,25 @@ namespace chase::core {
 /// bounds pass and the random seeding — iteration numbering continues where
 /// the snapshot left off, making the resumed solve bitwise-equal to an
 /// uninterrupted one.
+/// `ws_external`, if non-null, is the workspace arena to solve over instead
+/// of a driver-local one — the solver-service pool (src/svc) passes cleared
+/// pooled arenas here so back-to-back jobs allocate nothing. The arena must
+/// be value-cleared (SolverWorkspace::clear_values) or fresh; setup() resizes
+/// it to this problem's shape.
 template <typename HOp, typename T = typename HOp::Scalar>
 ChaseResult<T> solve(HOp& h, const ChaseConfig& cfg,
                      ChaseObserver<T>* observer = nullptr,
                      la::ConstMatrixView<T> initial_subspace = {},
-                     const ckpt::SolveCkpt<T>& ck = {}) {
+                     const ckpt::SolveCkpt<T>& ck = {},
+                     engine::SolverWorkspace<T>* ws_external = nullptr) {
   const Index ne = cfg.subspace();
   CHASE_CHECK_MSG(cfg.nev > 0 && ne <= h.global_size(), "invalid nev/nex");
   CHASE_CHECK_MSG(cfg.initial_degree >= 2, "invalid initial degree");
 
   DenseDlaBackend<HOp> dla(h);
-  engine::SolverWorkspace<T> ws;
+  engine::SolverWorkspace<T> ws_local;
+  engine::SolverWorkspace<T>& ws =
+      ws_external != nullptr ? *ws_external : ws_local;
   dla.setup(ws, cfg);
 
   ChaseResult<T> result;

@@ -16,6 +16,7 @@
 // observable without parsing stats.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -71,6 +72,28 @@ class SolverWorkspace {
   /// Gathered-input buffer a matrix-free operator binds to (operator.hpp),
   /// so its applies are steady-state-allocation-free too.
   void reserve_gather(Index n, Index ne) { ensure(gather_, n, ne); }
+
+  /// Zero the values without releasing or reshaping any buffer, returning a
+  /// pooled arena to the state a freshly sized one would be in (Matrix
+  /// storage is value-initialized on resize, and the small vectors of a
+  /// fresh arena are empty with reserved capacity). The solver-service pool
+  /// calls this between jobs so a solve over a reused arena is bitwise-equal
+  /// to one over a fresh arena. Records no allocation events.
+  void clear_values() {
+    for (la::Matrix<T>* m : {&c_, &c2_, &b_, &b2_, &scratch_, &cfull_,
+                             &wfull_, &a_full_, &evec_full_, &gather_}) {
+      m->set_zero();
+    }
+    std::fill(rr_.begin(), rr_.end(), T(0));
+    std::fill(evec_.begin(), evec_.end(), T(0));
+    theta_.clear();
+    col_ok_.clear();
+    norms_.clear();
+    ritz_tmp_.clear();
+    res_tmp_.clear();
+    deg_tmp_.clear();
+    perm_.clear();
+  }
 
   la::Matrix<T>& c() { return c_; }
   la::Matrix<T>& c2() { return c2_; }

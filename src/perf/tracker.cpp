@@ -30,6 +30,30 @@ std::string_view region_name(Region r) {
 
 Tracker::Tracker() : last_cpu_(thread_cpu_seconds()) {}
 
+Tracker::Tracker(const Tracker& other) {
+  std::lock_guard<std::mutex> lock(other.counters_mu_);
+  region_ = other.region_;
+  costs_ = other.costs_;
+  colls_ = other.colls_;
+  copies_ = other.copies_;
+  counters_ = other.counters_;
+  last_cpu_ = other.last_cpu_;
+  in_collective_ = other.in_collective_;
+}
+
+Tracker& Tracker::operator=(const Tracker& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(counters_mu_, other.counters_mu_);
+  region_ = other.region_;
+  costs_ = other.costs_;
+  colls_ = other.colls_;
+  copies_ = other.copies_;
+  counters_ = other.counters_;
+  last_cpu_ = other.last_cpu_;
+  in_collective_ = other.in_collective_;
+  return *this;
+}
+
 void Tracker::attribute_elapsed(double* bucket) {
   const double now = thread_cpu_seconds();
   *bucket += now - last_cpu_;
@@ -77,6 +101,7 @@ void Tracker::record_collective(CollKind kind, std::size_t bytes, int nranks) {
 }
 
 void Tracker::bump(std::string_view name, double amount) {
+  std::lock_guard<std::mutex> lock(counters_mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), amount);
@@ -86,8 +111,14 @@ void Tracker::bump(std::string_view name, double amount) {
 }
 
 double Tracker::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double, std::less<>> Tracker::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
 }
 
 void Tracker::record_memcpy(std::size_t bytes, bool to_device) {
@@ -119,12 +150,15 @@ void Tracker::merge_max_times(const Tracker& other) {
     }
     mine.mem_bytes = std::max(mine.mem_bytes, theirs.mem_bytes);
   }
-  for (const auto& [name, value] : other.counters_) {
-    auto it = counters_.find(name);
-    if (it == counters_.end()) {
-      counters_.emplace(name, value);
-    } else {
-      it->second = std::max(it->second, value);
+  if (this != &other) {
+    std::scoped_lock lock(counters_mu_, other.counters_mu_);
+    for (const auto& [name, value] : other.counters_) {
+      auto it = counters_.find(name);
+      if (it == counters_.end()) {
+        counters_.emplace(name, value);
+      } else {
+        it->second = std::max(it->second, value);
+      }
     }
   }
   if (colls_.empty()) colls_ = other.colls_;

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -91,6 +92,11 @@ class Tracker {
  public:
   Tracker();
 
+  // Copyable so trackers still live in std::vector (bench_common.hpp); the
+  // copy takes the counter data, never the lock.
+  Tracker(const Tracker& other);
+  Tracker& operator=(const Tracker& other);
+
   /// Attribute subsequent work to `r`; returns the previous region.
   Region set_region(Region r);
   Region region() const { return region_; }
@@ -117,12 +123,17 @@ class Tracker {
   /// ("qr.potrf_breakdown", "qr.hhqr_fallback", "qr.variant.<name>"),
   /// numerical-breakdown recoveries ("filter.nan_recovery",
   /// "lanczos.restart"), and whatever future subsystems need observable.
+  ///
+  /// Counter mutation is mutex-guarded: the solver service (src/svc) bumps
+  /// one shared metrics tracker from concurrent worker threads. The region
+  /// cost decomposition stays single-thread (a Tracker is installed
+  /// thread-locally for that use).
   void bump(std::string_view name, double amount = 1.0);
   /// Value of a named counter; 0 if never bumped.
   double counter(std::string_view name) const;
-  const std::map<std::string, double, std::less<>>& counters() const {
-    return counters_;
-  }
+  /// Snapshot of all named counters (by value: the map may be concurrently
+  /// mutated by other threads' bumps).
+  std::map<std::string, double, std::less<>> counters() const;
 
   /// Flush the running CPU timer into the current region.
   void flush();
@@ -146,6 +157,7 @@ class Tracker {
   std::vector<CollectiveEvent> colls_;
   std::vector<MemcpyEvent> copies_;
   std::map<std::string, double, std::less<>> counters_;
+  mutable std::mutex counters_mu_;  // guards counters_ only
   double last_cpu_ = 0;
   bool in_collective_ = false;
 };

@@ -1,0 +1,105 @@
+// Job model of the solver service (src/svc).
+//
+// A job is one independent Hermitian eigenproblem admitted into the service
+// queue: the caller's matrix (borrowed, column-major), a ChaseConfig, and
+// scheduling hints (tenant, priority, deadline). Jobs move through a small
+// lifecycle (queued -> running -> done/failed, or queued -> cancelled), and
+// every admission/lifecycle failure is a typed SvcError — the service never
+// reports UB or an untyped crash for a full queue, an unknown id, or an
+// invalid problem.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <string_view>
+
+#include "core/config.hpp"
+#include "core/types.hpp"
+
+namespace chase::svc {
+
+using la::Index;
+
+/// Job identifier: unique per service instance, never reused.
+using JobId = long;
+
+/// Scalar type of a job's problem (the d/z split of the C API).
+enum class ScalarTag : int { kDouble = 0, kComplexDouble = 1 };
+
+template <typename T>
+constexpr ScalarTag scalar_tag();
+template <>
+constexpr ScalarTag scalar_tag<double>() { return ScalarTag::kDouble; }
+template <>
+constexpr ScalarTag scalar_tag<std::complex<double>>() {
+  return ScalarTag::kComplexDouble;
+}
+
+enum class JobState : int {
+  kUnknown = 0,  // no such job
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,     // solver threw; JobInfo::error == kSolveFailed
+  kCancelled,  // cancelled while still queued
+};
+
+std::string_view job_state_name(JobState s);
+
+/// Typed service errors — admission control and lifecycle misuse reject with
+/// one of these instead of blocking, crashing, or silently succeeding.
+enum class SvcError : int {
+  kNone = 0,
+  kQueueFull,       // bounded queue at max_queue_depth; resubmit later
+  kInvalidJob,      // malformed problem (null/empty matrix, bad nev/nex/...)
+  kShutdown,        // service no longer accepting work
+  kUnknownJob,      // id never existed on this service
+  kNotCancellable,  // job already dispatched or finished
+  kSolveFailed,     // solver raised chase::Error; message in JobInfo
+};
+
+std::string_view svc_error_name(SvcError e);
+
+/// Scheduling hints attached at submission.
+struct JobOptions {
+  /// Tenant the job is charged to for weighted-fair scheduling.
+  std::string tenant = "default";
+  /// Higher priority dispatches earlier within the tenant.
+  int priority = 0;
+  /// Soft deadline in seconds from submission; 0 = none. Among equal
+  /// priorities, tighter deadlines dispatch first.
+  double deadline_seconds = 0;
+  /// Per-job observer (matching the job's scalar type); called from the
+  /// worker thread running the job.
+  core::ChaseObserver<double>* observer_d = nullptr;
+  core::ChaseObserver<std::complex<double>>* observer_z = nullptr;
+};
+
+/// Admission outcome: a valid id, or a typed rejection.
+struct Submission {
+  JobId id = -1;
+  SvcError error = SvcError::kNone;
+  bool ok() const { return error == SvcError::kNone; }
+};
+
+/// Snapshot of one job's lifecycle and timing, readable at any time.
+struct JobInfo {
+  JobState state = JobState::kUnknown;
+  SvcError error = SvcError::kNone;
+  std::string message;  // solver error text when state == kFailed
+  ScalarTag tag = ScalarTag::kDouble;
+  std::string tenant;
+  Index n = 0;
+  Index nev = 0;
+  bool converged = false;
+  int iterations = 0;
+  /// Dispatch order across the whole service (-1 while queued) — the
+  /// observable the fairness tests assert on.
+  long dispatch_seq = -1;
+  /// Number of jobs coalesced into the dispatch this job ran in.
+  int batch_width = 0;
+  double queue_seconds = 0;  // submit -> dispatch (or terminal state)
+  double solve_seconds = 0;  // dispatch -> finish
+};
+
+}  // namespace chase::svc

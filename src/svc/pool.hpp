@@ -1,0 +1,158 @@
+// Size-bucketed solve-arena pool.
+//
+// Every job the service runs needs the same per-solve state the sequential
+// driver builds from scratch: a self communicator, a 1x1 grid, the
+// distributed operator storage, and the SolverWorkspace arena. A SolveArena
+// bundles all of it; the pool keys arenas by (n, subspace) bucket and hands
+// warm arenas back out, so after the first job of each bucket the fleet runs
+// at zero steady-state allocation — the PR-4 per-solve contract lifted to
+// the whole service.
+//
+// Reuse is value-safe by construction: DistHermitianMatrix::fill_from_global
+// rewrites the operator and resets its diagonal-shift state, and
+// SolverWorkspace::clear_values returns the arena to the exact state a
+// freshly sized arena has (resize value-initializes), so a solve over a
+// pooled arena is bitwise-equal to a solo solve. The pool verifies the
+// zero-allocation claim with a per-arena watermark over
+// SolverWorkspace::alloc_events(): any growth on a warm arena lands in the
+// "svc.pool.steady_arena_growth" counter the bench gate asserts is zero.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/engine/workspace.hpp"
+#include "dist/dist_matrix.hpp"
+#include "dist/index_map.hpp"
+#include "perf/tracker.hpp"
+
+namespace chase::svc {
+
+/// Everything one worker needs to run jobs of one (n, ne) bucket: the
+/// degenerate single-rank runtime, the operator storage, and the workspace
+/// arena. Sized lazily by the first solve; warm thereafter.
+template <typename T>
+struct SolveArena {
+  comm::Communicator self;  // default = self communicator (1x1 grid)
+  comm::Grid2d grid;
+  dist::DistHermitianMatrix<T> h;
+  core::engine::SolverWorkspace<T> ws;
+  la::Index n = 0;
+  la::Index ne = 0;
+  long alloc_watermark = 0;  // ws.alloc_events() at last release
+  bool warm = false;         // has completed at least one job
+
+  SolveArena(la::Index n_in, la::Index ne_in)
+      : grid(self, 1, 1),
+        h(grid, dist::IndexMap::block(n_in, 1), dist::IndexMap::block(n_in, 1)),
+        n(n_in),
+        ne(ne_in) {}
+};
+
+/// Free-list pool for one scalar type, keyed by (n, ne). `metrics` (the
+/// service's shared tracker) receives the pool counters:
+///   svc.pool.hits / svc.pool.misses   — acquire outcomes
+///   svc.pool.entries                  — arenas ever created
+///   svc.pool.high_water               — peak arenas alive at once
+///   svc.pool.steady_arena_growth      — alloc events on warm arenas (bug!)
+template <typename T>
+class TypedArenaPool {
+ public:
+  std::unique_ptr<SolveArena<T>> acquire(la::Index n, la::Index ne,
+                                         perf::Tracker* metrics) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = free_.find({n, ne});
+      if (it != free_.end() && !it->second.empty()) {
+        auto arena = std::move(it->second.back());
+        it->second.pop_back();
+        ++in_use_;
+        if (metrics != nullptr) metrics->bump("svc.pool.hits");
+        return arena;
+      }
+      ++entries_;
+      ++in_use_;
+      if (in_use_ + live_free() > high_water_) {
+        high_water_ = in_use_ + live_free();
+      }
+    }
+    if (metrics != nullptr) {
+      metrics->bump("svc.pool.misses");
+      metrics->bump("svc.pool.entries");
+    }
+    return std::make_unique<SolveArena<T>>(n, ne);
+  }
+
+  void release(std::unique_ptr<SolveArena<T>> arena, perf::Tracker* metrics) {
+    const long events = arena->ws.alloc_events();
+    long growth = 0;
+    if (arena->warm) growth = events - arena->alloc_watermark;
+    arena->alloc_watermark = events;
+    arena->warm = true;
+    if (metrics != nullptr && growth != 0) {
+      metrics->bump("svc.pool.steady_arena_growth", double(growth));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    steady_growth_ += growth;
+    --in_use_;
+    free_[{arena->n, arena->ne}].push_back(std::move(arena));
+  }
+
+  long entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_;
+  }
+  long high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+  /// Total alloc events observed on warm (already-used) arenas; the
+  /// fleet-wide zero-steady-state-allocation invariant is this == 0.
+  long steady_growth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steady_growth_;
+  }
+
+ private:
+  long live_free() const {  // mu_ held
+    long count = 0;
+    for (const auto& [key, list] : free_) count += long(list.size());
+    return count;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::pair<la::Index, la::Index>,
+           std::vector<std::unique_ptr<SolveArena<T>>>>
+      free_;
+  long entries_ = 0;
+  long in_use_ = 0;
+  long high_water_ = 0;
+  long steady_growth_ = 0;
+};
+
+/// The service-wide pool: one TypedArenaPool per scalar type.
+class ArenaPool {
+ public:
+  template <typename T>
+  TypedArenaPool<T>& typed();
+
+  long entries() const { return d_.entries() + z_.entries(); }
+  long high_water() const { return d_.high_water() + z_.high_water(); }
+  long steady_growth() const { return d_.steady_growth() + z_.steady_growth(); }
+
+ private:
+  TypedArenaPool<double> d_;
+  TypedArenaPool<std::complex<double>> z_;
+};
+
+template <>
+inline TypedArenaPool<double>& ArenaPool::typed<double>() { return d_; }
+template <>
+inline TypedArenaPool<std::complex<double>>&
+ArenaPool::typed<std::complex<double>>() { return z_; }
+
+}  // namespace chase::svc

@@ -1,0 +1,114 @@
+// SolverService — the batched multi-tenant solver-as-a-service layer.
+//
+// The serving shape is queue -> batcher -> worker pool -> metrics:
+//
+//   submit()  admission control: typed rejection when the bounded queue is
+//             full, the problem is malformed, or the service is shutting
+//             down; admitted jobs enter their tenant's pending list ordered
+//             by (priority desc, deadline asc, submission order).
+//   dispatch  a worker picks the tenant with the least served/weight ratio
+//             (weighted fair queuing; ties break on tenant name), takes its
+//             head job, and coalesces up to max_batch pending jobs of the
+//             same (scalar, n, subspace) bucket — each charged to its own
+//             tenant — into one dispatch over one pooled arena.
+//   run       the batch runs back-to-back on a warm SolveArena from the
+//             ArenaPool: zero steady-state allocation, warm per-thread GEMM
+//             pack pools, one workspace setup amortized over the batch.
+//             Per-job RNG streams (ChaseConfig::seed) and per-job observers
+//             are preserved, so every batched solve is bitwise-equal to its
+//             solo core::solve_sequential run — asserted by the svc tests.
+//   metrics   one shared thread-safe perf::Tracker: svc.jobs.*, per-tenant
+//             svc.tenant.<name>.*, svc.batch.*, svc.pool.*, queue-wait and
+//             solve seconds (names in DESIGN.md §12).
+//
+// Results are returned as shared_ptrs so poll/wait stays cheap and callers
+// of different jobs never contend on a copy.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <string>
+
+#include "la/matrix.hpp"
+#include "perf/tracker.hpp"
+#include "svc/job.hpp"
+
+namespace chase::svc {
+
+struct ServiceConfig {
+  /// Worker threads running solves.
+  int workers = 2;
+  /// Max jobs coalesced into one same-bucket dispatch (1 = no batching).
+  int max_batch = 8;
+  /// Bounded queue depth; submissions beyond it reject with kQueueFull.
+  long max_queue_depth = 256;
+  /// Admit but do not dispatch until resume() — lets tests and benches
+  /// build a deterministic backlog.
+  bool start_paused = false;
+};
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceConfig cfg = {});
+  ~SolverService();  // implies shutdown()
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Admit one eigenproblem. The matrix view is borrowed: it must stay
+  /// valid until the job reaches a terminal state. Returns the job id or a
+  /// typed rejection (kQueueFull / kInvalidJob / kShutdown).
+  Submission submit(la::ConstMatrixView<double> h,
+                    const core::ChaseConfig& cfg, JobOptions opts = {});
+  Submission submit(la::ConstMatrixView<std::complex<double>> h,
+                    const core::ChaseConfig& cfg, JobOptions opts = {});
+
+  /// Current lifecycle state (kUnknown for an id this service never issued).
+  JobState poll(JobId id) const;
+  /// Full lifecycle snapshot.
+  JobInfo info(JobId id) const;
+  /// Block until the job reaches a terminal state; returns its final info.
+  /// An unknown id returns immediately with state == kUnknown.
+  JobInfo wait(JobId id);
+  /// Cancel a still-queued job. kNone on success, kUnknownJob /
+  /// kNotCancellable otherwise (a dispatched job runs to completion).
+  SvcError cancel(JobId id);
+
+  /// Block until no job is pending or running.
+  void drain();
+  /// Stop/resume dispatching (submissions are still admitted while paused).
+  void pause();
+  void resume();
+  /// Stop admitting, cancel all queued jobs, finish running ones, join the
+  /// workers. Idempotent.
+  void shutdown();
+
+  /// Weighted-fair share for a tenant (default 1.0; larger = more slots).
+  void set_tenant_weight(const std::string& tenant, double weight);
+
+  /// The completed job's result (empty pointer unless state == kDone and T
+  /// matches the job's scalar type).
+  template <typename T>
+  std::shared_ptr<const core::ChaseResult<T>> result(JobId id) const {
+    return std::static_pointer_cast<const core::ChaseResult<T>>(
+        result_any(id, scalar_tag<T>()));
+  }
+
+  /// Value of one service metric counter (see header comment for names).
+  double counter(std::string_view name) const;
+  /// The shared metrics tracker (thread-safe counter surface).
+  perf::Tracker& metrics();
+
+  /// Pool statistics backing the zero-steady-state-allocation gate.
+  long pool_entries() const;
+  long pool_high_water() const;
+  long pool_steady_growth() const;
+
+ private:
+  std::shared_ptr<void> result_any(JobId id, ScalarTag tag) const;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace chase::svc

@@ -1,0 +1,139 @@
+// Batched-vs-solo bitwise equivalence: every job run through the service —
+// at any batch width, over warm pooled arenas — must produce eigenpairs
+// bitwise identical to its standalone core::solve_sequential run. This is
+// the property that makes the batching scheduler transparent: per-job RNG
+// streams (ChaseConfig::seed) are preserved, and a value-cleared pooled
+// arena is indistinguishable from a fresh one.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstring>
+#include <vector>
+
+#include "core/sequential.hpp"
+#include "gen/spectrum.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace chase;
+
+struct Bucket {
+  la::Index n;
+  la::Index nev;
+  la::Index nex;
+};
+
+template <typename T>
+void sweep_buckets() {
+  for (const Bucket bucket : {Bucket{40, 5, 3}, Bucket{56, 6, 4}}) {
+    for (const int width : {1, 2, 4}) {
+      svc::ServiceConfig scfg;
+      scfg.workers = 1;
+      scfg.max_batch = width;
+      scfg.start_paused = true;
+      svc::SolverService service(scfg);
+
+      core::ChaseConfig cfg;
+      cfg.nev = bucket.nev;
+      cfg.nex = bucket.nex;
+
+      std::vector<la::Matrix<T>> problems;
+      std::vector<core::ChaseConfig> cfgs;
+      for (int i = 0; i < width; ++i) {
+        problems.push_back(gen::hermitian_with_spectrum<T>(
+            gen::uniform_spectrum<double>(bucket.n, -2.0, 4.0),
+            100 + std::uint64_t(i)));
+        cfgs.push_back(cfg);
+        cfgs.back().seed = 3000 + std::uint64_t(i);  // per-job RNG stream
+      }
+
+      std::vector<svc::JobId> ids;
+      for (int i = 0; i < width; ++i) {
+        const auto sub = service.submit(problems[std::size_t(i)].cview(),
+                                        cfgs[std::size_t(i)]);
+        ASSERT_TRUE(sub.ok());
+        ids.push_back(sub.id);
+      }
+      service.resume();
+      service.drain();
+
+      for (int i = 0; i < width; ++i) {
+        SCOPED_TRACE(testing::Message()
+                     << "n=" << bucket.n << " width=" << width << " job="
+                     << i);
+        const auto info = service.wait(ids[std::size_t(i)]);
+        ASSERT_EQ(info.state, svc::JobState::kDone);
+        EXPECT_EQ(info.batch_width, width);
+        const auto batched = service.result<T>(ids[std::size_t(i)]);
+        ASSERT_NE(batched, nullptr);
+
+        const auto solo = core::solve_sequential<T>(
+            problems[std::size_t(i)].cview(), cfgs[std::size_t(i)]);
+        ASSERT_EQ(solo.converged, batched->converged);
+        ASSERT_EQ(solo.iterations, batched->iterations);
+        ASSERT_EQ(solo.matvecs, batched->matvecs);
+        ASSERT_EQ(solo.eigenvalues.size(), batched->eigenvalues.size());
+        EXPECT_EQ(std::memcmp(solo.eigenvalues.data(),
+                              batched->eigenvalues.data(),
+                              solo.eigenvalues.size() *
+                                  sizeof(solo.eigenvalues[0])),
+                  0);
+        ASSERT_EQ(solo.eigenvectors.rows(), batched->eigenvectors.rows());
+        ASSERT_EQ(solo.eigenvectors.cols(), batched->eigenvectors.cols());
+        EXPECT_EQ(std::memcmp(solo.eigenvectors.data(),
+                              batched->eigenvectors.data(),
+                              sizeof(T) *
+                                  std::size_t(solo.eigenvectors.rows()) *
+                                  std::size_t(solo.eigenvectors.cols())),
+                  0);
+      }
+    }
+  }
+}
+
+TEST(ServiceBatch, BitwiseEqualsSoloDouble) { sweep_buckets<double>(); }
+
+TEST(ServiceBatch, BitwiseEqualsSoloComplex) {
+  sweep_buckets<std::complex<double>>();
+}
+
+// Reusing one service (and its warm arena pool) across repeated submissions
+// of the same problem must yield bitwise-identical results every time —
+// pooled-arena state never leaks between jobs.
+TEST(ServiceBatch, WarmArenaRunsAreReproducible) {
+  const la::Index n = 48;
+  auto h = gen::hermitian_with_spectrum<std::complex<double>>(
+      gen::uniform_spectrum<double>(n, -1.0, 3.0), 7);
+  core::ChaseConfig cfg;
+  cfg.nev = 6;
+  cfg.nex = 4;
+
+  svc::ServiceConfig scfg;
+  scfg.workers = 1;
+  svc::SolverService service(scfg);
+
+  std::shared_ptr<const core::ChaseResult<std::complex<double>>> first;
+  for (int round = 0; round < 3; ++round) {
+    const auto sub = service.submit(h.cview(), cfg);
+    ASSERT_TRUE(sub.ok());
+    service.wait(sub.id);
+    const auto result = service.result<std::complex<double>>(sub.id);
+    ASSERT_NE(result, nullptr);
+    if (round == 0) {
+      first = result;
+      continue;
+    }
+    EXPECT_EQ(std::memcmp(first->eigenvalues.data(),
+                          result->eigenvalues.data(),
+                          first->eigenvalues.size() * sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(first->eigenvectors.data(),
+                          result->eigenvectors.data(),
+                          sizeof(std::complex<double>) * std::size_t(n) *
+                              std::size_t(cfg.nev)),
+              0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Concurrency suite (runs under the tsan preset, label svc): shared-tracker
+// counter mutation from many threads, concurrent submitters/pollers against
+// one service, and oversubscription under contention rejecting typed
+// instead of blocking or crashing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <complex>
+#include <thread>
+#include <vector>
+
+#include "gen/spectrum.hpp"
+#include "perf/tracker.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace chase;
+
+TEST(ServiceConcurrency, SharedTrackerCountersAreThreadSafe) {
+  perf::Tracker tracker;
+  constexpr int kThreads = 4;
+  constexpr int kBumps = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracker, t] {
+      for (int i = 0; i < kBumps; ++i) {
+        tracker.bump("svc.shared");            // all threads collide here
+        tracker.bump(t % 2 == 0 ? "svc.even" : "svc.odd", 0.5);
+        if (i % 128 == 0) {
+          (void)tracker.counter("svc.shared");  // concurrent reads
+          (void)tracker.counters();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(tracker.counter("svc.shared"), kThreads * kBumps);
+  EXPECT_DOUBLE_EQ(tracker.counter("svc.even") + tracker.counter("svc.odd"),
+                   kThreads * kBumps * 0.5);
+}
+
+TEST(ServiceConcurrency, ConcurrentSubmittersAndWaiters) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch = 4;
+  svc::SolverService service(cfg);
+
+  const la::Index n = 40;
+  auto hd = gen::hermitian_with_spectrum<double>(
+      gen::uniform_spectrum<double>(n, -1.0, 3.0), 5);
+  auto hz = gen::hermitian_with_spectrum<std::complex<double>>(
+      gen::uniform_spectrum<double>(n, -1.0, 3.0), 6);
+  core::ChaseConfig jcfg;
+  jcfg.nev = 5;
+  jcfg.nex = 3;
+
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 8;
+  std::atomic<int> done{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<svc::JobId> ids;
+      for (int i = 0; i < kJobsPerClient; ++i) {
+        svc::JobOptions opts;
+        opts.tenant = c % 2 == 0 ? "alpha" : "beta";
+        const auto sub = c % 2 == 0 ? service.submit(hd.cview(), jcfg, opts)
+                                    : service.submit(hz.cview(), jcfg, opts);
+        ASSERT_TRUE(sub.ok());
+        ids.push_back(sub.id);
+        (void)service.poll(sub.id);  // concurrent polling
+        (void)service.counter("svc.jobs.admitted");
+      }
+      for (const auto id : ids) {
+        const auto info = service.wait(id);
+        EXPECT_EQ(info.state, svc::JobState::kDone);
+        EXPECT_TRUE(info.converged);
+        done.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(done.load(), kClients * kJobsPerClient);
+  EXPECT_EQ(service.counter("svc.jobs.completed"),
+            double(kClients * kJobsPerClient));
+  EXPECT_EQ(service.pool_steady_growth(), 0);
+}
+
+TEST(ServiceConcurrency, OversubscriptionRejectsTypedUnderContention) {
+  svc::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue_depth = 8;
+  cfg.start_paused = true;  // force every submission to queue
+  svc::SolverService service(cfg);
+
+  auto h = gen::hermitian_with_spectrum<double>(
+      gen::uniform_spectrum<double>(40, -1.0, 3.0), 9);
+  core::ChaseConfig jcfg;
+  jcfg.nev = 5;
+  jcfg.nex = 3;
+
+  constexpr int kClients = 4;
+  constexpr int kTries = 8;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kTries; ++i) {
+        const auto sub = service.submit(h.cview(), jcfg);
+        if (sub.ok()) {
+          accepted.fetch_add(1);
+        } else {
+          EXPECT_EQ(sub.error, svc::SvcError::kQueueFull);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(accepted.load(), 8);  // exactly the queue depth, no overshoot
+  EXPECT_EQ(rejected.load(), kClients * kTries - 8);
+
+  service.resume();
+  service.drain();
+  EXPECT_EQ(service.counter("svc.jobs.completed"), 8.0);
+}
+
+}  // namespace
