@@ -9,7 +9,19 @@ in results/):
     python3 scripts/compare_bench.py [results/*.json ...]
 
 The checker dispatches on the JSON shape, so any mix of result files can be
-passed; with no arguments it checks both defaults.
+passed; with no arguments it checks every default result file that exists.
+`--only <name>` restricts the run to one bench — the name maps to
+results/bench_<name>.json (e.g. `--only mixed`), or pass a .json path.
+
+Mixed-precision invariants (results/bench_mixed.json, hard failures):
+  * the fp32 filter (including demote/promote boundary copies) below 1.5x
+    the fp64 filter at n=1024;
+  * the 2x2 filter collective payload above 0.55x of fp64 (pure fp32
+    applies move exactly half the bytes);
+  * CHASE_PRECISION=double results not bitwise identical across an
+    intervening mixed solve, or the mixed solve's eigenvalues drifting
+    more than 1e-6 from the fp64 solve's;
+  * the mixed solve never filtering a column in fp32.
 
 Kernel-engine invariants (results/bench_kernels.json, hard failures):
   * the micro policy is slower than the seed naive path at n=512 for any
@@ -243,15 +255,71 @@ def check_service(data: dict, failures: list) -> None:
               "(batching must not lose)")
 
 
+DEFAULT_RESULTS = ("results/bench_kernels.json",
+                   "results/bench_engine.json",
+                   "results/bench_factor.json",
+                   "results/bench_checkpoint.json",
+                   "results/bench_service.json",
+                   "results/bench_mixed.json")
+
+
+def check_mixed(data: dict, failures: list) -> None:
+    m = data["mixed"]
+    print(f"mixed filter n={m['n']} cols={m['cols']} deg={m['degree']}: "
+          f"fp64 {m['fp64_seconds']:.4f}s  fp32 {m['fp32_seconds']:.4f}s  "
+          f"speedup {m['speedup']:.2f}x")
+    print(f"  2x2 filter coll bytes: fp64 {m['coll_bytes_fp64']:.0f}  "
+          f"fp32 {m['coll_bytes_fp32']:.0f}  ratio {m['coll_ratio']:.3f}")
+    print(f"  solve n={m['solve_n']}: max eig diff {m['max_eig_diff']:.2e} "
+          f"(tol {m['tol']:.0e})  fp32 cols {m['fp32_cols']:.0f}  "
+          f"fp64 cols {m['fp64_cols']:.0f}  "
+          f"double identical: {m['double_identical']}")
+    if m["speedup"] < 1.5:
+        failures.append(
+            f"mixed filter only {m['speedup']:.2f}x fp64 at n={m['n']} "
+            "(need >= 1.5x — low precision must actually pay)")
+    if m["coll_ratio"] > 0.55:
+        failures.append(
+            f"fp32 filter moved {m['coll_ratio']:.3f}x the fp64 collective "
+            "bytes (must be <= 0.55x — payloads must halve)")
+    if not m["double_identical"]:
+        failures.append(
+            "CHASE_PRECISION=double results changed across an intervening "
+            "mixed solve — the precision policy leaks state")
+    if m["max_eig_diff"] > 1e-6:
+        failures.append(
+            f"mixed solve eigenvalues off by {m['max_eig_diff']:.2e} from "
+            "fp64 (must converge to the same pairs)")
+    if m["fp32_cols"] <= 0:
+        failures.append(
+            "mixed solve filtered no columns in fp32 — the low-precision "
+            "path never engaged")
+
+
 def main() -> int:
-    paths = sys.argv[1:]
+    args = sys.argv[1:]
+    paths = []
+    only = None
+    i = 0
+    while i < len(args):
+        if args[i] == "--only":
+            if i + 1 >= len(args):
+                print("--only requires a bench name or result path")
+                return 1
+            only = args[i + 1]
+            i += 2
+        else:
+            paths.append(args[i])
+            i += 1
+    if only is not None:
+        # Accept either a bench name ("mixed", "engine", ...) or a path.
+        path = only if only.endswith(".json") else f"results/bench_{only}.json"
+        if not os.path.exists(path):
+            print(f"--only {only}: {path} not found (run that bench first)")
+            return 1
+        paths = [path]
     if not paths:
-        paths = [p for p in ("results/bench_kernels.json",
-                             "results/bench_engine.json",
-                             "results/bench_factor.json",
-                             "results/bench_checkpoint.json",
-                             "results/bench_service.json")
-                 if os.path.exists(p)]
+        paths = [p for p in DEFAULT_RESULTS if os.path.exists(p)]
         if not paths:
             print("no result files found (run the micro benches first)")
             return 1
@@ -271,6 +339,8 @@ def main() -> int:
             check_checkpoint(data, failures)
         elif "service" in data:
             check_service(data, failures)
+        elif "mixed" in data:
+            check_mixed(data, failures)
         else:
             failures.append(f"{path}: unrecognized result shape")
         print()

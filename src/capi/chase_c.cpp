@@ -9,6 +9,7 @@
 #include <string>
 
 #include "ckpt/restart.hpp"
+#include "core/precision.hpp"
 #include "core/sequential.hpp"
 #include "svc/service.hpp"
 
@@ -263,6 +264,18 @@ void chase_checkpoint_disable(void) {
   std::lock_guard<std::mutex> lock(cs.mutex);
   cs.sink.reset();
   cs.interval = 0;
+}
+
+int chase_set_precision(const char* name) {
+  if (name == nullptr) return CHASE_INVALID_ARGUMENT;
+  auto parsed = chase::core::parse_precision(name);
+  if (!parsed) return CHASE_INVALID_ARGUMENT;
+  chase::core::set_precision(*parsed);
+  return CHASE_SUCCESS;
+}
+
+const char* chase_get_precision(void) {
+  return chase::core::precision_name(chase::core::precision()).data();
 }
 
 void chase_service_default_params(chase_service_params* p) {

@@ -78,6 +78,20 @@ int chase_checkpoint_enable(const char* dir, int interval);
 /* Disarm checkpointing; solves neither write nor read snapshots. */
 void chase_checkpoint_disable(void);
 
+/* Select the solve precision policy for subsequent solves (process-global,
+ * same slot the CHASE_PRECISION environment variable initializes):
+ *   "double" — every kernel in working precision (the default);
+ *   "mixed"  — the Chebyshev filter runs in fp32 on a low-precision shadow
+ *              of H with residual-driven per-column fallback to fp64;
+ *              QR, Rayleigh-Ritz, residuals and locking stay fp64, and
+ *              locked pairs get one step of fp64 iterative refinement.
+ * Returns CHASE_SUCCESS, or CHASE_INVALID_ARGUMENT for any other name. */
+int chase_set_precision(const char* name);
+
+/* Name of the currently active precision policy ("double" or "mixed");
+ * static storage, do not free. */
+const char* chase_get_precision(void);
+
 /* ---- Batched multi-tenant solver service (src/svc) ----
  *
  * A service owns a worker pool, a bounded job queue with weighted-fair

@@ -3,15 +3,16 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/env.hpp"
+
 namespace chase::ckpt {
 
 namespace {
 
 int env_interval() {
   static const int v = [] {
-    if (const char* env = std::getenv("CHASE_CKPT_INTERVAL")) {
-      const int parsed = std::atoi(env);
-      if (parsed > 0) return parsed;
+    if (auto parsed = env::positive_env("CHASE_CKPT_INTERVAL")) {
+      return int(*parsed);
     }
     return 0;
   }();

@@ -6,6 +6,7 @@
 #include <limits>
 #include <string>
 
+#include "common/env.hpp"
 #include "perf/cost_model.hpp"
 #include "perf/machine.hpp"
 
@@ -36,9 +37,8 @@ std::atomic<int>& algo_slot() {
 std::atomic<std::size_t>& chunk_slot() {
   static std::atomic<std::size_t> slot = [] {
     std::size_t bytes = kDefaultChunkBytes;
-    if (const char* env = std::getenv("CHASE_COLL_CHUNK_BYTES")) {
-      const long long parsed = std::atoll(env);
-      if (parsed > 0) bytes = std::size_t(parsed);
+    if (auto v = env::positive_env("CHASE_COLL_CHUNK_BYTES")) {
+      bytes = std::size_t(*v);
     }
     return std::atomic<std::size_t>(bytes);
   }();

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <thread>
 
+#include "common/env.hpp"
+
 namespace chase::comm {
 
 namespace {
@@ -17,12 +19,9 @@ std::atomic<long>& timeout_ms() {
     long v = 120000;  // generous: legitimate waits cover imbalanced compute
     // CHASE_WATCHDOG_MS is the documented knob; CHASE_BARRIER_TIMEOUT_MS is
     // the original name, kept as a fallback.
-    const char* env = std::getenv("CHASE_WATCHDOG_MS");
-    if (env == nullptr) env = std::getenv("CHASE_BARRIER_TIMEOUT_MS");
-    if (env != nullptr) {
-      const long parsed = std::atol(env);
-      if (parsed > 0) v = parsed;
-    }
+    auto parsed = env::positive_env("CHASE_WATCHDOG_MS");
+    if (!parsed) parsed = env::positive_env("CHASE_BARRIER_TIMEOUT_MS");
+    if (parsed) v = long(*parsed);
     return v;
   }();
   return ms;

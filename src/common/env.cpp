@@ -1,0 +1,42 @@
+#include "common/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace chase::env {
+
+namespace {
+
+[[noreturn]] void reject(const char* name, const char* text,
+                         const char* why) {
+  std::ostringstream os;
+  os << name << "=\"" << text << "\": " << why
+     << " (expected a strictly positive integer)";
+  throw ConfigError(os.str());
+}
+
+}  // namespace
+
+long long positive_int(const char* name, const char* text) {
+  if (text == nullptr || text[0] == '\0') {
+    reject(name, text == nullptr ? "" : text, "empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text, &end, 10);
+  if (end == text) reject(name, text, "not a number");
+  while (*end == ' ' || *end == '\t') ++end;
+  if (*end != '\0') reject(name, text, "trailing junk");
+  if (errno == ERANGE) reject(name, text, "out of range");
+  if (parsed <= 0) reject(name, text, "must be > 0");
+  return parsed;
+}
+
+std::optional<long long> positive_env(const char* name) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || text[0] == '\0') return std::nullopt;
+  return positive_int(name, text);
+}
+
+}  // namespace chase::env

@@ -1,0 +1,41 @@
+// Validated parsing of the numeric CHASE_* environment knobs.
+//
+// The runtime knobs (CHASE_COLL_CHUNK_BYTES, CHASE_CKPT_INTERVAL,
+// CHASE_WATCHDOG_MS, ...) used to be read with atoll/atoi, which silently
+// parse garbage to 0 and then fall back to the default — a misspelled value
+// like "64kb" or an accidental "0" was indistinguishable from "unset". All
+// numeric knobs now go through env::positive_env: a set-but-invalid value
+// (non-numeric, trailing junk, zero, negative, overflow) throws ConfigError
+// naming the variable and the offending text, so a misconfigured process
+// fails loudly at the first use of the knob instead of quietly running with
+// defaults.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace chase::env {
+
+/// Typed configuration error: a CHASE_* variable is set to a value that
+/// cannot mean what the operator intended. Derives from chase::Error so the
+/// collective-safe propagation (poisoned barriers, TeamAborted) applies
+/// unchanged when the first read happens inside a rank thread.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Parse `text` as a strictly positive integer. Throws ConfigError (naming
+/// `name`) on empty text, non-numeric text, trailing junk ("64kb"), zero,
+/// negative values, or overflow.
+long long positive_int(const char* name, const char* text);
+
+/// getenv(name) through positive_int. Unset returns nullopt; set-but-empty
+/// counts as unset (the conventional way to neutralize an exported knob);
+/// anything else must parse as a strictly positive integer or ConfigError
+/// is thrown.
+std::optional<long long> positive_env(const char* name);
+
+}  // namespace chase::env

@@ -30,6 +30,8 @@
 #include "core/config.hpp"
 #include "core/degrees.hpp"
 #include "core/dla_dense.hpp"
+#include "core/dla_mixed.hpp"
+#include "core/precision.hpp"
 #include "core/engine/pipeline.hpp"
 #include "core/engine/stages.hpp"
 #include "core/filter.hpp"
@@ -76,7 +78,13 @@ ChaseResult<T> solve(HOp& h, const ChaseConfig& cfg,
   CHASE_CHECK_MSG(cfg.nev > 0 && ne <= h.global_size(), "invalid nev/nex");
   CHASE_CHECK_MSG(cfg.initial_degree >= 2, "invalid initial degree");
 
-  DenseDlaBackend<HOp> dla(h);
+  // Backend selection: the CHASE_PRECISION policy swaps in the
+  // mixed-precision backend (fp32 filtering, fp64 everything else) when the
+  // operator can be shadowed in low precision; matrix-free operators and
+  // non-double scalars always solve in pure working precision.
+  DenseDlaBackend<HOp> dla_plain(h);
+  std::optional<MixedBackendFor<HOp, DenseDlaBackend<HOp>>> dla_mixed;
+  DlaBackend<T>& dla = select_backend(h, dla_plain, dla_mixed);
   engine::SolverWorkspace<T> ws_local;
   engine::SolverWorkspace<T>& ws =
       ws_external != nullptr ? *ws_external : ws_local;

@@ -90,6 +90,25 @@ class DlaBackend {
                               const std::vector<R>& ritz, R scale,
                               std::vector<R>& resid) = 0;
 
+  /// Hook called by the Residual stage right after residual_norms with the
+  /// freshly reduced (hence replicated) residuals of the active columns.
+  /// The mixed-precision backend updates its promotion policy here; the
+  /// default backend ignores it, keeping pure-fp64 solves bitwise identical.
+  virtual void observe_residuals(Workspace& /*ws*/, Index /*locked*/,
+                                 Index /*act*/,
+                                 const std::vector<R>& /*resid*/) {}
+
+  /// Hook called by the Locking stage on the `cand` leading active columns
+  /// whose residuals fell below tolerance, before they are frozen. The mixed
+  /// backend runs one step of iterative refinement (recompute the Rayleigh
+  /// quotients in fp64 and re-evaluate the residuals) so pairs filtered in
+  /// low precision lock with fp64-quality values; residuals may rise back
+  /// above tolerance, in which case the stage simply does not lock them yet.
+  /// Default: nothing — pure-fp64 locking is unchanged.
+  virtual void refine_locked(Workspace& /*ws*/, Index /*locked*/,
+                             Index /*cand*/, std::vector<R>& /*ritz*/,
+                             R /*scale*/, std::vector<R>& /*resid*/) {}
+
   /// Post-iteration bookkeeping (the legacy scheme refreshes its redundant
   /// full basis copy here); default: nothing.
   virtual void end_iteration(Workspace& /*ws*/) {}

@@ -1,0 +1,131 @@
+// Residual-driven precision-promotion policy of the mixed backend.
+//
+// Filtering in fp32 is safe while a column's residual sits well above what
+// fp32 rounding can deliver; once it approaches the fp32 floor — or stops
+// improving — further low-precision filtering is wasted work. The policy
+// watches the replicated post-iteration residuals and decides, per column,
+// when to fall back to fp64 filtering, plus a whole-subspace fallback when
+// convergence stagnates across iterations (the symptom of fp32 rounding
+// polluting the shared subspace rather than a single direction).
+//
+// Inputs (residuals, locked counts) are identical on every rank — residual
+// norms are allreduced and locking is replicated — so every rank derives the
+// same promotion mask and the mixed filter's collectives stay aligned.
+// The state machine is header-only and solver-free, so the trigger
+// conditions are unit-testable in isolation (tests/core/test_precision.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace chase::core::engine {
+
+struct PromotionConfig {
+  /// Promote a column once its residual drops below this floor: fp32 unit
+  /// roundoff is ~6e-8, but the filtered residual stagnates one to two
+  /// decades above it (rounding noise is amplified by the polynomial), so
+  /// the hand-off to fp64 filtering happens with margin.
+  double resid_floor = 1e-5;
+  /// A column "stalls" when an iteration shrinks its residual by less than
+  /// this factor (1.0 would demand monotone progress; Chebyshev filtering in
+  /// adequate precision contracts residuals by far more per iteration).
+  double stall_ratio = 0.85;
+  /// Consecutive stalled iterations before a column is promoted.
+  int column_stall_limit = 2;
+  /// Consecutive iterations in which nothing locked and the best active
+  /// residual stalled before the whole subspace falls back to fp64
+  /// (<= 0: fall back at the first observation — the deterministic-test
+  /// hook).
+  int subspace_stall_limit = 3;
+};
+
+class PromotionPolicy {
+ public:
+  using Index = la::Index;
+
+  explicit PromotionPolicy(const PromotionConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Arm the policy for a subspace of `ne` columns, all starting in low
+  /// precision.
+  void reset(Index ne) {
+    col_fp64_.assign(std::size_t(ne), 0);
+    prev_resid_.assign(std::size_t(ne), -1.0);
+    col_stall_.assign(std::size_t(ne), 0);
+    subspace_fp64_ = false;
+    subspace_stall_ = 0;
+    last_locked_ = -1;
+    last_best_ = -1.0;
+    columns_promoted_ = 0;
+    subspace_promotions_ = 0;
+  }
+
+  /// Feed the post-iteration residuals of the active columns
+  /// [locked, locked + act); `resid` is indexed globally like the solver's
+  /// residual array. Updates the per-column mask and the subspace flag.
+  void observe(Index locked, Index act, const std::vector<double>& resid) {
+    double best = -1.0;
+    for (Index j = 0; j < act; ++j) {
+      const std::size_t g = std::size_t(locked + j);
+      const double r = resid[g];
+      if (best < 0 || r < best) best = r;
+      if (col_fp64_[g]) continue;
+      if (r < cfg_.resid_floor) {
+        promote_column(g);
+        continue;
+      }
+      const double prev = prev_resid_[g];
+      if (prev >= 0 && r > cfg_.stall_ratio * prev) {
+        if (++col_stall_[g] >= cfg_.column_stall_limit) promote_column(g);
+      } else {
+        col_stall_[g] = 0;
+      }
+      prev_resid_[g] = r;
+    }
+
+    if (!subspace_fp64_) {
+      const bool no_lock_progress = last_locked_ >= 0 && locked <= last_locked_;
+      const bool best_stalled =
+          last_best_ >= 0 && best >= 0 && best > cfg_.stall_ratio * last_best_;
+      if (cfg_.subspace_stall_limit <= 0 ||
+          (no_lock_progress && best_stalled &&
+           ++subspace_stall_ >= cfg_.subspace_stall_limit)) {
+        subspace_fp64_ = true;
+        ++subspace_promotions_;
+      } else if (!(no_lock_progress && best_stalled)) {
+        subspace_stall_ = 0;
+      }
+    }
+    last_locked_ = locked;
+    last_best_ = best;
+  }
+
+  /// True when global column `g` must be filtered in fp64.
+  bool column_fp64(Index g) const {
+    return subspace_fp64_ || col_fp64_[std::size_t(g)] != 0;
+  }
+  bool subspace_fp64() const { return subspace_fp64_; }
+
+  long columns_promoted() const { return columns_promoted_; }
+  long subspace_promotions() const { return subspace_promotions_; }
+
+ private:
+  void promote_column(std::size_t g) {
+    col_fp64_[g] = 1;
+    ++columns_promoted_;
+  }
+
+  PromotionConfig cfg_;
+  std::vector<char> col_fp64_;
+  std::vector<double> prev_resid_;
+  std::vector<int> col_stall_;
+  bool subspace_fp64_ = false;
+  int subspace_stall_ = 0;
+  Index last_locked_ = -1;
+  double last_best_ = -1.0;
+  long columns_promoted_ = 0;
+  long subspace_promotions_ = 0;
+};
+
+}  // namespace chase::core::engine

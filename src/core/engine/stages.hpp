@@ -226,6 +226,11 @@ class ResidualStage final : public Stage<T> {
     dla.apply_h(ctx.ws, ctx.locked, act);
     dla.residual_norms(ctx.ws, ctx.locked, act, ctx.ritz, ctx.scale,
                        ctx.resid);
+    // The residuals are reduced, hence replicated: the precision-promotion
+    // policy of the mixed backend observes them here so every rank derives
+    // the same promotion mask for the next filter. No-op on the default
+    // backends.
+    dla.observe_residuals(ctx.ws, ctx.locked, act, ctx.resid);
     return StageOutcome::kContinue;
   }
 };
@@ -249,11 +254,25 @@ class LockingStage final : public Stage<T> {
  public:
   std::string_view name() const override { return "locking"; }
 
-  StageOutcome run(SolveContext<T>& ctx, DlaBackend<T>& /*dla*/) override {
+  StageOutcome run(SolveContext<T>& ctx, DlaBackend<T>& dla) override {
     Index new_locked = 0;
     while (ctx.locked + new_locked < ctx.ne &&
            ctx.resid[std::size_t(ctx.locked + new_locked)] < ctx.tol) {
       ++new_locked;
+    }
+    if (new_locked > 0) {
+      // Candidates about to freeze get one refinement pass (mixed backend:
+      // fp64 Rayleigh quotients + fresh residuals; default backends: no-op).
+      // The count is replicated, so every rank enters the backend's
+      // collectives together; the recount below accepts whatever still
+      // clears tolerance after refinement.
+      dla.refine_locked(ctx.ws, ctx.locked, new_locked, ctx.ritz, ctx.scale,
+                        ctx.resid);
+      new_locked = 0;
+      while (ctx.locked + new_locked < ctx.ne &&
+             ctx.resid[std::size_t(ctx.locked + new_locked)] < ctx.tol) {
+        ++new_locked;
+      }
     }
     ctx.locked += new_locked;
     ctx.stats.locked_after = int(ctx.locked);

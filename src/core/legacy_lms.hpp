@@ -38,7 +38,12 @@ ChaseResult<T> solve_lms(HOp& h,
   const Index ne = cfg.subspace();
   CHASE_CHECK_MSG(cfg.nev > 0 && ne <= h.global_size(), "invalid nev/nex");
 
-  RedundantDlaBackend<HOp> dla(h);
+  // Same precision-policy backend selection as core::solve: the mixed
+  // wrapper derives from the redundant backend, so the legacy QR/RR path is
+  // preserved while the filter runs on the fp32 shadow.
+  RedundantDlaBackend<HOp> dla_plain(h);
+  std::optional<MixedBackendFor<HOp, RedundantDlaBackend<HOp>>> dla_mixed;
+  DlaBackend<T>& dla = select_backend(h, dla_plain, dla_mixed);
   engine::SolverWorkspace<T> ws;
   dla.setup(ws, cfg);
 

@@ -173,6 +173,11 @@ class DistHermitianMatrix {
     const double flop_mul =
         (kIsComplex<T> ? 8.0 : 2.0) * double(local_.rows()) *
         double(local_.cols());
+    // fp32 storage (the mixed-precision filter's shadow) is priced at the
+    // machine model's single-precision rate.
+    const perf::FlopClass flop_class = sizeof(RealType<T>) == 4
+                                           ? perf::FlopClass::kGemmSingle
+                                           : perf::FlopClass::kGemm;
     const auto write_back = [&](Index j0, Index bn) {
       for (Index j = j0; j < j0 + bn; ++j) {
         T* yj = y.col(j);
@@ -215,7 +220,7 @@ class DistHermitianMatrix {
     if (nblk <= 1) {
       multiply(x, partial);
       if (auto* t = perf::thread_tracker()) {
-        t->add_flops(perf::FlopClass::kGemm, flop_mul * double(ncols));
+        t->add_flops(flop_class, flop_mul * double(ncols));
       }
       if (abft) {
         coll::checked_block_reduce(reduce_comm, partial);
@@ -234,7 +239,7 @@ class DistHermitianMatrix {
       auto pblk = ws.block(0, j0, out_rows, bn);
       multiply(x.block(0, j0, x.rows(), bn), pblk);
       if (auto* t = perf::thread_tracker()) {
-        t->add_flops(perf::FlopClass::kGemm, flop_mul * double(bn));
+        t->add_flops(flop_class, flop_mul * double(bn));
       }
       auto req =
           reduce_comm.i_all_reduce(pblk.data(), /*count=*/out_rows * bn);

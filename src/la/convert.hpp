@@ -1,0 +1,81 @@
+// fp64 <-> fp32 conversion helpers for the mixed-precision filter pipeline.
+//
+// The mixed backend (core/dla_mixed.hpp) keeps a low-precision shadow of H
+// and of the active subspace panel; these helpers define the precision pair
+// (LowPrecision<T>) and the demote/promote copies between the two storages.
+// Demotion is a plain narrowing cast per element: values below the fp32
+// normal range land on denormals or +-0, values above it on +-inf, and NaNs
+// propagate — all of which the solver's existing consensus guard and the
+// promotion policy handle (a non-finite filtered column is re-randomized,
+// a stalled one is promoted back to fp64). Promotion is exact.
+#pragma once
+
+#include <complex>
+
+#include "common/check.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::la {
+
+/// The low-precision partner of a working scalar type: float for double,
+/// complex<float> for complex<double>. Single-precision types are their own
+/// partner (a "mixed" solve over fp32 data has nothing lower to drop to;
+/// the driver gates on this).
+template <typename T>
+struct LowPrecisionOf {
+  using type = T;
+};
+template <>
+struct LowPrecisionOf<double> {
+  using type = float;
+};
+template <>
+struct LowPrecisionOf<std::complex<double>> {
+  using type = std::complex<float>;
+};
+
+template <typename T>
+using LowPrecision = typename LowPrecisionOf<T>::type;
+
+/// True when T actually has a lower precision to demote into.
+template <typename T>
+inline constexpr bool kHasLowPrecision =
+    !std::is_same_v<T, LowPrecision<T>>;
+
+/// Narrow one scalar to the low-precision partner type.
+inline float demote_value(double x) { return float(x); }
+inline std::complex<float> demote_value(std::complex<double> x) {
+  return {float(x.real()), float(x.imag())};
+}
+
+/// Widen one scalar back; exact (every fp32 value is representable in fp64).
+inline double promote_value(float x) { return double(x); }
+inline std::complex<double> promote_value(std::complex<float> x) {
+  return {double(x.real()), double(x.imag())};
+}
+
+/// Elementwise narrowing copy src -> dst (equal shapes).
+template <typename T>
+void demote(ConstMatrixView<T> src, MatrixView<LowPrecision<T>> dst) {
+  CHASE_CHECK_MSG(src.rows() == dst.rows() && src.cols() == dst.cols(),
+                  "demote: shape mismatch");
+  for (Index j = 0; j < src.cols(); ++j) {
+    const T* s = src.col(j);
+    LowPrecision<T>* d = dst.col(j);
+    for (Index i = 0; i < src.rows(); ++i) d[i] = demote_value(s[i]);
+  }
+}
+
+/// Elementwise widening copy src -> dst (equal shapes); exact.
+template <typename T>
+void promote(ConstMatrixView<LowPrecision<T>> src, MatrixView<T> dst) {
+  CHASE_CHECK_MSG(src.rows() == dst.rows() && src.cols() == dst.cols(),
+                  "promote: shape mismatch");
+  for (Index j = 0; j < src.cols(); ++j) {
+    const LowPrecision<T>* s = src.col(j);
+    T* d = dst.col(j);
+    for (Index i = 0; i < src.rows(); ++i) d[i] = promote_value(s[i]);
+  }
+}
+
+}  // namespace chase::la

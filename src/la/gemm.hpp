@@ -165,11 +165,15 @@ inline double gemm_flop_count(Index m, Index n, Index k) {
 /// Record one engine call on the thread tracker: cumulative flops and wall
 /// seconds (their ratio is the achieved Gflop/s that calibrates the machine
 /// model) plus the per-kernel call counter.
-inline void record_gemm_call(std::string_view kernel_counter, double flops,
-                             double seconds) {
+/// `single` splits the cumulative rate counters by storage precision
+/// ("la.gemm32.*" for fp32/complex<float> calls), so the machine model can
+/// calibrate its double rate and its single-precision speedup independently
+/// (perf::MachineModel::calibrate_gemm / calibrate_single).
+inline void record_gemm_call(std::string_view kernel_counter, bool single,
+                             double flops, double seconds) {
   if (auto* t = perf::thread_tracker()) {
-    t->bump("la.gemm.flops", flops);
-    t->bump("la.gemm.seconds", seconds);
+    t->bump(single ? "la.gemm32.flops" : "la.gemm.flops", flops);
+    t->bump(single ? "la.gemm32.seconds" : "la.gemm.seconds", seconds);
     t->bump(kernel_counter, 1.0);
   }
 }
@@ -210,6 +214,7 @@ void gemm(T alpha, Op opa, ConstMatrixView<T> a, Op opb, ConstMatrixView<T> b,
   }
   if (tracked) {
     detail::record_gemm_call(gemm_kernel_counter(kernel),
+                             sizeof(RealType<T>) == 4,
                              detail::gemm_flop_count<T>(m, n, k),
                              timer.seconds());
   }

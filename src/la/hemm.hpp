@@ -202,6 +202,7 @@ void hemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
   detail::hemm_micro(alpha, a, b, beta, c);
   if (tracked) {
     detail::record_gemm_call("la.kernel.hemm.calls",
+                             sizeof(RealType<T>) == 4,
                              detail::gemm_flop_count<T>(n, c.cols(), n),
                              timer.seconds());
   }

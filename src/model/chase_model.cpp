@@ -69,15 +69,18 @@ Sizes sizes_of(const ChaseModelSetup& s) {
 /// diagonal ranks) la::hemm — the two engines sustain the same Gflop/s by
 /// construction, and MachineModel::calibrate_gemm can pin that rate to what
 /// the engine measured on the build host.
+/// `low` replays the apply on the mixed backend's fp32 shadow: same flop
+/// count priced at the single-precision rate, allreduce payload halved.
 void hemm_apply(const ChaseModelSetup& s, const Sizes& sz, ModelComm& comm,
-                Tracker& t, Index ncols, bool c2b) {
-  t.add_flops(FlopClass::kGemm,
+                Tracker& t, Index ncols, bool c2b, bool low = false) {
+  t.add_flops(low ? FlopClass::kGemmSingle : FlopClass::kGemm,
               sz.z2 / 2.0 * 2.0 * double(sz.mloc) * double(sz.bloc) *
                   double(ncols));
   const Index out_rows = c2b ? sz.bloc : sz.mloc;
   const int nranks = c2b ? s.nprow : s.npcol;
-  comm.all_reduce(std::size_t(out_rows) * std::size_t(ncols) *
-                      std::size_t(s.scalar_bytes),
+  const std::size_t elem_bytes =
+      low ? std::size_t(s.scalar_bytes) / 2 : std::size_t(s.scalar_bytes);
+  comm.all_reduce(std::size_t(out_rows) * std::size_t(ncols) * elem_bytes,
                   nranks);
 }
 
@@ -217,14 +220,21 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
   {
     const Region prev = t.set_region(Region::kFilter);
     const int max_deg = it.degrees.empty() ? 0 : it.degrees.back();
-    hemm_apply(s, sz, comm, t, act, /*c2b=*/true);  // step 1
+    hemm_apply(s, sz, comm, t, act, /*c2b=*/true, s.mixed_filter);  // step 1
     for (int step = 2; step <= max_deg; ++step) {
       const auto first = std::lower_bound(it.degrees.begin(),
                                           it.degrees.end(), step) -
                          it.degrees.begin();
       const Index ncols = act - Index(first);
       if (ncols == 0) break;
-      hemm_apply(s, sz, comm, t, ncols, /*c2b=*/step % 2 != 0);
+      hemm_apply(s, sz, comm, t, ncols, /*c2b=*/step % 2 != 0,
+                 s.mixed_filter);
+    }
+    if (s.mixed_filter) {
+      // Demote the active panel into the fp32 shadow before filtering and
+      // promote the result back: streaming copies over C-layout rows.
+      t.add_mem_bytes(2.0 * double(sz.mloc) * double(act) * 1.5 *
+                      double(s.scalar_bytes));
     }
     // Divergence-guard consensus: per-column finiteness flags (one real per
     // active column) reduced over the column communicator each iteration.
@@ -363,11 +373,23 @@ std::size_t memory_bytes_new(const ChaseModelSetup& s) {
   const auto sz = sizes_of(s);
   const Index ne = s.subspace();
   // Eq. (2): H panel + C/C2 + B/B2 + A.
-  return std::size_t(s.scalar_bytes) *
-         (std::size_t(sz.mloc) * std::size_t(sz.bloc) +
-          2 * std::size_t(sz.mloc) * std::size_t(ne) +
-          2 * std::size_t(sz.bloc) * std::size_t(ne) +
-          std::size_t(ne) * std::size_t(ne));
+  std::size_t bytes = std::size_t(s.scalar_bytes) *
+                      (std::size_t(sz.mloc) * std::size_t(sz.bloc) +
+                       2 * std::size_t(sz.mloc) * std::size_t(ne) +
+                       2 * std::size_t(sz.bloc) * std::size_t(ne) +
+                       std::size_t(ne) * std::size_t(ne));
+  if (s.mixed_filter) {
+    // The mixed backend adds the fp32 shadow of H and the packed low
+    // panels (half-width), plus the fp64 pack scratch for promoted columns.
+    bytes += std::size_t(s.scalar_bytes) / 2 *
+             (std::size_t(sz.mloc) * std::size_t(sz.bloc) +
+              std::size_t(sz.mloc) * std::size_t(ne) +
+              std::size_t(sz.bloc) * std::size_t(ne));
+    bytes += std::size_t(s.scalar_bytes) *
+             (std::size_t(sz.mloc) * std::size_t(ne) +
+              std::size_t(sz.bloc) * std::size_t(ne));
+  }
+  return bytes;
 }
 
 std::size_t memory_bytes_lms(const ChaseModelSetup& s) {

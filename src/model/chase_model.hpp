@@ -35,6 +35,13 @@ struct ChaseModelSetup {
   int scalar_bytes = 16;    // sizeof(std::complex<double>)
   int real_bytes = 8;
 
+  /// Replay the CHASE_PRECISION=mixed pipeline: the filter's HEMMs run on
+  /// the fp32 shadow of H (priced at the machine's single-precision GEMM
+  /// rate, allreduce payloads halved); Lanczos, QR, Rayleigh-Ritz and
+  /// residuals stay in working precision, exactly as in the real backend
+  /// (core/dla_mixed.hpp). memory_bytes_new grows by the shadow storage.
+  bool mixed_filter = false;
+
   int nprow = 1;            // 2D grid shape
   int npcol = 1;
   Scheme scheme = Scheme::kNew;

@@ -83,11 +83,13 @@ double coll_algo_seconds(const MachineModel& m, Backend backend, CollKind kind,
 
 double price_compute(const MachineModel& m, const RegionCosts& c) {
   const double fg = c.flops[std::size_t(int(FlopClass::kGemm))];
+  const double fgs = c.flops[std::size_t(int(FlopClass::kGemmSingle))];
   const double fp = c.flops[std::size_t(int(FlopClass::kPanel))];
   const double fs = c.flops[std::size_t(int(FlopClass::kSmall))];
   const double ff = c.flops[std::size_t(int(FlopClass::kFactor))];
-  return fg / m.gemm_flops + fp / m.panel_flops + fs / m.small_flops +
-         ff / m.factor_flops + c.mem_bytes / m.hbm_bw;
+  return fg / m.gemm_flops + fgs / m.gemm_flops_single() +
+         fp / m.panel_flops + fs / m.small_flops + ff / m.factor_flops +
+         c.mem_bytes / m.hbm_bw;
 }
 
 KernelCosts price_tracker(const MachineModel& m, Backend backend,

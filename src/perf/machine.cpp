@@ -1,5 +1,6 @@
 #include "perf/machine.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "perf/tracker.hpp"
@@ -38,6 +39,14 @@ void MachineModel::calibrate_factor(const Tracker& t, double min_seconds) {
     seconds += t.counter(std::string(fam) + ".seconds");
   }
   if (flops > 0 && seconds >= min_seconds) factor_flops = flops / seconds;
+}
+
+void MachineModel::calibrate_single(const Tracker& t, double min_seconds) {
+  const double flops = t.counter("la.gemm32.flops");
+  const double seconds = t.counter("la.gemm32.seconds");
+  if (flops > 0 && seconds >= min_seconds && gemm_flops > 0) {
+    single_speedup = std::max(1.0, (flops / seconds) / gemm_flops);
+  }
 }
 
 double MachineModel::memcpy_seconds(std::size_t bytes) const {

@@ -27,6 +27,14 @@ struct MachineModel {
                                  // replaced by calibrate_factor()
   double hbm_bw = 1.3e12;        // bytes/s, for BLAS-1 bound residual norms
 
+  // --- single-precision speedup over the double-precision GEMM rate ---
+  // On A100-class parts TF32/FP32 tensor throughput is ~2x the FP64 rate
+  // (and the halved footprint doubles cache-resident tile sizes on CPUs);
+  // replaced by calibrate_single() from measured kernel counters.
+  double single_speedup = 2.0;
+  /// Effective rate for FlopClass::kGemmSingle work.
+  double gemm_flops_single() const { return gemm_flops * single_speedup; }
+
   // --- host <-> device staging (PCIe gen4 x16) ---
   double pcie_bw = 22.0e9;     // bytes/s
   double pcie_latency = 10e-6; // per transfer
@@ -88,6 +96,13 @@ struct MachineModel {
   /// src/la/trsm.hpp, potrf.hpp, gemm.hpp, heevd.hpp) and replaces
   /// factor_flops with the measured aggregate rate.
   void calibrate_factor(const Tracker& t, double min_seconds = 1e-3);
+
+  /// Calibrate the single-precision speedup from the fp32 kernel counters
+  /// ("la.gemm32.flops" / "la.gemm32.seconds", recorded by the same engine
+  /// dispatchers when the scalar storage is 4 bytes wide). Requires a
+  /// calibrated (or trusted) double rate; the speedup is clamped to >= 1 —
+  /// a machine where fp32 runs slower than fp64 is a measurement artifact.
+  void calibrate_single(const Tracker& t, double min_seconds = 1e-3);
 };
 
 }  // namespace chase::perf

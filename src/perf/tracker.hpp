@@ -72,7 +72,14 @@ struct MemcpyEvent {
 /// factorizations at a fraction, tiny redundant kernels far below; kFactor is
 /// level-3 factorization work — HERK/TRSM/POTRF/HETRD — priced at the
 /// measured rate of the blocked factorization engine).
-enum class FlopClass : int { kGemm = 0, kPanel, kSmall, kFactor, kCount_ };
+enum class FlopClass : int {
+  kGemm = 0,
+  kGemmSingle,  // fp32/complex<float> HEMM/GEMM (mixed-precision filter)
+  kPanel,
+  kSmall,
+  kFactor,
+  kCount_
+};
 
 inline constexpr int kFlopClassCount = int(FlopClass::kCount_);
 

@@ -1,0 +1,83 @@
+// Validated parsing of the numeric CHASE_* environment knobs: garbage must
+// become a typed ConfigError naming the variable, never a silent 0.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hpp"
+
+namespace chase::env {
+namespace {
+
+TEST(PositiveInt, ParsesPlainValues) {
+  EXPECT_EQ(positive_int("X", "1"), 1);
+  EXPECT_EQ(positive_int("X", "42"), 42);
+  EXPECT_EQ(positive_int("X", "1048576"), 1048576);
+  // strtoll semantics: leading whitespace and an explicit '+' are fine.
+  EXPECT_EQ(positive_int("X", " 7"), 7);
+  EXPECT_EQ(positive_int("X", "+7"), 7);
+  // Trailing whitespace is tolerated (a quoted export often carries one).
+  EXPECT_EQ(positive_int("X", "7 "), 7);
+}
+
+TEST(PositiveInt, RejectsZeroAndNegative) {
+  EXPECT_THROW(positive_int("CHASE_CKPT_INTERVAL", "0"), ConfigError);
+  EXPECT_THROW(positive_int("CHASE_CKPT_INTERVAL", "-3"), ConfigError);
+}
+
+TEST(PositiveInt, RejectsGarbage) {
+  EXPECT_THROW(positive_int("X", "abc"), ConfigError);
+  EXPECT_THROW(positive_int("X", "12abc"), ConfigError);   // trailing junk
+  EXPECT_THROW(positive_int("X", "64kb"), ConfigError);    // the classic typo
+  EXPECT_THROW(positive_int("X", "1.5"), ConfigError);
+  EXPECT_THROW(positive_int("X", ""), ConfigError);
+  EXPECT_THROW(positive_int("X", "  "), ConfigError);
+}
+
+TEST(PositiveInt, RejectsOverflow) {
+  EXPECT_THROW(positive_int("X", "99999999999999999999999"), ConfigError);
+}
+
+TEST(PositiveInt, ErrorNamesVariableAndText) {
+  try {
+    positive_int("CHASE_COLL_CHUNK_BYTES", "64kb");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CHASE_COLL_CHUNK_BYTES"), std::string::npos) << what;
+    EXPECT_NE(what.find("64kb"), std::string::npos) << what;
+  }
+}
+
+TEST(PositiveInt, IsAChaseError) {
+  // The collective-safe propagation (poisoned barriers) catches
+  // chase::Error; ConfigError must ride that path.
+  EXPECT_THROW(positive_int("X", "bogus"), chase::Error);
+}
+
+TEST(PositiveEnv, UnsetAndEmptyAreNullopt) {
+  ::unsetenv("CHASE_TEST_ENV_KNOB");
+  EXPECT_FALSE(positive_env("CHASE_TEST_ENV_KNOB").has_value());
+  ::setenv("CHASE_TEST_ENV_KNOB", "", 1);
+  EXPECT_FALSE(positive_env("CHASE_TEST_ENV_KNOB").has_value());
+  ::unsetenv("CHASE_TEST_ENV_KNOB");
+}
+
+TEST(PositiveEnv, SetValueParses) {
+  ::setenv("CHASE_TEST_ENV_KNOB", "65536", 1);
+  auto v = positive_env("CHASE_TEST_ENV_KNOB");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 65536);
+  ::unsetenv("CHASE_TEST_ENV_KNOB");
+}
+
+TEST(PositiveEnv, SetGarbageThrows) {
+  ::setenv("CHASE_TEST_ENV_KNOB", "soon", 1);
+  EXPECT_THROW(positive_env("CHASE_TEST_ENV_KNOB"), ConfigError);
+  ::setenv("CHASE_TEST_ENV_KNOB", "0", 1);
+  EXPECT_THROW(positive_env("CHASE_TEST_ENV_KNOB"), ConfigError);
+  ::unsetenv("CHASE_TEST_ENV_KNOB");
+}
+
+}  // namespace
+}  // namespace chase::env

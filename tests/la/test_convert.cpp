@@ -1,0 +1,112 @@
+// fp64 <-> fp32 conversion helpers used by the mixed-precision backend:
+// exactness for representable values, IEEE edge cases (denormals, overflow,
+// NaN/Inf), complex round-trips, and shape checking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <type_traits>
+
+#include "common/check.hpp"
+#include "common/scalar.hpp"
+#include "la/convert.hpp"
+#include "la/matrix.hpp"
+
+namespace chase::la {
+namespace {
+
+static_assert(std::is_same_v<LowPrecision<double>, float>);
+static_assert(std::is_same_v<LowPrecision<std::complex<double>>,
+                             std::complex<float>>);
+static_assert(std::is_same_v<LowPrecision<float>, float>);
+static_assert(std::is_same_v<LowPrecision<std::complex<float>>,
+                             std::complex<float>>);
+static_assert(kHasLowPrecision<double>);
+static_assert(kHasLowPrecision<std::complex<double>>);
+static_assert(!kHasLowPrecision<float>);
+static_assert(!kHasLowPrecision<std::complex<float>>);
+
+TEST(DemoteValue, RepresentableValuesAreExact) {
+  // Values with <= 24 significand bits survive the round trip bit-for-bit.
+  for (double x : {0.0, 1.0, -2.5, 0.3125, 1048576.0, -1.1920928955078125e-07}) {
+    EXPECT_EQ(promote_value(demote_value(x)), x);
+  }
+}
+
+TEST(DemoteValue, RoundsInexactValues) {
+  const double x = 0.1;  // not representable in fp32
+  const float f = demote_value(x);
+  EXPECT_NE(double(f), x);
+  EXPECT_NEAR(double(f), x, 1e-8);
+}
+
+TEST(DemoteValue, BelowNormalRangeLandsOnDenormalOrZero) {
+  // 1e-45 is inside the fp32 denormal range (min denormal ~1.4e-45).
+  const float tiny = demote_value(1e-45);
+  EXPECT_GT(tiny, 0.0f);
+  EXPECT_LT(tiny, std::numeric_limits<float>::min());  // denormal
+  // 1e-50 is below even the denormal range: flushes to +0.
+  EXPECT_EQ(demote_value(1e-50), 0.0f);
+  EXPECT_EQ(demote_value(-1e-50), -0.0f);
+  EXPECT_TRUE(std::signbit(demote_value(-1e-50)));
+}
+
+TEST(DemoteValue, AboveRangeLandsOnInf) {
+  EXPECT_TRUE(std::isinf(demote_value(1e300)));
+  EXPECT_GT(demote_value(1e300), 0.0f);
+  EXPECT_TRUE(std::isinf(demote_value(-1e300)));
+  EXPECT_LT(demote_value(-1e300), 0.0f);
+}
+
+TEST(DemoteValue, NanPropagates) {
+  EXPECT_TRUE(std::isnan(demote_value(std::numeric_limits<double>::quiet_NaN())));
+  const std::complex<float> z =
+      demote_value(std::complex<double>(std::nan(""), 1.0));
+  EXPECT_TRUE(std::isnan(z.real()));
+  EXPECT_EQ(z.imag(), 1.0f);
+}
+
+TEST(DemoteValue, ComplexRoundTrip) {
+  const std::complex<double> z(0.75, -3.5);  // both parts fp32-exact
+  EXPECT_EQ(promote_value(demote_value(z)), z);
+  const std::complex<double> w(1e300, -1e-50);
+  const std::complex<float> wf = demote_value(w);
+  EXPECT_TRUE(std::isinf(wf.real()));
+  EXPECT_EQ(wf.imag(), -0.0f);
+}
+
+template <typename T>
+class ConvertPanel : public ::testing::Test {};
+using PanelTypes = ::testing::Types<double, std::complex<double>>;
+TYPED_TEST_SUITE(ConvertPanel, PanelTypes);
+
+TYPED_TEST(ConvertPanel, RoundTripExactForRepresentablePanel) {
+  using T = TypeParam;
+  using L = LowPrecision<T>;
+  const Index m = 17, n = 5;
+  Matrix<T> src(m, n), back(m, n);
+  Matrix<L> low(m, n);
+  for (Index j = 0; j < n; ++j)
+    for (Index i = 0; i < m; ++i)
+      src(i, j) = T(RealType<T>(0.25) * RealType<T>(i + 1) -
+                    RealType<T>(2) * RealType<T>(j));
+  demote<T>(src.cview(), low.view());
+  promote<T>(low.cview(), back.view());
+  for (Index j = 0; j < n; ++j)
+    for (Index i = 0; i < m; ++i) EXPECT_EQ(back(i, j), src(i, j));
+}
+
+TYPED_TEST(ConvertPanel, ShapeMismatchThrows) {
+  using T = TypeParam;
+  using L = LowPrecision<T>;
+  Matrix<T> src(4, 3);
+  Matrix<L> dst(4, 2);
+  EXPECT_THROW(demote<T>(src.cview(), dst.view()), chase::Error);
+  Matrix<T> wide(5, 3);
+  Matrix<L> low(4, 3);
+  EXPECT_THROW(promote<T>(low.cview(), wide.view()), chase::Error);
+}
+
+}  // namespace
+}  // namespace chase::la
