@@ -12,15 +12,22 @@
 // tracked across PRs. The channel algorithms move O(bytes) per rank versus
 // the naive path's O(P * bytes) reads + folds, which is the crossover the
 // auto policy's alpha-beta-gamma model predicts.
+// Pass --topo <spec> (a CHASE_TOPO grammar spec, e.g. 2x4@inter_mbps=800)
+// to run the measured sweep on an emulated two-level topology instead of
+// the flat default; the spec is recorded in the JSON.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "coll/engine.hpp"
 #include "comm/communicator.hpp"
+#include "comm/topology.hpp"
 #include "perf/cost_model.hpp"
 #include "perf/machine.hpp"
 
@@ -64,9 +71,25 @@ double time_allreduce(int p, std::size_t bytes, int iters) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chase::perf;
   MachineModel m;
+
+  std::string topo_spec = "flat";
+  std::optional<chase::comm::ScopedTopology> topo_scope;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--topo") == 0 && i + 1 < argc) {
+      topo_spec = argv[++i];
+      topo_scope.emplace(
+          chase::comm::parse_topology("--topo", topo_spec));
+    } else {
+      std::fprintf(stderr, "usage: %s [--topo <spec>]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (topo_scope) {
+    std::printf("emulated topology: %s\n\n", topo_spec.c_str());
+  }
 
   std::printf("Collective cost models (A100/HDR machine description)\n\n");
 
@@ -118,13 +141,16 @@ int main() {
     for (const std::size_t bytes : sizes) {
       const int iters =
           int(std::clamp<std::size_t>((std::size_t(8) << 20) / bytes, 3, 24));
+      const std::size_t group_start = points.size();
       {
         chase::coll::ScopedAlgorithm policy(chase::coll::Algorithm::kNaive);
         points.push_back({"allreduce", "naive", chase::coll::Algorithm::kNaive,
                           0, p, bytes, time_allreduce(p, bytes, iters)});
       }
-      for (const auto policy_kind :
-           {chase::coll::Algorithm::kRing, chase::coll::Algorithm::kTree}) {
+      std::vector<chase::coll::Algorithm> policies = {
+          chase::coll::Algorithm::kRing, chase::coll::Algorithm::kTree};
+      if (topo_scope) policies.push_back(chase::coll::Algorithm::kHier);
+      for (const auto policy_kind : policies) {
         for (const std::size_t chunk : chunks) {
           chase::coll::ScopedAlgorithm policy(policy_kind);
           chase::coll::ScopedChunkBytes chunk_scope(chunk);
@@ -134,7 +160,7 @@ int main() {
                             time_allreduce(p, bytes, iters)});
         }
       }
-      for (std::size_t i = points.size() - 5; i < points.size(); ++i) {
+      for (std::size_t i = group_start; i < points.size(); ++i) {
         std::printf("%6d %12zu %18s %14.6f\n", points[i].ranks,
                     points[i].bytes, points[i].algo.c_str(),
                     points[i].seconds_per_op);
@@ -150,7 +176,10 @@ int main() {
     std::fprintf(stderr, "cannot open results/bench_collectives.json\n");
     return 1;
   }
-  std::fprintf(f, "{\n  \"collective\": \"allreduce\",\n  \"points\": [\n");
+  std::fprintf(f,
+               "{\n  \"collective\": \"allreduce\",\n  \"topology\": "
+               "\"%s\",\n  \"points\": [\n",
+               topo_spec.c_str());
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& pt = points[i];
     std::fprintf(f,

@@ -1,0 +1,316 @@
+// Hierarchical-collective and persistent-plan acceptance bench.
+//
+// Runs on the emulated 2-node x 4-rank topology (CHASE_TOPO-style override):
+// the slow inter-node link is a calibrated delay charged per cross-node
+// chunk transfer, so the flat ring pays for dragging the full payload across
+// the boundary twice while the two-level routine crosses once per direction.
+// Measures and gates, via results/bench_hierarchy.json:
+//
+//   hierarchy_speedup     — flat ring vs hierarchical allreduce wall time on
+//                           the slow-inter topology (gate: >= 1.3x)
+//   plan_replay_speedup   — per-call dispatch (selection + algorithm
+//                           construction every iteration) vs CollPlan replay
+//                           of the identical collective (gate: >= 1.1x)
+//   bitwise_identical     — hierarchical allreduce/broadcast/allgather
+//                           against the naive reference, byte for byte
+//   auto_matches_model    — CHASE_COLL_ALGO=auto picks a hierarchical
+//                           routine exactly when the per-link cost model
+//                           prices it cheapest
+#include <chrono>
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <vector>
+
+#include "coll/engine.hpp"
+#include "comm/communicator.hpp"
+#include "coll/plan.hpp"
+#include "comm/topology.hpp"
+#include "perf/cost_model.hpp"
+#include "perf/machine.hpp"
+
+namespace {
+
+using chase::comm::Communicator;
+using chase::comm::Reduction;
+using chase::comm::ScopedTopology;
+using chase::comm::Team;
+using chase::la::Index;
+
+constexpr int kNodes = 2;
+constexpr int kPerNode = 4;
+constexpr int kRanks = kNodes * kPerNode;
+
+double seeded(int rank, Index i) {
+  // Deterministic, rank- and index-dependent values with non-trivial
+  // mantissas so summation order shows up bitwise.
+  return 1.0 + double((rank * 131 + int(i % 977)) % 1009) / 1009.0;
+}
+
+/// Seconds per allreduce under the current policy/topology: best of several
+/// passes (scheduler noise on an oversubscribed host can double a single
+/// pass, and the emulated link delay we are measuring is deterministic).
+double time_allreduce(std::size_t bytes, int iters) {
+  constexpr int kPasses = 3;
+  const Index count = Index(bytes / sizeof(double));
+  double elapsed = std::numeric_limits<double>::infinity();
+  Team team(kRanks);
+  team.run([&](Communicator& comm) {
+    std::vector<double> x(static_cast<std::size_t>(count));
+    for (Index i = 0; i < count; ++i) x[std::size_t(i)] = seeded(comm.rank(), i);
+    comm.all_reduce(x.data(), count, Reduction::kMin);  // warmup
+    for (int pass = 0; pass < kPasses; ++pass) {
+      comm.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int it = 0; it < iters; ++it) {
+        comm.all_reduce(x.data(), count, Reduction::kMin);
+      }
+      comm.barrier();
+      if (comm.rank() == 0) {
+        elapsed = std::min(elapsed,
+                           std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+      }
+    }
+  });
+  return elapsed / iters;
+}
+
+/// Per-call dispatch vs plan replay of one filter-iteration's collective
+/// pair (allreduce of the residual block + broadcast of the ritz block);
+/// returns {percall_seconds, replay_seconds} per iteration. The two loops
+/// alternate over several passes and each approach keeps its fastest pass —
+/// scheduler noise on an oversubscribed host otherwise swamps the planning
+/// cost being measured.
+std::pair<double, double> time_plan_replay(std::size_t bytes, int iters) {
+  constexpr int kPasses = 9;
+  const Index count = Index(bytes / sizeof(double));
+  double percall = std::numeric_limits<double>::infinity();
+  double replay = std::numeric_limits<double>::infinity();
+  Team team(kRanks);
+  team.run([&](Communicator& comm) {
+    std::vector<double> x(static_cast<std::size_t>(count));
+    std::vector<double> b(static_cast<std::size_t>(count));
+    for (Index i = 0; i < count; ++i) {
+      x[std::size_t(i)] = seeded(comm.rank(), i);
+      b[std::size_t(i)] = seeded(comm.rank(), i + 1);
+    }
+
+    chase::coll::CollPlan plan;
+    plan.add_all_reduce(comm, x.data(), count, Reduction::kMin);
+    plan.add_broadcast(comm, b.data(), count, /*root=*/0);
+
+    comm.all_reduce(x.data(), count, Reduction::kMin);  // warmup
+    comm.broadcast(b.data(), count, /*root=*/0);        // warmup
+    plan.execute();                                     // warmup
+    for (int pass = 0; pass < kPasses; ++pass) {
+      comm.barrier();
+      auto t0 = std::chrono::steady_clock::now();
+      for (int it = 0; it < iters; ++it) {
+        comm.all_reduce(x.data(), count, Reduction::kMin);
+        comm.broadcast(b.data(), count, /*root=*/0);
+      }
+      comm.barrier();
+      if (comm.rank() == 0) {
+        percall = std::min(percall,
+                           std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+      }
+
+      comm.barrier();
+      t0 = std::chrono::steady_clock::now();
+      for (int it = 0; it < iters; ++it) plan.execute();
+      comm.barrier();
+      if (comm.rank() == 0) {
+        replay = std::min(replay,
+                          std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+      }
+    }
+  });
+  return {percall / iters, replay / iters};
+}
+
+/// Bitwise comparison of every hierarchical routine against the naive
+/// reference on the grouped topology, for T in {double, complex<double>}.
+template <typename T>
+bool bitwise_vs_naive(Index count) {
+  bool ok = true;
+  // Naive reference streams, computed first.
+  std::vector<std::vector<T>> ref_reduce(kRanks), ref_bcast(kRanks),
+      ref_gather(kRanks);
+  for (int pass = 0; pass < 2; ++pass) {
+    chase::coll::ScopedAlgorithm policy(pass == 0
+                                            ? chase::coll::Algorithm::kNaive
+                                            : chase::coll::Algorithm::kHier);
+    Team team(kRanks);
+    team.run([&](Communicator& comm) {
+      const int r = comm.rank();
+      std::vector<T> x(static_cast<std::size_t>(count));
+      for (Index i = 0; i < count; ++i) {
+        x[std::size_t(i)] = T(seeded(r, i));
+      }
+      comm.all_reduce(x.data(), count);
+      std::vector<T> b(static_cast<std::size_t>(count), T(seeded(r, 7)));
+      comm.broadcast(b.data(), count, /*root=*/2);
+      std::vector<T> g(static_cast<std::size_t>(count) * kRanks);
+      std::vector<T> mine(static_cast<std::size_t>(count), T(seeded(r, 3)));
+      comm.all_gather(mine.data(), count, g.data());
+      if (pass == 0) {
+        ref_reduce[std::size_t(r)] = x;
+        ref_bcast[std::size_t(r)] = b;
+        ref_gather[std::size_t(r)] = g;
+      } else {
+        const bool same =
+            std::memcmp(x.data(), ref_reduce[std::size_t(r)].data(),
+                        x.size() * sizeof(T)) == 0 &&
+            std::memcmp(b.data(), ref_bcast[std::size_t(r)].data(),
+                        b.size() * sizeof(T)) == 0 &&
+            std::memcmp(g.data(), ref_gather[std::size_t(r)].data(),
+                        g.size() * sizeof(T)) == 0;
+        if (!same) ok = false;
+      }
+    });
+  }
+  return ok;
+}
+
+/// auto's pick agrees with the per-link cost model across payload decades.
+bool auto_matches_model(const chase::perf::TopoInfo& topo) {
+  using chase::coll::Routine;
+  using chase::perf::CollAlgo;
+  chase::coll::ScopedAlgorithm policy(chase::coll::Algorithm::kAuto);
+  const chase::perf::MachineModel m;
+  const auto backend = chase::perf::Backend::kHostMpi;
+  const std::size_t chunk = chase::coll::chunk_bytes();
+  bool ok = true;
+  for (std::size_t bytes = 1 << 10; bytes <= (std::size_t(16) << 20);
+       bytes <<= 2) {
+    const double hier = chase::perf::coll_algo_seconds(
+        m, backend, chase::perf::CollKind::kAllReduce, CollAlgo::kHierAlgo,
+        bytes, kRanks, chunk, topo);
+    double flat = std::numeric_limits<double>::infinity();
+    for (const CollAlgo a : {CollAlgo::kNaiveAlgo, CollAlgo::kRingAlgo,
+                             CollAlgo::kRabenseifner}) {
+      flat = std::min(flat, chase::perf::coll_algo_seconds(
+                                m, backend, chase::perf::CollKind::kAllReduce,
+                                a, bytes, kRanks, chunk, topo));
+    }
+    const Routine chosen =
+        chase::coll::select(chase::perf::CollKind::kAllReduce, bytes, kRanks,
+                            backend, topo);
+    const bool model_says_hier = hier < flat;
+    if (chase::coll::is_hierarchical(chosen) != model_says_hier) {
+      std::printf("  auto mismatch at %zu bytes: model says %s, auto picked "
+                  "%s\n",
+                  bytes, model_says_hier ? "hier" : "flat",
+                  std::string(chase::coll::routine_name(chosen)).c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  const char* emulated_spec = "2x4@inter_mbps=150@inter_us=120";
+  const chase::comm::Topology emulated =
+      chase::comm::parse_topology("CHASE_TOPO", emulated_spec);
+  const chase::comm::Topology grouped =
+      chase::comm::parse_topology("CHASE_TOPO", "2x4");
+
+  std::printf("Hierarchical collectives on the emulated %d-node x %d-rank "
+              "topology (%s)\n\n",
+              kNodes, kPerNode, emulated_spec);
+
+  // ---- bitwise agreement (grouping without link delays: fast) ----
+  bool bitwise;
+  {
+    ScopedTopology topo(grouped);
+    bitwise = bitwise_vs_naive<double>(1024) &&
+              bitwise_vs_naive<std::complex<double>>(512);
+  }
+  std::printf("bitwise hier vs naive (allreduce/broadcast/allgather, "
+              "double + complex): %s\n",
+              bitwise ? "identical" : "MISMATCH");
+
+  // ---- hierarchy vs flat ring under the slow inter link ----
+  const std::size_t hier_bytes = std::size_t(512) << 10;
+  double ring_sec, hier_sec;
+  {
+    ScopedTopology topo(emulated);
+    {
+      chase::coll::ScopedAlgorithm policy(chase::coll::Algorithm::kRing);
+      ring_sec = time_allreduce(hier_bytes, 6);
+    }
+    {
+      chase::coll::ScopedAlgorithm policy(chase::coll::Algorithm::kHier);
+      hier_sec = time_allreduce(hier_bytes, 6);
+    }
+  }
+  const double hierarchy_speedup = ring_sec / hier_sec;
+  std::printf("allreduce %zu KiB x %d ranks: flat ring %.3f ms, hier %.3f "
+              "ms -> %.2fx\n",
+              hier_bytes >> 10, kRanks, ring_sec * 1e3, hier_sec * 1e3,
+              hierarchy_speedup);
+
+  // ---- plan replay vs per-call dispatch (grouping, no delay emulation,
+  // so the saved planning work is what's measured). Pinned to the
+  // hierarchical routine: that is the planned path in the filter loop, and
+  // its per-call cost (group lookup, phase table, scratch allocation) is
+  // exactly what a plan amortises. Auto would pick naive at this payload and
+  // the comparison would measure nothing.
+  double percall_sec, replay_sec;
+  {
+    ScopedTopology topo(grouped);
+    chase::coll::ScopedAlgorithm policy(chase::coll::Algorithm::kHier);
+    std::tie(percall_sec, replay_sec) =
+        time_plan_replay(std::size_t(2) << 10, 400);
+  }
+  const double plan_replay_speedup = percall_sec / replay_sec;
+  std::printf("plan replay, 2 KiB allreduce+broadcast: per-call %.1f us, "
+              "replay %.1f us -> %.2fx\n",
+              percall_sec * 1e6, replay_sec * 1e6, plan_replay_speedup);
+
+  // ---- auto vs the per-link cost model ----
+  const auto topo_info = chase::comm::topo_info_of(
+      chase::comm::node_assignment(emulated, kRanks), emulated.inter_bw,
+      emulated.inter_latency);
+  const bool auto_ok = auto_matches_model(topo_info);
+  std::printf("auto selection matches per-link cost model: %s\n",
+              auto_ok ? "yes" : "NO");
+
+  std::filesystem::create_directories("results");
+  std::FILE* f = std::fopen("results/bench_hierarchy.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open results/bench_hierarchy.json\n");
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"topology\": \"%s\",\n"
+      "  \"ranks\": %d,\n"
+      "  \"allreduce_bytes\": %zu,\n"
+      "  \"ring_seconds_per_op\": %.9f,\n"
+      "  \"hier_seconds_per_op\": %.9f,\n"
+      "  \"hierarchy_speedup\": %.3f,\n"
+      "  \"percall_seconds_per_op\": %.9f,\n"
+      "  \"replay_seconds_per_op\": %.9f,\n"
+      "  \"plan_replay_speedup\": %.3f,\n"
+      "  \"bitwise_identical\": %s,\n"
+      "  \"auto_matches_model\": %s\n"
+      "}\n",
+      emulated_spec, kRanks, hier_bytes, ring_sec, hier_sec,
+      hierarchy_speedup, percall_sec, replay_sec, plan_replay_speedup,
+      bitwise ? "true" : "false", auto_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote results/bench_hierarchy.json\n");
+  return (bitwise && auto_ok) ? 0 : 1;
+}

@@ -65,6 +65,16 @@ Service invariants (results/bench_service.json, hard failures):
     is "batching must not lose" (>= 0.95x, the recorded cpu count makes
     the mode auditable).
 
+Hierarchy invariants (results/bench_hierarchy.json, hard failures):
+  * hierarchical allreduce below 1.3x the flat ring on the emulated
+    2-node x 4-rank slow-inter topology — the two-level routing must beat
+    dragging the payload across the boundary twice;
+  * CollPlan replay below 1.1x per-call dispatch — registering once and
+    replaying must actually save the per-iteration planning work;
+  * any hierarchical routine not bitwise-identical to the naive reference;
+  * CHASE_COLL_ALGO=auto disagreeing with the per-link cost model about
+    when the hierarchy wins.
+
 Informational: the hemm-vs-gemm median ratios, staged-vs-seed ratios below
 parity (the staged engine being faster is fine), and the wall-clock cost of
 arming the ABFT checksummed collectives.
@@ -255,12 +265,43 @@ def check_service(data: dict, failures: list) -> None:
               "(batching must not lose)")
 
 
+def check_hierarchy(data: dict, failures: list) -> None:
+    print(f"hierarchy {data['topology']} ({data['ranks']} ranks, "
+          f"{data['allreduce_bytes']} B allreduce)")
+    print(f"  flat ring {data['ring_seconds_per_op'] * 1e3:8.3f} ms  "
+          f"hier {data['hier_seconds_per_op'] * 1e3:8.3f} ms  "
+          f"speedup {data['hierarchy_speedup']:.2f}x")
+    print(f"  per-call {data['percall_seconds_per_op'] * 1e6:8.1f} us  "
+          f"replay {data['replay_seconds_per_op'] * 1e6:8.1f} us  "
+          f"speedup {data['plan_replay_speedup']:.2f}x")
+    print(f"  bitwise identical: {data['bitwise_identical']}  "
+          f"auto matches model: {data['auto_matches_model']}")
+    if data["hierarchy_speedup"] < 1.3:
+        failures.append(
+            f"hierarchical allreduce only {data['hierarchy_speedup']:.2f}x "
+            "the flat ring on the emulated slow-inter topology "
+            "(need >= 1.3x)")
+    if data["plan_replay_speedup"] < 1.1:
+        failures.append(
+            f"plan replay only {data['plan_replay_speedup']:.2f}x per-call "
+            "dispatch (need >= 1.1x)")
+    if not data["bitwise_identical"]:
+        failures.append(
+            "hierarchical routines are not bitwise-identical to the naive "
+            "reference")
+    if not data["auto_matches_model"]:
+        failures.append(
+            "CHASE_COLL_ALGO=auto disagrees with the per-link cost model "
+            "about when the hierarchy wins")
+
+
 DEFAULT_RESULTS = ("results/bench_kernels.json",
                    "results/bench_engine.json",
                    "results/bench_factor.json",
                    "results/bench_checkpoint.json",
                    "results/bench_service.json",
-                   "results/bench_mixed.json")
+                   "results/bench_mixed.json",
+                   "results/bench_hierarchy.json")
 
 
 def check_mixed(data: dict, failures: list) -> None:
@@ -341,6 +382,8 @@ def main() -> int:
             check_service(data, failures)
         elif "mixed" in data:
             check_mixed(data, failures)
+        elif "hierarchy_speedup" in data:
+            check_hierarchy(data, failures)
         else:
             failures.append(f"{path}: unrecognized result shape")
         print()

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build the tsan preset and run the thread-per-rank comm, fault-tolerance,
 # collective-engine, solver-engine, factorization, checkpoint and solver-
-# service suites (ctest labels: comm, fault, coll, engine, factor, ckpt,
+# service suites (ctest labels: comm, fault, coll, engine, factor, ckpt, hier,
 # svc) under ThreadSanitizer. The in-process SPMD runtime (comm::Team, the
 # poisoned-barrier protocol, the fault registry), the src/coll chunk
 # channels, the staged solver pipeline running one rank per thread, the

@@ -102,6 +102,14 @@ class ChannelOp : public CollOp {
     perf::bump_counter(p + ".bytes", double(bytes_));
   }
 
+  /// Plan replay: start a fresh counting epoch so every replay flushes its
+  /// own .calls/.steps/.bytes bump.
+  void reset_counters() {
+    finished_ = false;
+    steps_ = 0;
+    bytes_ = 0;
+  }
+
   const Comm& comm_;
 
  private:
@@ -182,6 +190,13 @@ class OrderedRingAllReduce final : public ChannelOp<Comm> {
     if (!complete()) return false;
     this->finish();
     return true;
+  }
+
+  void reset(std::uint64_t seq) override {
+    seq_ = seq;
+    red_done_ = 0;
+    dist_done_ = rank_ == size_ - 1 ? nc_ : 0;
+    this->reset_counters();
   }
 
  private:
@@ -310,6 +325,16 @@ class RabenseifnerAllReduce final : public ChannelOp<Comm> {
     return true;
   }
 
+  void reset(std::uint64_t seq) override {
+    seq_ = seq;
+    sub_ = 0;
+    src_ = 0;
+    sent_rs_ = false;
+    sent_ag_ = false;
+    ag_done_.assign(std::size_t(size_), 0);
+    this->reset_counters();
+  }
+
  private:
   Index own_off() const { return off_[std::size_t(rank_)]; }
   Index own_len() const { return len_[std::size_t(rank_)]; }
@@ -391,6 +416,7 @@ class RingAllGather final : public ChannelOp<Comm> {
                 std::vector<Index> counts, std::vector<Index> displs,
                 Index chunk_elems, std::uint64_t seq)
       : ChannelOp<Comm>(comm, "coll.ring_allgather"),
+        send_(send),
         recv_(recv),
         counts_(std::move(counts)),
         displs_(std::move(displs)),
@@ -453,6 +479,18 @@ class RingAllGather final : public ChannelOp<Comm> {
     return true;
   }
 
+  void reset(std::uint64_t seq) override {
+    seq_ = seq;
+    sent_.assign(std::size_t(size_), 0);
+    recvd_.assign(std::size_t(size_), 0);
+    // The caller refilled the registered send buffer; re-seed my own block.
+    if (counts_[std::size_t(rank_)] > 0) {
+      std::copy_n(send_, counts_[std::size_t(rank_)],
+                  recv_ + displs_[std::size_t(rank_)]);
+    }
+    this->reset_counters();
+  }
+
  private:
   bool complete() const {
     for (int t = 1; t < size_; ++t) {
@@ -472,6 +510,7 @@ class RingAllGather final : public ChannelOp<Comm> {
     return detail::make_tag(seq_, 0, unsigned(step), unsigned(chunk));
   }
 
+  const T* send_;
   T* recv_;
   std::vector<Index> counts_;
   std::vector<Index> displs_;
@@ -491,6 +530,7 @@ class BruckAllGather final : public ChannelOp<Comm> {
   BruckAllGather(const Comm& comm, const T* send, T* recv, Index count,
                  Index chunk_elems, std::uint64_t seq)
       : ChannelOp<Comm>(comm, "coll.bruck_allgather"),
+        send_(send),
         recv_(recv),
         count_(count),
         chunk_(std::max<Index>(1, chunk_elems)),
@@ -555,6 +595,17 @@ class BruckAllGather final : public ChannelOp<Comm> {
     return true;
   }
 
+  void reset(std::uint64_t seq) override {
+    seq_ = seq;
+    dist_ = 1;
+    round_ = 0;
+    rc_ = 0;
+    sent_round_ = false;
+    done_ = false;
+    if (count_ > 0) std::copy_n(send_, count_, work_.data());
+    this->reset_counters();
+  }
+
  private:
   bool complete() const { return done_; }
 
@@ -562,6 +613,7 @@ class BruckAllGather final : public ChannelOp<Comm> {
     return detail::make_tag(seq_, 0, unsigned(round), unsigned(chunk));
   }
 
+  const T* send_;
   T* recv_;
   Index count_;
   Index chunk_;
@@ -629,6 +681,13 @@ class BinomialBroadcast final : public ChannelOp<Comm> {
     if (!complete()) return false;
     this->finish();
     return true;
+  }
+
+  void reset(std::uint64_t seq) override {
+    seq_ = seq;
+    recvd_ = parent_ < 0 ? nc_ : 0;
+    sent_.assign(children_.size(), 0);
+    this->reset_counters();
   }
 
  private:

@@ -14,6 +14,7 @@
 
 #include "coll/algorithms.hpp"
 #include "coll/engine.hpp"
+#include "coll/hierarchy.hpp"
 
 namespace chase::comm {
 
@@ -32,8 +33,8 @@ void Communicator::all_reduce(T* data, Index count, Reduction op) const {
     return;
   }
   const std::size_t bytes = std::size_t(std::max<Index>(count, 0)) * sizeof(T);
-  const coll::Routine r =
-      coll::select(perf::CollKind::kAllReduce, bytes, size(), backend_);
+  const coll::Routine r = coll::select(perf::CollKind::kAllReduce, bytes,
+                                       size(), backend_, topo_info());
   if (r == coll::Routine::kNaive) {
     naive_all_reduce(data, count, op);
     return;
@@ -43,7 +44,11 @@ void Communicator::all_reduce(T* data, Index count, Reduction op) const {
   const std::uint64_t seq = next_collective_seq();
   if (count > 0) {
     const Index ce = detail::coll_chunk_elems(sizeof(T));
-    if (r == coll::Routine::kRingAllReduce) {
+    if (r == coll::Routine::kHierAllReduce) {
+      coll::HierAllReduce<Communicator, T> alg(*this, data, count, op, ce,
+                                               seq);
+      alg.wait();
+    } else if (r == coll::Routine::kRingAllReduce) {
       coll::OrderedRingAllReduce<Communicator, T> alg(*this, data, count, op,
                                                       ce, seq);
       alg.wait();
@@ -54,7 +59,17 @@ void Communicator::all_reduce(T* data, Index count, Reduction op) const {
     }
   }
   detail::corrupt_reduced(data, count);
-  account_end(perf::CollKind::kAllReduce, bytes, bytes);
+  if (r == coll::Routine::kHierAllReduce) {
+    // Multi-phase routine: one Tracker event per phase, attributed to the
+    // communicator each phase actually ran over.
+    coll::account_phases(
+        perf::thread_tracker(), backend_,
+        coll::hier_phases(perf::CollKind::kAllReduce, bytes, size(),
+                          topo_info()),
+        /*bracketed=*/true);
+  } else {
+    account_end(perf::CollKind::kAllReduce, bytes, bytes);
+  }
 }
 
 template <typename T>
@@ -62,8 +77,8 @@ void Communicator::broadcast(T* data, Index count, int root) const {
   if (size() == 1) return;
   CHASE_CHECK_MSG(root >= 0 && root < size(), "broadcast root out of range");
   const std::size_t bytes = std::size_t(std::max<Index>(count, 0)) * sizeof(T);
-  const coll::Routine r =
-      coll::select(perf::CollKind::kBroadcast, bytes, size(), backend_);
+  const coll::Routine r = coll::select(perf::CollKind::kBroadcast, bytes,
+                                       size(), backend_, topo_info());
   if (r == coll::Routine::kNaive) {
     naive_broadcast(data, count, root);
     return;
@@ -72,11 +87,26 @@ void Communicator::broadcast(T* data, Index count, int root) const {
   account_begin();
   const std::uint64_t seq = next_collective_seq();
   if (count > 0) {
-    coll::BinomialBroadcast<Communicator, T> alg(
-        *this, data, count, root, detail::coll_chunk_elems(sizeof(T)), seq);
-    alg.wait();
+    const Index ce = detail::coll_chunk_elems(sizeof(T));
+    if (r == coll::Routine::kHierBroadcast) {
+      coll::HierBroadcast<Communicator, T> alg(*this, data, count, root, ce,
+                                               seq);
+      alg.wait();
+    } else {
+      coll::BinomialBroadcast<Communicator, T> alg(*this, data, count, root,
+                                                   ce, seq);
+      alg.wait();
+    }
   }
-  account_end(perf::CollKind::kBroadcast, bytes, bytes);
+  if (r == coll::Routine::kHierBroadcast) {
+    coll::account_phases(
+        perf::thread_tracker(), backend_,
+        coll::hier_phases(perf::CollKind::kBroadcast, bytes, size(),
+                          topo_info()),
+        /*bracketed=*/true);
+  } else {
+    account_end(perf::CollKind::kBroadcast, bytes, bytes);
+  }
 }
 
 template <typename T>
@@ -84,13 +114,34 @@ void Communicator::all_gather(const T* send, Index count, T* recv) const {
   const std::size_t local_bytes = std::size_t(std::max<Index>(count, 0)) *
                                   sizeof(T);
   const std::size_t total_bytes = std::size_t(size()) * local_bytes;
-  const coll::Routine r =
-      coll::select(perf::CollKind::kAllGather, total_bytes, size(), backend_);
+  const coll::Routine r = coll::select(perf::CollKind::kAllGather, total_bytes,
+                                       size(), backend_, topo_info());
   if (size() == 1 || r == coll::Routine::kNaive) {
     naive_all_gather(send, count, recv);
     return;
   }
   fault::check("rank.die");
+  if (r == coll::Routine::kHierAllGather) {
+    // Collective group construction (two split() calls) stays outside the
+    // perf bracket; it happens once per communicator.
+    const auto& group = hier_group();
+    account_begin();
+    if (count > 0) {
+      std::vector<Index> counts(std::size_t(size()), count);
+      std::vector<Index> displs(counts.size());
+      for (int i = 0; i < size(); ++i) {
+        displs[std::size_t(i)] = Index(i) * count;
+      }
+      coll::hier_all_gather_v(*this, group, send, recv, counts, displs,
+                              detail::coll_chunk_elems(sizeof(T)));
+    }
+    coll::account_phases(
+        perf::thread_tracker(), backend_,
+        coll::hier_phases(perf::CollKind::kAllGather, total_bytes, size(),
+                          topo_info()),
+        /*bracketed=*/true);
+    return;
+  }
   account_begin();
   const std::uint64_t seq = next_collective_seq();
   if (count > 0) {
@@ -125,13 +176,29 @@ void Communicator::all_gather_v(const T* send, Index count, T* recv,
                                   sizeof(T);
   std::size_t total_bytes = 0;
   for (const Index c : counts) total_bytes += std::size_t(c) * sizeof(T);
-  const coll::Routine r =
-      coll::select(perf::CollKind::kAllGather, total_bytes, size(), backend_);
+  const coll::Routine r = coll::select(perf::CollKind::kAllGather, total_bytes,
+                                       size(), backend_, topo_info());
   if (size() == 1 || r == coll::Routine::kNaive) {
     naive_all_gather_v(send, count, recv, counts, displs);
     return;
   }
   fault::check("rank.die");
+  // The composite hierarchical allgather requires the canonical contiguous
+  // layout; scattered receive ranges ride the flat ring instead. The layout
+  // is rank-identical, so every rank takes the same branch.
+  if (r == coll::Routine::kHierAllGather &&
+      coll::canonical_gather_layout(counts, displs)) {
+    const auto& group = hier_group();
+    account_begin();
+    coll::hier_all_gather_v(*this, group, send, recv, counts, displs,
+                            detail::coll_chunk_elems(sizeof(T)));
+    coll::account_phases(
+        perf::thread_tracker(), backend_,
+        coll::hier_phases(perf::CollKind::kAllGather, total_bytes, size(),
+                          topo_info()),
+        /*bracketed=*/true);
+    return;
+  }
   account_begin();
   const std::uint64_t seq = next_collective_seq();
   // Bruck needs uniform blocks; the variable-count case rides the ring.
@@ -149,7 +216,8 @@ coll::CollRequest Communicator::i_all_reduce(T* data, Index count,
   const coll::Routine r =
       size() == 1 || count <= 0
           ? coll::Routine::kNaive
-          : coll::select(perf::CollKind::kAllReduce, bytes, size(), backend_);
+          : coll::select(perf::CollKind::kAllReduce, bytes, size(), backend_,
+                         topo_info());
   if (r == coll::Routine::kNaive) {
     // No channel algorithm to run asynchronously — complete eagerly (the
     // naive path is one blocking publish-and-sync anyway).
@@ -160,16 +228,28 @@ coll::CollRequest Communicator::i_all_reduce(T* data, Index count,
   const std::uint64_t seq = next_collective_seq();
   const Index ce = detail::coll_chunk_elems(sizeof(T));
   std::unique_ptr<coll::CollOp> alg;
-  if (r == coll::Routine::kRingAllReduce) {
+  if (r == coll::Routine::kHierAllReduce) {
+    alg = std::make_unique<coll::HierAllReduce<Communicator, T>>(
+        *this, data, count, op, ce, seq);
+  } else if (r == coll::Routine::kRingAllReduce) {
     alg = std::make_unique<coll::OrderedRingAllReduce<Communicator, T>>(
         *this, data, count, op, ce, seq);
   } else {
     alg = std::make_unique<coll::RabenseifnerAllReduce<Communicator, T>>(
         *this, data, count, op, ce, seq);
   }
-  auto on_done = [this, data, count, bytes] {
+  const bool hier = r == coll::Routine::kHierAllReduce;
+  auto on_done = [this, data, count, bytes, hier] {
     detail::corrupt_reduced(data, count);
-    account_async(perf::CollKind::kAllReduce, bytes, bytes);
+    if (hier) {
+      coll::account_phases(
+          perf::thread_tracker(), backend_,
+          coll::hier_phases(perf::CollKind::kAllReduce, bytes, size(),
+                            topo_info()),
+          /*bracketed=*/false);
+    } else {
+      account_async(perf::CollKind::kAllReduce, bytes, bytes);
+    }
   };
   return coll::CollRequest(
       std::make_unique<coll::WithCompletion<decltype(on_done)>>(
@@ -182,6 +262,9 @@ coll::CollRequest Communicator::i_all_gather(const T* send, Index count,
   const std::size_t local_bytes = std::size_t(std::max<Index>(count, 0)) *
                                   sizeof(T);
   const std::size_t total_bytes = std::size_t(size()) * local_bytes;
+  // Flat selection on purpose: the hierarchical allgather is a blocking
+  // composite over sub-communicators, not a single poll-driven CollOp, so
+  // the nonblocking path keeps the flat candidates.
   const coll::Routine r =
       size() == 1 || count <= 0
           ? coll::Routine::kNaive

@@ -2,29 +2,36 @@
 //
 // Mirrors the paper's MPI -> NCCL switch: the naive publish-and-sync path
 // stands in for the single-shot MPI collective, while the chunked channel
-// algorithms (ring / Rabenseifner / bruck / binomial, src/coll) reproduce
-// the algorithmic side of NCCL. The policy is process-global:
+// algorithms (ring / Rabenseifner / bruck / binomial / hierarchical,
+// src/coll) reproduce the algorithmic side of NCCL. The policy is
+// process-global:
 //
-//   CHASE_COLL_ALGO = naive | ring | tree | auto   (default: naive, or the
-//       CMake cache variable CHASE_DEFAULT_COLL_ALGO baked into the build)
+//   CHASE_COLL_ALGO = naive | ring | tree | hier | auto   (default: naive,
+//       or the CMake cache variable CHASE_DEFAULT_COLL_ALGO baked into the
+//       build; an unknown value throws env::ConfigError at first use)
 //   CHASE_COLL_CHUNK_BYTES = pipelining granularity (default 64 KiB)
 //
 // `auto` picks per call by minimizing the extended alpha-beta-gamma cost
 // model (perf::coll_algo_seconds) over the available routines — the
 // in-process analogue of NCCL's protocol/algorithm autotuner — and is also
-// the switch that arms the nonblocking overlap path in dist/core.
+// the switch that arms the nonblocking overlap path in dist/core. With a
+// grouped topology (CHASE_TOPO, src/comm/topology.hpp) the selection runs
+// the per-link-class overload, so `auto` chooses the two-level hierarchical
+// routines exactly when the slow cross-group links make them win.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "perf/backend.hpp"
+#include "perf/cost_model.hpp"
 #include "perf/tracker.hpp"
 
 namespace chase::coll {
 
-enum class Algorithm : int { kNaive = 0, kRing, kTree, kAuto };
+enum class Algorithm : int { kNaive = 0, kRing, kTree, kHier, kAuto };
 
 /// Concrete routine the dispatcher runs for one call.
 enum class Routine : int {
@@ -34,14 +41,22 @@ enum class Routine : int {
   kRingAllGather,
   kBruckAllGather,
   kBinomialBroadcast,
+  kHierAllReduce,
+  kHierAllGather,
+  kHierBroadcast,
 };
 
 std::string_view algorithm_name(Algorithm a);
 std::string_view routine_name(Routine r);
 std::optional<Algorithm> parse_algorithm(std::string_view name);
 
+/// True for the two-level routines (dispatched over grouped
+/// sub-communicators).
+bool is_hierarchical(Routine r);
+
 /// Process-global policy; initialized from CHASE_COLL_ALGO (falling back to
-/// the build-time default) on first use.
+/// the build-time default) on first use. A set-but-unknown CHASE_COLL_ALGO
+/// throws env::ConfigError instead of silently keeping the default.
 Algorithm algorithm();
 void set_algorithm(Algorithm a);
 
@@ -59,6 +74,39 @@ bool overlap_enabled();
 /// for allgather).
 Routine select(perf::CollKind kind, std::size_t bytes, int nranks,
                perf::Backend backend);
+
+/// Topology-aware variant: considers the hierarchical routines and prices
+/// every candidate with the per-link-class cost model. With a flat `topo`
+/// this is exactly the overload above. All inputs are rank-identical across
+/// a communicator, so every rank of an SPMD region picks the same routine.
+Routine select(perf::CollKind kind, std::size_t bytes, int nranks,
+               perf::Backend backend, const perf::TopoInfo& topo);
+
+/// One phase of a multi-phase (hierarchical) routine, in Tracker event
+/// terms: what ran, how many bytes it carried, over how many ranks.
+struct CollPhase {
+  perf::CollKind kind;
+  std::size_t bytes;
+  int nranks;
+};
+
+/// The per-phase event decomposition of a hierarchical routine on a
+/// `nranks`-rank communicator spanning `topo.nodes` groups of at most
+/// `topo.max_per_node` ranks. Both the real dispatcher and the analytic
+/// model (chase_model) emit events from this one function, so the
+/// byte/step accounting of the projections matches the runtime exactly.
+/// `bytes` follows the Tracker convention for `kind`.
+std::vector<CollPhase> hier_phases(perf::CollKind kind, std::size_t bytes,
+                                   int nranks, const perf::TopoInfo& topo);
+
+/// Record `phases` on `t` (no-op when null). When `bracketed`, the first
+/// phase closes the begin_collective() bracket the caller opened
+/// (end_collective); the remaining phases are plain record_collective()
+/// events. On the STD backend each phase additionally stages its payload
+/// over PCIe (D2H before, H2D after), mirroring what a host-staged
+/// multi-phase collective really moves.
+void account_phases(perf::Tracker* t, perf::Backend backend,
+                    const std::vector<CollPhase>& phases, bool bracketed);
 
 /// RAII policy override for tests and benches.
 class ScopedAlgorithm {

@@ -1,0 +1,305 @@
+// Persistent communication plans (CommBench's add/measure idiom).
+//
+// The filter loop runs the *same* collectives — same buffers, same counts,
+// same communicator — hundreds of times per solve. Dispatching each call
+// pays routine selection, algorithm-object construction (offset tables,
+// scratch buffers, tree shapes) and, for the hierarchical routines, the
+// grouped sub-communicator lookup, every single iteration. A CollPlan does
+// that work once: add_*() freezes the routine choice and builds the channel
+// state machine at registration time, and run()/start() replay it under a
+// fresh collective sequence number with everything else reused (CollOp::
+// reset()).
+//
+// Glue over comm/communicator.hpp like coll/dispatch.hpp: a plan is
+// registered against live comm::Communicator handles and replays with the
+// exact accounting and fault-injection hooks of the ad-hoc dispatch path, so
+// planned and unplanned execution are observationally identical (bitwise
+// results, Tracker events, coll.* counters) — the only difference is the
+// coll.plan.* counters and the saved planning work.
+//
+// Contract: the registered buffers must stay valid and the policy
+// (algorithm, chunk size, topology) must not change between add and replay —
+// callers key their plan caches on a policy fingerprint and rebuild on
+// mismatch (see dist/dist_matrix.hpp). Replays of one plan are collective in
+// registration order across the communicator's ranks.
+//
+// Counters: coll.plan.builds (+1 per registered entry), coll.plan.replays
+// (+1 per entry replay, blocking or nonblocking).
+#pragma once
+
+#ifndef CHASE_COMM_COMMUNICATOR_INCLUDED
+#error "coll/plan.hpp is glue over comm/communicator.hpp; include that first"
+#endif
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "coll/algorithms.hpp"
+#include "coll/engine.hpp"
+#include "coll/hierarchy.hpp"
+#include "coll/request.hpp"
+#include "common/faultinject.hpp"
+#include "perf/tracker.hpp"
+
+namespace chase::coll {
+
+namespace detail {
+
+/// Non-owning CollOp view handed out by CollPlan::start(): forwards
+/// progress/wait to the plan-owned op and fires the completion-time effects
+/// (corruption injection, accounting) exactly once.
+class BorrowedOp final : public CollOp {
+ public:
+  BorrowedOp(CollOp* op, std::function<void()> on_done)
+      : op_(op), on_done_(std::move(on_done)) {}
+
+  bool progress() override {
+    if (!op_->progress()) return false;
+    fire();
+    return true;
+  }
+
+  void wait() override {
+    op_->wait();
+    fire();
+  }
+
+ private:
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    if (on_done_) on_done_();
+  }
+
+  CollOp* op_;
+  std::function<void()> on_done_;
+  bool fired_ = false;
+};
+
+inline void plan_bump(const char* name) {
+  if (perf::thread_tracker() != nullptr) perf::bump_counter(name, 1.0);
+}
+
+}  // namespace detail
+
+class CollPlan {
+ public:
+  CollPlan() = default;
+  CollPlan(CollPlan&&) noexcept = default;
+  CollPlan& operator=(CollPlan&&) noexcept = default;
+
+  /// Register an in-place allreduce of (data, count) on `comm`. The routine
+  /// is selected and its state machine built here, once.
+  template <typename T>
+  void add_all_reduce(const comm::Communicator& comm, T* data, la::Index count,
+                      comm::Reduction op = comm::Reduction::kSum) {
+    using la::Index;
+    const std::size_t bytes =
+        std::size_t(std::max<Index>(count, 0)) * sizeof(T);
+    const Routine r =
+        comm.size() <= 1 || count <= 0
+            ? Routine::kNaive
+            : select(perf::CollKind::kAllReduce, bytes, comm.size(),
+                     comm.backend(), comm.topo_info());
+    Entry e;
+    e.next_seq = [comm] { return comm.next_collective_seq(); };
+    if (r == Routine::kNaive) {
+      e.run_blocking = [comm, data, count, op] {
+        comm.all_reduce(data, count, op);
+      };
+    } else {
+      const Index ce = comm::detail::coll_chunk_elems(sizeof(T));
+      if (r == Routine::kHierAllReduce) {
+        e.op = std::make_unique<HierAllReduce<comm::Communicator, T>>(
+            comm, data, count, op, ce, /*seq=*/0);
+      } else if (r == Routine::kRingAllReduce) {
+        e.op = std::make_unique<OrderedRingAllReduce<comm::Communicator, T>>(
+            comm, data, count, op, ce, /*seq=*/0);
+      } else {
+        e.op = std::make_unique<RabenseifnerAllReduce<comm::Communicator, T>>(
+            comm, data, count, op, ce, /*seq=*/0);
+      }
+      const auto phases =
+          r == Routine::kHierAllReduce
+              ? hier_phases(perf::CollKind::kAllReduce, bytes, comm.size(),
+                            comm.topo_info())
+              : std::vector<CollPhase>{
+                    {perf::CollKind::kAllReduce, bytes, comm.size()}};
+      const perf::Backend backend = comm.backend();
+      e.complete = [data, count, backend, phases](bool bracketed) {
+        comm::detail::corrupt_reduced(data, count);
+        account_phases(perf::thread_tracker(), backend, phases, bracketed);
+      };
+    }
+    finish_entry(std::move(e));
+  }
+
+  /// Register an equal-count allgather on `comm`.
+  template <typename T>
+  void add_all_gather(const comm::Communicator& comm, const T* send,
+                      la::Index count, T* recv) {
+    using la::Index;
+    const std::size_t local_bytes =
+        std::size_t(std::max<Index>(count, 0)) * sizeof(T);
+    const std::size_t total_bytes = std::size_t(comm.size()) * local_bytes;
+    const Routine r =
+        comm.size() <= 1 || count <= 0
+            ? Routine::kNaive
+            : select(perf::CollKind::kAllGather, total_bytes, comm.size(),
+                     comm.backend(), comm.topo_info());
+    Entry e;
+    e.next_seq = [comm] { return comm.next_collective_seq(); };
+    if (r == Routine::kNaive) {
+      e.run_blocking = [comm, send, count, recv] {
+        comm.all_gather(send, count, recv);
+      };
+    } else if (r == Routine::kHierAllGather) {
+      // Blocking composite over the grouped sub-communicators; the group is
+      // built here (collective) and reused by every replay.
+      (void)comm.hier_group();
+      const Index ce = comm::detail::coll_chunk_elems(sizeof(T));
+      std::vector<Index> counts(std::size_t(comm.size()), count);
+      std::vector<Index> displs(counts.size());
+      for (int i = 0; i < comm.size(); ++i) {
+        displs[std::size_t(i)] = Index(i) * count;
+      }
+      const auto phases = hier_phases(perf::CollKind::kAllGather, total_bytes,
+                                      comm.size(), comm.topo_info());
+      const perf::Backend backend = comm.backend();
+      e.run_blocking = [comm, send, recv, counts, displs, ce, backend,
+                        phases] {
+        fault::check("rank.die");
+        if (auto* t = perf::thread_tracker()) t->begin_collective();
+        hier_all_gather_v(comm, comm.hier_group(), send, recv, counts, displs,
+                          ce);
+        account_phases(perf::thread_tracker(), backend, phases,
+                       /*bracketed=*/true);
+      };
+    } else {
+      const Index ce = comm::detail::coll_chunk_elems(sizeof(T));
+      if (r == Routine::kBruckAllGather) {
+        e.op = std::make_unique<BruckAllGather<comm::Communicator, T>>(
+            comm, send, recv, count, ce, /*seq=*/0);
+      } else {
+        std::vector<Index> counts(std::size_t(comm.size()), count);
+        std::vector<Index> displs(counts.size());
+        for (int i = 0; i < comm.size(); ++i) {
+          displs[std::size_t(i)] = Index(i) * count;
+        }
+        e.op = std::make_unique<RingAllGather<comm::Communicator, T>>(
+            comm, send, recv, std::move(counts), std::move(displs), ce,
+            /*seq=*/0);
+      }
+      const std::vector<CollPhase> phases{
+          {perf::CollKind::kAllGather, total_bytes, comm.size()}};
+      const perf::Backend backend = comm.backend();
+      e.complete = [backend, phases](bool bracketed) {
+        account_phases(perf::thread_tracker(), backend, phases, bracketed);
+      };
+    }
+    finish_entry(std::move(e));
+  }
+
+  /// Register a broadcast from `root` on `comm`.
+  template <typename T>
+  void add_broadcast(const comm::Communicator& comm, T* data, la::Index count,
+                     int root) {
+    using la::Index;
+    const std::size_t bytes =
+        std::size_t(std::max<Index>(count, 0)) * sizeof(T);
+    const Routine r =
+        comm.size() <= 1 || count <= 0
+            ? Routine::kNaive
+            : select(perf::CollKind::kBroadcast, bytes, comm.size(),
+                     comm.backend(), comm.topo_info());
+    Entry e;
+    e.next_seq = [comm] { return comm.next_collective_seq(); };
+    if (r == Routine::kNaive) {
+      e.run_blocking = [comm, data, count, root] {
+        comm.broadcast(data, count, root);
+      };
+    } else {
+      const Index ce = comm::detail::coll_chunk_elems(sizeof(T));
+      if (r == Routine::kHierBroadcast) {
+        e.op = std::make_unique<HierBroadcast<comm::Communicator, T>>(
+            comm, data, count, root, ce, /*seq=*/0);
+      } else {
+        e.op = std::make_unique<BinomialBroadcast<comm::Communicator, T>>(
+            comm, data, count, root, ce, /*seq=*/0);
+      }
+      const auto phases =
+          r == Routine::kHierBroadcast
+              ? hier_phases(perf::CollKind::kBroadcast, bytes, comm.size(),
+                            comm.topo_info())
+              : std::vector<CollPhase>{
+                    {perf::CollKind::kBroadcast, bytes, comm.size()}};
+      const perf::Backend backend = comm.backend();
+      e.complete = [backend, phases](bool bracketed) {
+        account_phases(perf::thread_tracker(), backend, phases, bracketed);
+      };
+    }
+    finish_entry(std::move(e));
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Blocking replay of entry `i` (collective across the registered comm).
+  void run(std::size_t i) {
+    Entry& e = entries_[i];
+    detail::plan_bump("coll.plan.replays");
+    if (!e.op) {
+      e.run_blocking();
+      return;
+    }
+    fault::check("rank.die");
+    if (auto* t = perf::thread_tracker()) t->begin_collective();
+    e.op->reset(e.next_seq());
+    e.op->wait();
+    e.complete(/*bracketed=*/true);
+  }
+
+  /// Replay every entry, in registration order.
+  void execute() {
+    for (std::size_t i = 0; i < entries_.size(); ++i) run(i);
+  }
+
+  /// Nonblocking replay of entry `i`. Only channel-op entries support it
+  /// (the dispatch layer never plans naive/composite routines for the
+  /// overlap path); check with async_capable().
+  coll::CollRequest start(std::size_t i) {
+    Entry& e = entries_[i];
+    CHASE_CHECK_MSG(e.op != nullptr,
+                    "plan entry cannot replay asynchronously");
+    detail::plan_bump("coll.plan.replays");
+    fault::check("rank.die");
+    e.op->reset(e.next_seq());
+    auto* complete = &e.complete;
+    return coll::CollRequest(std::make_unique<detail::BorrowedOp>(
+        e.op.get(), [complete] { (*complete)(/*bracketed=*/false); }));
+  }
+
+  bool async_capable(std::size_t i) const {
+    return entries_[i].op != nullptr;
+  }
+
+ private:
+  struct Entry {
+    std::unique_ptr<CollOp> op;               // resettable channel op
+    std::function<std::uint64_t()> next_seq;  // fresh seq from the comm
+    std::function<void()> run_blocking;       // used when op == nullptr
+    std::function<void(bool bracketed)> complete;
+  };
+
+  void finish_entry(Entry e) {
+    detail::plan_bump("coll.plan.builds");
+    entries_.push_back(std::move(e));
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace chase::coll

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "comm/topology.hpp"
 #include "common/env.hpp"
 
 namespace chase::comm {
@@ -27,6 +28,38 @@ std::atomic<long>& timeout_ms() {
   return ms;
 }
 
+/// Emulated cross-node link: stall the calling thread for `seconds`. Sleeps
+/// the bulk and spins the tail — sleep_for alone overshoots by the OS
+/// scheduling quantum, which would swamp sub-100us link latencies. Capped so
+/// a misconfigured CHASE_TOPO cannot hang a collective past the watchdog.
+void emulate_link_delay(double seconds) {
+  if (seconds <= 0) return;
+  seconds = std::min(seconds, 0.25);
+  const auto until =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  const auto spin_margin = std::chrono::microseconds(200);
+  const auto sleep_until = until - spin_margin;
+  if (std::chrono::steady_clock::now() < sleep_until) {
+    std::this_thread::sleep_until(sleep_until);
+  }
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+/// Seconds the emulated inter link charges for moving `bytes` between ranks
+/// `a` and `b` of `st`; zero for flat states, same-node pairs, or a grouping
+/// without link emulation.
+double inter_delay_seconds(const detail::CommState& st, int a, int b,
+                           std::size_t bytes) {
+  if (st.node_of.empty() || a == b) return 0;
+  if (st.node_of[std::size_t(a)] == st.node_of[std::size_t(b)]) return 0;
+  double seconds = st.inter_latency;
+  if (st.inter_bw > 0) seconds += double(bytes) / st.inter_bw;
+  return seconds;
+}
+
 }  // namespace
 
 std::chrono::milliseconds barrier_timeout() {
@@ -44,7 +77,8 @@ CommState::CommState(int sz, std::shared_ptr<ErrorState> es)
       errors(es ? std::move(es) : std::make_shared<ErrorState>()),
       slots(std::size_t(sz)),
       coll_seq(std::size_t(sz), 0),
-      split_requests(std::size_t(sz)) {
+      split_requests(std::size_t(sz)),
+      hier_groups(std::size_t(sz)) {
   errors->register_waiter(&bar_cv);
   mailboxes.reserve(std::size_t(sz));
   for (int r = 0; r < sz; ++r) {
@@ -58,6 +92,13 @@ CommState::CommState(int sz, std::shared_ptr<ErrorState> es)
 CommState::~CommState() {
   for (const auto& mb : mailboxes) errors->unregister_waiter(&mb->cv);
   errors->unregister_waiter(&bar_cv);
+}
+
+void CommState::set_nodes(std::vector<int> nodes, double bw, double latency) {
+  node_of = std::move(nodes);
+  inter_bw = bw;
+  inter_latency = latency;
+  topo = topo_info_of(node_of, bw, latency);
 }
 
 void CommState::barrier_wait(int rank) {
@@ -185,6 +226,12 @@ void Communicator::send_chunk(int dst, std::uint64_t tag, const void* data,
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   }
+  // Topology emulation: a chunk crossing the node boundary pays the slow
+  // inter link before it lands in the destination mailbox. The delay is in
+  // the *sender's* thread, exactly where a real rendezvous send serializes —
+  // this is what makes a flat ring's boundary rank the bottleneck the
+  // hierarchical routines exist to relieve.
+  emulate_link_delay(inter_delay_seconds(st, rank_, dst, bytes));
   detail::Chunk chunk;
   chunk.tag = tag;
   const auto* p = static_cast<const unsigned char*>(data);
@@ -294,6 +341,57 @@ std::uint64_t Communicator::next_collective_seq() const {
   return ++state_->coll_seq[std::size_t(rank_)];
 }
 
+void Communicator::throttle_inter(int peer, std::size_t bytes) const {
+  if (state_ == nullptr) return;
+  emulate_link_delay(inter_delay_seconds(*state_, rank_, peer, bytes));
+}
+
+const perf::TopoInfo& Communicator::topo_info() const {
+  static const perf::TopoInfo flat{};
+  return state_ != nullptr ? state_->topo : flat;
+}
+
+const std::vector<int>& Communicator::node_ids() const {
+  static const std::vector<int> empty;
+  return state_ != nullptr ? state_->node_of : empty;
+}
+
+const detail::HierGroup& Communicator::hier_group() const {
+  CHASE_CHECK_MSG(state_ != nullptr && state_->topo.grouped(),
+                  "hier_group: communicator is not topology-grouped");
+  auto& slot = state_->hier_groups[std::size_t(rank_)];
+  if (slot != nullptr) return *slot;
+  const auto& nodes = state_->node_of;
+  auto group = std::make_shared<detail::HierGroup>();
+  // A grouped assignment is contiguous, so my node is one run of equal ids:
+  // its index is the number of run boundaries before me, its extent the run
+  // around my rank. The last member acts as the node's leader.
+  int node_idx = 0;
+  for (int r = 1; r <= rank_; ++r) {
+    if (nodes[std::size_t(r)] != nodes[std::size_t(r - 1)]) ++node_idx;
+  }
+  int first = rank_;
+  while (first > 0 &&
+         nodes[std::size_t(first - 1)] == nodes[std::size_t(rank_)]) {
+    --first;
+  }
+  int last = rank_;
+  while (last + 1 < size() &&
+         nodes[std::size_t(last + 1)] == nodes[std::size_t(rank_)]) {
+    ++last;
+  }
+  group->node = node_idx;
+  group->node_first = first;
+  group->node_size = last - first + 1;
+  group->is_leader = rank_ == last;
+  // Collective: node_of is rank-identical, so every rank reaches these two
+  // split() calls with matching colors and they pair up across the team.
+  group->intra = split(/*color=*/nodes[std::size_t(rank_)], /*key=*/rank_);
+  group->leaders = split(/*color=*/group->is_leader ? 0 : 1, /*key=*/rank_);
+  slot = std::move(group);
+  return *slot;
+}
+
 void Communicator::validate_gather_layout(
     const std::vector<Index>& counts, const std::vector<Index>& displs) const {
   std::vector<std::pair<Index, int>> spans;  // (displ, rank), counts > 0
@@ -375,14 +473,26 @@ Communicator Communicator::split(int color, int key) const {
     // finished that call before arriving here), so only the new generation
     // must stay alive in the cache.
     st.split_children.clear();
-    std::map<int, int> group_sizes;
-    for (const auto& [c, k] : st.split_requests) {
-      (void)k;
-      group_sizes[c] += 1;
+    std::map<int, std::vector<std::pair<int, int>>> groups;  // color -> (key, rank)
+    for (int r = 0; r < size(); ++r) {
+      const auto& [c, k] = st.split_requests[std::size_t(r)];
+      groups[c].emplace_back(k, r);
     }
-    for (const auto& [c, sz] : group_sizes) {
-      st.split_children[{st.split_generation, c}] =
-          std::make_shared<detail::CommState>(sz, st.errors);
+    for (auto& [c, mem] : groups) {
+      std::sort(mem.begin(), mem.end());
+      auto child =
+          std::make_shared<detail::CommState>(int(mem.size()), st.errors);
+      // Children inherit the topology: each member keeps its parent node id
+      // (in child rank order), so a split communicator spanning two nodes
+      // still sees — and pays for — its cross-node links.
+      if (!st.node_of.empty()) {
+        std::vector<int> nodes(mem.size());
+        for (std::size_t i = 0; i < mem.size(); ++i) {
+          nodes[i] = st.node_of[std::size_t(mem[i].second)];
+        }
+        child->set_nodes(std::move(nodes), st.inter_bw, st.inter_latency);
+      }
+      st.split_children[{st.split_generation, c}] = std::move(child);
     }
   }
   // My rank in the child: position of (key, old rank) among my color group.
@@ -417,6 +527,15 @@ void Team::run(const std::function<void(Communicator&)>& fn,
   CHASE_CHECK(trackers == nullptr || int(trackers->size()) == nranks_);
   auto errors = std::make_shared<ErrorState>();
   auto state = std::make_shared<detail::CommState>(nranks_, errors);
+  {
+    // Seed the world communicator from the process topology (CHASE_TOPO or
+    // a ScopedTopology override); specs for other team sizes leave it flat.
+    const Topology topo = current_topology();
+    auto nodes = node_assignment(topo, nranks_);
+    if (!nodes.empty()) {
+      state->set_nodes(std::move(nodes), topo.inter_bw, topo.inter_latency);
+    }
+  }
   std::vector<std::thread> threads;
   threads.reserve(std::size_t(nranks_));
   for (int r = 0; r < nranks_; ++r) {

@@ -64,6 +64,7 @@
 #include "common/scalar.hpp"
 #include "la/matrix.hpp"
 #include "perf/backend.hpp"
+#include "perf/cost_model.hpp"
 #include "perf/tracker.hpp"
 
 namespace chase::comm {
@@ -73,6 +74,8 @@ using perf::Backend;
 using perf::backend_name;
 
 namespace detail {
+
+struct HierGroup;  // grouped sub-communicators; defined after Communicator
 
 /// Shared state of one communicator: a poisonable barrier, per-rank
 /// publication slots used by the naive collectives, and per-rank chunk
@@ -134,6 +137,23 @@ struct CommState {
   std::uint64_t split_generation = 0;
   std::map<std::pair<std::uint64_t, int>, std::shared_ptr<CommState>>
       split_children;
+
+  // Two-level topology of this communicator (comm/topology.hpp): the node
+  // id per rank (empty: flat), the emulated cross-node link class, and the
+  // collapsed shape the collective engine's selector consumes. Team::run
+  // seeds the world state from the process topology; split() children
+  // inherit their members' assignments. Written only inside the split/run
+  // barrier windows, read-only afterwards.
+  std::vector<int> node_of;
+  double inter_bw = 0;
+  double inter_latency = 0;
+  perf::TopoInfo topo;
+  void set_nodes(std::vector<int> nodes, double bw, double latency);
+
+  // Lazily built grouped sub-communicators (intra-node team + leader team)
+  // for the hierarchical routines: one slot per rank, each rank builds and
+  // reads only its own (Communicator::hier_group, a collective).
+  std::vector<std::shared_ptr<HierGroup>> hier_groups;
 };
 
 }  // namespace detail
@@ -233,6 +253,22 @@ class Communicator {
   /// lockstep — the dispatch layer draws one per collective.
   std::uint64_t next_collective_seq() const;
 
+  // ---- two-level topology (comm/topology.hpp) ----
+
+  /// Collapsed topology shape of this communicator for the collective
+  /// engine's selector: group count, largest group, contiguity, emulated
+  /// cross-group link class. Flat for teams without a CHASE_TOPO grouping.
+  const perf::TopoInfo& topo_info() const;
+
+  /// Node id per rank (empty when flat). Rank-identical.
+  const std::vector<int>& node_ids() const;
+
+  /// Grouped sub-communicators for the hierarchical routines: the intra-node
+  /// team plus the cross-node leader team, built with two generation-keyed
+  /// split() calls on first use and cached on the communicator state.
+  /// Collective on first call; requires topo_info().grouped().
+  const detail::HierGroup& hier_group() const;
+
  private:
   friend class Team;
   Communicator(std::shared_ptr<detail::CommState> state, int rank,
@@ -281,10 +317,34 @@ class Communicator {
   void account_async(perf::CollKind kind, std::size_t bytes,
                      std::size_t local_bytes) const;
 
+  /// Topology emulation for the naive transport: reading `bytes` from a
+  /// peer on another node pays the same cross-node link delay send_chunk
+  /// charges, so the flat/naive and hierarchical paths compete fairly under
+  /// an emulated slow inter link. No-op on flat teams or same-node peers.
+  void throttle_inter(int peer, std::size_t bytes) const;
+
   std::shared_ptr<detail::CommState> state_;
   int rank_ = 0;
   Backend backend_ = Backend::kHostMpi;
 };
+
+namespace detail {
+
+/// The grouped sub-communicators behind one rank of a hierarchical
+/// collective: the intra-node team (ranks sharing my node, ordered by parent
+/// rank) and the leader team (the last rank of every node; non-leaders hold
+/// the complement split, which they never use for data movement). Built once
+/// per communicator via Communicator::hier_group().
+struct HierGroup {
+  Communicator intra;
+  Communicator leaders;
+  bool is_leader = false;
+  int node = 0;        // my node's index in rank order
+  int node_first = 0;  // parent rank of my node's first member
+  int node_size = 1;
+};
+
+}  // namespace detail
 
 /// SPMD launcher: runs fn(comm) on `nranks` threads, each with its own
 /// world Communicator. A rank failure (exception or injected death) poisons
@@ -372,7 +432,9 @@ void Communicator::naive_all_reduce(T* data, Index count, Reduction op) const {
   publish_and_sync(data, bytes, 100 + int(op));
   std::vector<T> acc(static_cast<std::size_t>(count));
   std::copy_n(static_cast<const T*>(peer_ptr(0)), count, acc.data());
+  throttle_inter(0, bytes);
   for (int r = 1; r < size(); ++r) {
+    throttle_inter(r, bytes);
     const T* src = static_cast<const T*>(peer_ptr(r));
     for (Index i = 0; i < count; ++i) {
       detail::reduce_assign(op, acc[std::size_t(i)], src[i]);
@@ -390,6 +452,7 @@ void Communicator::naive_broadcast(T* data, Index count, int root) const {
   const std::size_t bytes = std::size_t(count) * sizeof(T);
   publish_and_sync(data, bytes, 200 + root);
   if (rank_ != root) {
+    throttle_inter(root, bytes);
     std::copy_n(static_cast<const T*>(peer_ptr(root)), count, data);
   }
   sync_quiesce();  // root's buffer free again
@@ -409,6 +472,7 @@ void Communicator::naive_all_gather(const T* send, Index count, T* recv) const {
   } else {
     publish_and_sync(send, local_bytes, 300);
     for (int r = 0; r < size(); ++r) {
+      throttle_inter(r, local_bytes);
       std::copy_n(static_cast<const T*>(peer_ptr(r)), count,
                   recv + Index(r) * count);
     }
@@ -433,6 +497,7 @@ void Communicator::naive_all_gather_v(const T* send, Index count, T* recv,
     publish_and_sync(count > 0 ? send : nullptr, local_bytes, 400);
     for (int r = 0; r < size(); ++r) {
       if (counts[std::size_t(r)] == 0) continue;
+      throttle_inter(r, std::size_t(counts[std::size_t(r)]) * sizeof(T));
       std::copy_n(static_cast<const T*>(peer_ptr(r)), counts[std::size_t(r)],
                   recv + displs[std::size_t(r)]);
     }

@@ -1,0 +1,153 @@
+#include "comm/topology.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/env.hpp"
+
+namespace chase::comm {
+
+namespace {
+
+constexpr long long kMaxRanks = 4096;
+
+std::mutex& topo_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+Topology& topo_slot() {
+  // Parsed from CHASE_TOPO on first use; a malformed spec throws on every
+  // team construction until fixed (fail loudly, never fall back to flat).
+  static Topology topo = [] {
+    if (const auto spec = env::text_env("CHASE_TOPO")) {
+      return parse_topology("CHASE_TOPO", *spec);
+    }
+    return Topology{};
+  }();
+  return topo;
+}
+
+}  // namespace
+
+Topology parse_topology(const char* name, std::string_view spec) {
+  Topology topo;
+  const auto fields = env::split_list(spec, '@');
+  const std::string_view base = fields.empty() ? std::string_view{}
+                                               : std::string_view(fields[0]);
+  if (base.empty()) {
+    env::reject(name, spec, "empty topology spec",
+                "flat | <nodes>x<per_node> | <id>,<id>,...");
+  }
+  if (base == "flat") {
+    // keep the flat default; qualifiers may still set link parameters
+  } else if (base.find(',') != std::string_view::npos) {
+    // Explicit node id per rank.
+    for (const std::string& tok : env::split_list(base, ',')) {
+      topo.node_of.push_back(
+          static_cast<int>(env::ranged_int(name, tok, 0, kMaxRanks - 1)));
+    }
+  } else if (const auto x = base.find('x'); x != std::string_view::npos) {
+    topo.grid_nodes =
+        static_cast<int>(env::ranged_int(name, base.substr(0, x), 1, kMaxRanks));
+    topo.grid_per_node = static_cast<int>(
+        env::ranged_int(name, base.substr(x + 1), 1, kMaxRanks));
+    if (static_cast<long long>(topo.grid_nodes) * topo.grid_per_node >
+        kMaxRanks) {
+      env::reject(name, spec, "grid larger than the rank limit",
+                  "nodes * per_node <= 4096");
+    }
+  } else {
+    // A single bare number is a one-rank node list.
+    topo.node_of.push_back(
+        static_cast<int>(env::ranged_int(name, base, 0, kMaxRanks - 1)));
+  }
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const std::string_view q(fields[i]);
+    const auto eq = q.find('=');
+    const std::string_view key = q.substr(0, eq);
+    const std::string_view val =
+        eq == std::string_view::npos ? std::string_view{} : q.substr(eq + 1);
+    if (key == "inter_mbps") {
+      topo.inter_bw =
+          1.0e6 * double(env::ranged_int(name, val, 0, 100000000));
+    } else if (key == "inter_us") {
+      topo.inter_latency =
+          1.0e-6 * double(env::ranged_int(name, val, 0, 100000000));
+    } else {
+      env::reject(name, spec, "unknown qualifier \"" + std::string(q) + "\"",
+                  "inter_mbps=<MB/s> or inter_us=<microseconds>");
+    }
+  }
+  return topo;
+}
+
+Topology current_topology() {
+  std::lock_guard<std::mutex> lock(topo_mutex());
+  return topo_slot();
+}
+
+void set_topology(std::optional<Topology> topo) {
+  std::lock_guard<std::mutex> lock(topo_mutex());
+  if (topo) {
+    topo_slot() = std::move(*topo);
+  } else {
+    topo_slot() = Topology{};
+  }
+}
+
+std::vector<int> node_assignment(const Topology& topo, int team_size) {
+  if (team_size <= 1) return {};
+  if (!topo.node_of.empty()) {
+    if (int(topo.node_of.size()) != team_size) return {};
+    return topo.node_of;
+  }
+  if (topo.grid_nodes > 0) {
+    if (topo.grid_nodes * topo.grid_per_node != team_size) return {};
+    std::vector<int> nodes(std::size_t(team_size), 0);
+    for (int r = 0; r < team_size; ++r) {
+      nodes[std::size_t(r)] = r / topo.grid_per_node;
+    }
+    return nodes;
+  }
+  return {};
+}
+
+perf::TopoInfo topo_info_of(const std::vector<int>& node_of, double inter_bw,
+                            double inter_latency) {
+  perf::TopoInfo info;
+  info.inter_bw = inter_bw;
+  info.inter_latency = inter_latency;
+  if (node_of.empty()) return info;
+  // Count the runs of equal node ids; the assignment is hierarchical-capable
+  // (contiguous) when no id recurs after its run ended.
+  int runs = 1;
+  int run_len = 1;
+  int max_run = 1;
+  bool contiguous = true;
+  std::vector<int> seen = {node_of[0]};
+  for (std::size_t r = 1; r < node_of.size(); ++r) {
+    if (node_of[r] == node_of[r - 1]) {
+      ++run_len;
+    } else {
+      if (std::find(seen.begin(), seen.end(), node_of[r]) != seen.end()) {
+        contiguous = false;
+      } else {
+        seen.push_back(node_of[r]);
+      }
+      ++runs;
+      run_len = 1;
+    }
+    max_run = std::max(max_run, run_len);
+  }
+  info.nodes = runs;
+  info.max_per_node = max_run;
+  info.contiguous = contiguous;
+  if (!contiguous) {
+    // Distinct group count is still meaningful for the naive/flat pricing.
+    info.nodes = int(seen.size());
+  }
+  return info;
+}
+
+}  // namespace chase::comm

@@ -1,0 +1,87 @@
+// Two-level machine topology for the in-process SPMD runtime.
+//
+// A Topology assigns every rank of a team to a node group and carries the
+// link classes between groups: ranks sharing a node communicate over the
+// fast intra class (NVLink / shared memory), ranks on different nodes over
+// the slow inter class (HDR IB). The runtime is still one process — the
+// topology's job is (a) to let the collective engine select two-level
+// algorithms the way NCCL does on a real multi-node machine, and (b) to
+// *emulate* the slow links (a calibrated busy-wait per cross-node transfer)
+// so benches and tests can observe the hierarchy winning without real
+// hardware.
+//
+// The process-global topology comes from the validated CHASE_TOPO spec:
+//
+//   CHASE_TOPO = flat                      (default: all ranks on one node)
+//              | <nodes>x<ranks_per_node>  e.g. 2x4
+//              | <id>,<id>,...             explicit node id per rank
+//   with optional qualifiers, e.g. 2x4@inter_mbps=800@inter_us=30
+//
+//   inter_mbps — emulated cross-node bandwidth in MB/s (0 disables the
+//                emulation delay but keeps the grouping)
+//   inter_us   — emulated per-transfer cross-node latency in microseconds
+//
+// A grid/list spec applies to teams of exactly matching size; teams of any
+// other size run flat (one process hosts many team sizes — benches spawn
+// 2-, 4- and 8-rank teams side by side — and a 2x4 spec says nothing about
+// a 3-rank team). Malformed specs throw env::ConfigError naming CHASE_TOPO.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "perf/cost_model.hpp"
+
+namespace chase::comm {
+
+struct Topology {
+  std::vector<int> node_of;   // node id per rank; empty: flat (grid unset)
+  int grid_nodes = 0;         // NxM spec: N (0 when node_of/flat form)
+  int grid_per_node = 0;      // NxM spec: M
+  double inter_bw = 0;        // emulated cross-node bytes/s (0: no delay)
+  double inter_latency = 0;   // emulated cross-node seconds per transfer
+
+  bool flat() const { return node_of.empty() && grid_nodes == 0; }
+};
+
+/// Parse a CHASE_TOPO-style spec. Throws env::ConfigError (naming `name`)
+/// on malformed input.
+Topology parse_topology(const char* name, std::string_view spec);
+
+/// The process-global topology: the CHASE_TOPO spec (parsed once, throwing
+/// on garbage) unless overridden by set_topology.
+Topology current_topology();
+
+/// Override (or clear, with nullopt) the process-global topology. Intended
+/// for benches/tests via ScopedTopology; takes effect for Teams created
+/// afterwards.
+void set_topology(std::optional<Topology> topo);
+
+/// Node id per rank for a team of `team_size` ranks under `topo`: the
+/// explicit list or expanded grid when the size matches exactly, else empty
+/// (flat).
+std::vector<int> node_assignment(const Topology& topo, int team_size);
+
+/// Collapse a per-rank node assignment into the cost model's shape: group
+/// count, largest group, contiguity, and the emulated link class. An empty
+/// assignment is the flat single-group shape.
+perf::TopoInfo topo_info_of(const std::vector<int>& node_of, double inter_bw,
+                            double inter_latency);
+
+/// RAII topology override for benches and tests.
+class ScopedTopology {
+ public:
+  explicit ScopedTopology(Topology topo) : prev_(current_topology()) {
+    set_topology(std::move(topo));
+  }
+  ~ScopedTopology() { set_topology(std::move(prev_)); }
+  ScopedTopology(const ScopedTopology&) = delete;
+  ScopedTopology& operator=(const ScopedTopology&) = delete;
+
+ private:
+  Topology prev_;
+};
+
+}  // namespace chase::comm

@@ -1,4 +1,4 @@
-// Validated parsing of the numeric CHASE_* environment knobs.
+// Validated parsing of the CHASE_* environment knobs.
 //
 // The runtime knobs (CHASE_COLL_CHUNK_BYTES, CHASE_CKPT_INTERVAL,
 // CHASE_WATCHDOG_MS, ...) used to be read with atoll/atoi, which silently
@@ -9,10 +9,17 @@
 // naming the variable and the offending text, so a misconfigured process
 // fails loudly at the first use of the knob instead of quietly running with
 // defaults.
+//
+// Structured knobs (CHASE_TOPO's "2x4@inter_mbps=800" spec,
+// CHASE_FAULT_INJECT's "site@rank@iter=k:times,..." list) build on the same
+// contract through split_list/ranged_int: every token of a set variable must
+// parse, and every failure names the variable and the offending token.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -27,6 +34,11 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
+/// Throw ConfigError for variable `name` set to `text`, with `why` and the
+/// expectation spelled out: NAME="text": why (expected <expected>).
+[[noreturn]] void reject(const char* name, std::string_view text,
+                         const std::string& why, const std::string& expected);
+
 /// Parse `text` as a strictly positive integer. Throws ConfigError (naming
 /// `name`) on empty text, non-numeric text, trailing junk ("64kb"), zero,
 /// negative values, or overflow.
@@ -37,5 +49,22 @@ long long positive_int(const char* name, const char* text);
 /// anything else must parse as a strictly positive integer or ConfigError
 /// is thrown.
 std::optional<long long> positive_env(const char* name);
+
+/// getenv(name) as text. Unset and set-but-empty both return nullopt;
+/// surrounding whitespace is trimmed.
+std::optional<std::string> text_env(const char* name);
+
+/// Split `text` on `sep`, trimming surrounding whitespace from each token.
+/// Empty tokens are preserved (",," yields three empties) so spec parsers
+/// can reject them with a message naming the variable instead of silently
+/// skipping a malformed entry.
+std::vector<std::string> split_list(std::string_view text, char sep = ',');
+
+/// Parse `token` (one element of variable `name`) as an integer in
+/// [lo, hi]. Throws ConfigError naming the variable, the token, and the
+/// accepted range on empty/non-numeric/trailing-junk/overflow/out-of-range
+/// input.
+long long ranged_int(const char* name, std::string_view token, long long lo,
+                     long long hi);
 
 }  // namespace chase::env

@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 
 namespace chase::fault {
 
@@ -103,25 +104,31 @@ struct Registry {
     }
   }
 
-  // CHASE_FAULT_INJECT=site[@rank][@iter=k][:times],...
+  // CHASE_FAULT_INJECT=site[@rank][@iter=k][:times],... — every field of a
+  // set variable must validate (env::ranged_int throws ConfigError naming
+  // the variable and the token); garbage used to atoi() to 0 and arm a
+  // nonsense site silently.
   void load_env() {
-    const char* env = std::getenv("CHASE_FAULT_INJECT");
-    if (env == nullptr) return;
-    std::string_view rest(env);
-    while (!rest.empty()) {
-      const auto comma = rest.find(',');
-      std::string_view entry = rest.substr(0, comma);
-      rest = comma == std::string_view::npos ? std::string_view{}
-                                             : rest.substr(comma + 1);
-      if (entry.empty()) continue;
-      if (entry == "list") {
+    static constexpr const char* kVar = "CHASE_FAULT_INJECT";
+    const auto text = env::text_env(kVar);
+    if (!text) return;
+    for (const std::string& raw : env::split_list(*text)) {
+      if (raw.empty()) continue;  // stray commas stay harmless
+      if (raw == "list") {
         dump_at_exit = true;
         continue;
       }
+      std::string_view entry(raw);
       Site site;
       const auto colon = entry.find(':');
       if (colon != std::string_view::npos) {
-        site.times = std::atoi(std::string(entry.substr(colon + 1)).c_str());
+        // times: -1 = unlimited; 0 would arm a site that can never fire.
+        site.times = static_cast<int>(
+            env::ranged_int(kVar, entry.substr(colon + 1), -1, 1 << 20));
+        if (site.times == 0) {
+          env::reject(kVar, raw, "trigger budget 0",
+                      "a positive count or -1 for unlimited");
+        }
         entry = entry.substr(0, colon);
       }
       // Strip @qualifiers right to left: each pass consumes the last one.
@@ -129,11 +136,17 @@ struct Registry {
            at = entry.rfind('@')) {
         const std::string_view token = entry.substr(at + 1);
         if (token.substr(0, 5) == "iter=") {
-          site.iter = std::atoi(std::string(token.substr(5)).c_str());
+          site.iter = static_cast<int>(
+              env::ranged_int(kVar, token.substr(5), 1, 1 << 20));
         } else {
-          site.rank = std::atoi(std::string(token).c_str());
+          // rank: -1 keeps the documented "every rank" wildcard spellable.
+          site.rank = static_cast<int>(env::ranged_int(kVar, token, -1, 1 << 20));
         }
         entry = entry.substr(0, at);
+      }
+      if (entry.empty()) {
+        env::reject(kVar, raw, "missing site name",
+                    "site[@rank][@iter=k][:times]");
       }
       site.name = std::string(entry);
       sites.push_back(std::move(site));

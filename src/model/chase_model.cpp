@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "coll/engine.hpp"
+#include "comm/topology.hpp"
 #include "common/check.hpp"
 
 namespace chase::model {
@@ -14,33 +16,86 @@ using perf::FlopClass;
 using perf::Region;
 using perf::Tracker;
 
+/// The modeled grid's communicator topologies, from rank 0's perspective
+/// (whose event stream the replay emits). Ranks are laid out row-major
+/// (comm::Grid2d: rank = row * npcol + col) and assigned to nodes in blocks
+/// of `ranks_per_node`, exactly like a contiguous CHASE_TOPO spec. Rank 0's
+/// column communicator holds world ranks {0, npcol, 2*npcol, ...}; its row
+/// communicator holds {0 .. npcol-1}.
+perf::TopoInfo model_topo(const ChaseModelSetup& s, bool col_comm) {
+  const int rpn = s.ranks_per_node;
+  if (rpn <= 1) return {};
+  std::vector<int> nodes;
+  if (col_comm) {
+    nodes.reserve(std::size_t(s.nprow));
+    for (int r = 0; r < s.nprow; ++r) {
+      nodes.push_back((r * s.npcol) / rpn);
+    }
+  } else {
+    nodes.reserve(std::size_t(s.npcol));
+    for (int c = 0; c < s.npcol; ++c) nodes.push_back(c / rpn);
+  }
+  return comm::topo_info_of(nodes, /*inter_bw=*/0.0, /*inter_latency=*/0.0);
+}
+
 /// Mirrors comm::Communicator's accounting: one collective event plus, for
 /// the STD backend, the two staging copies around it. Self-communicators
-/// record nothing (the real collectives early-return).
+/// record nothing (the real collectives early-return). Each call consults
+/// the same coll::select the real dispatcher runs, so on a grouped
+/// communicator the replay emits the hierarchical per-phase decomposition
+/// (coll::hier_phases) instead of the single flat event.
 struct ModelComm {
   Tracker& t;
   Backend backend;
+  perf::TopoInfo col_topo;  // column communicators (nprow ranks)
+  perf::TopoInfo row_topo;  // row communicators (npcol ranks)
 
-  void collective(CollKind kind, std::size_t bytes, int nranks) {
+  ModelComm(Tracker& tracker, const ChaseModelSetup& s)
+      : t(tracker),
+        backend(s.backend),
+        col_topo(model_topo(s, /*col_comm=*/true)),
+        row_topo(model_topo(s, /*col_comm=*/false)) {}
+
+  void collective(CollKind kind, std::size_t bytes, int nranks,
+                  const perf::TopoInfo& topo) {
     if (nranks <= 1) return;
+    const coll::Routine r = coll::select(kind, bytes, nranks, backend, topo);
+    if (coll::is_hierarchical(r)) {
+      t.begin_collective();
+      coll::account_phases(&t, backend, coll::hier_phases(kind, bytes, nranks, topo),
+                           /*bracketed=*/true);
+      return;
+    }
     if (backend == Backend::kStdGpu) t.record_memcpy(bytes, false);
     t.begin_collective();
     t.end_collective(kind, bytes, nranks);
     if (backend == Backend::kStdGpu) t.record_memcpy(bytes, true);
   }
-  void all_reduce(std::size_t bytes, int nranks) {
-    collective(CollKind::kAllReduce, bytes, nranks);
+  void all_reduce(std::size_t bytes, int nranks,
+                  const perf::TopoInfo& topo) {
+    collective(CollKind::kAllReduce, bytes, nranks, topo);
   }
-  void broadcast(std::size_t bytes, int nranks) {
-    collective(CollKind::kBroadcast, bytes, nranks);
+  void broadcast(std::size_t bytes, int nranks, const perf::TopoInfo& topo) {
+    collective(CollKind::kBroadcast, bytes, nranks, topo);
   }
   /// `local_bytes` is one rank's contribution; the event records the total
   /// gathered payload, and the STD staging is asymmetric (D2H the local
   /// share, H2D the whole gathered buffer) — mirroring
   /// Communicator::all_gather's accounting.
-  void all_gather(std::size_t local_bytes, int nranks) {
+  void all_gather(std::size_t local_bytes, int nranks,
+                  const perf::TopoInfo& topo) {
     if (nranks <= 1) return;
     const std::size_t total = std::size_t(nranks) * local_bytes;
+    const coll::Routine r =
+        coll::select(CollKind::kAllGather, total, nranks, backend, topo);
+    if (coll::is_hierarchical(r)) {
+      t.begin_collective();
+      coll::account_phases(
+          &t, backend,
+          coll::hier_phases(CollKind::kAllGather, total, nranks, topo),
+          /*bracketed=*/true);
+      return;
+    }
     if (backend == Backend::kStdGpu) t.record_memcpy(local_bytes, false);
     t.begin_collective();
     t.end_collective(CollKind::kAllGather, total, nranks);
@@ -81,7 +136,7 @@ void hemm_apply(const ChaseModelSetup& s, const Sizes& sz, ModelComm& comm,
   const std::size_t elem_bytes =
       low ? std::size_t(s.scalar_bytes) / 2 : std::size_t(s.scalar_bytes);
   comm.all_reduce(std::size_t(out_rows) * std::size_t(ncols) * elem_bytes,
-                  nranks);
+                  nranks, c2b ? comm.col_topo : comm.row_topo);
 }
 
 /// The "B2 <- Bcast(C2)" redistribution on a square grid with equal maps:
@@ -93,7 +148,7 @@ void redistribute_c2b(const ChaseModelSetup& s, const Sizes& sz,
                   "configuration); non-square grids run for real");
   comm.broadcast(std::size_t(sz.bloc) * std::size_t(ncols) *
                      std::size_t(s.scalar_bytes),
-                 s.nprow);
+                 s.nprow, comm.col_topo);
 }
 
 /// One CholeskyQR repetition (matches qr::cholqr_step + the flop accounting
@@ -105,7 +160,7 @@ void cholqr_rep(const ChaseModelSetup& s, const Sizes& sz, ModelComm& comm,
   // matrix: ne(ne+1)/2 scalars instead of ne^2.
   comm.all_reduce(std::size_t(ne) * std::size_t(ne + 1) / 2 *
                       std::size_t(s.scalar_bytes),
-                  s.nprow);
+                  s.nprow, comm.col_topo);
   t.add_flops(FlopClass::kFactor,
               2.0 * sz.z1 * double(sz.mloc) * double(ne) * double(ne));
   t.add_flops(FlopClass::kSmall,
@@ -119,16 +174,16 @@ void hhqr(const ChaseModelSetup& s, const Sizes& sz, ModelComm& comm,
           Tracker& t) {
   const Index ne = s.subspace();
   for (Index k = 0; k < ne; ++k) {
-    comm.all_reduce(std::size_t(s.real_bytes), s.nprow);
-    comm.broadcast(std::size_t(s.scalar_bytes), s.nprow);
+    comm.all_reduce(std::size_t(s.real_bytes), s.nprow, comm.col_topo);
+    comm.broadcast(std::size_t(s.scalar_bytes), s.nprow, comm.col_topo);
     if (k + 1 < ne) {
       comm.all_reduce(std::size_t(ne - k - 1) * std::size_t(s.scalar_bytes),
-                      s.nprow);
+                      s.nprow, comm.col_topo);
     }
   }
   for (Index k = ne - 1; k >= 0; --k) {
     comm.all_reduce(std::size_t(ne - k) * std::size_t(s.scalar_bytes),
-                    s.nprow);
+                    s.nprow, comm.col_topo);
   }
   t.add_flops(FlopClass::kPanel,
               4.0 * sz.z1 * double(sz.mloc) * double(ne) * double(ne));
@@ -137,14 +192,14 @@ void hhqr(const ChaseModelSetup& s, const Sizes& sz, ModelComm& comm,
 /// v1.2 collection: one broadcast per part of the map (matches
 /// dist::gather_rows).
 void gather(const ChaseModelSetup& s, ModelComm& comm, const IndexMap& map,
-            Index ncols, int comm_size) {
+            Index ncols, int comm_size, const perf::TopoInfo& topo) {
   if (comm_size <= 1) return;
   for (int part = 0; part < map.parts(); ++part) {
     const Index count = map.local_size(part);
     if (count == 0) continue;
     comm.broadcast(std::size_t(count) * std::size_t(ncols) *
                        std::size_t(s.scalar_bytes),
-                   comm_size);
+                   comm_size, topo);
   }
 }
 
@@ -190,18 +245,20 @@ std::vector<IterationShape> rescale_history(
 void replay_lanczos(const ChaseModelSetup& s, int steps, int nvec,
                     Tracker& t) {
   const auto sz = sizes_of(s);
-  ModelComm comm{t, s.backend};
+  ModelComm comm(t, s);
   const Region prev = t.set_region(Region::kLanczos);
   for (int run = 0; run < nvec; ++run) {
     // Initial normalization dot product.
-    comm.all_reduce(std::size_t(s.scalar_bytes), s.nprow);
+    comm.all_reduce(std::size_t(s.scalar_bytes), s.nprow, comm.col_topo);
     for (int j = 0; j < steps; ++j) {
       hemm_apply(s, sz, comm, t, 1, /*c2b=*/true);
       // B -> C redistribution of the single column (row communicator).
       comm.broadcast(std::size_t(sz.mloc) * std::size_t(s.scalar_bytes),
-                     s.npcol);
-      comm.all_reduce(std::size_t(s.scalar_bytes), s.nprow);  // alpha
-      comm.all_reduce(std::size_t(s.scalar_bytes), s.nprow);  // beta
+                     s.npcol, comm.row_topo);
+      comm.all_reduce(std::size_t(s.scalar_bytes), s.nprow,
+                      comm.col_topo);  // alpha
+      comm.all_reduce(std::size_t(s.scalar_bytes), s.nprow,
+                      comm.col_topo);  // beta
     }
   }
   t.set_region(prev);
@@ -210,7 +267,7 @@ void replay_lanczos(const ChaseModelSetup& s, int steps, int nvec,
 void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
                       Tracker& t) {
   const auto sz = sizes_of(s);
-  ModelComm comm{t, s.backend};
+  ModelComm comm(t, s);
   const Index ne = s.subspace();
   const Index act = Index(it.degrees.size());
   CHASE_CHECK(it.locked + act == ne);
@@ -238,7 +295,8 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
     }
     // Divergence-guard consensus: per-column finiteness flags (one real per
     // active column) reduced over the column communicator each iteration.
-    comm.all_reduce(std::size_t(act) * std::size_t(s.real_bytes), s.nprow);
+    comm.all_reduce(std::size_t(act) * std::size_t(s.real_bytes), s.nprow,
+                    comm.col_topo);
     t.set_region(prev);
   }
 
@@ -248,7 +306,8 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
     if (s.scheme == Scheme::kLms) {
       // v1.2: collect, redundant Householder QR on the full buffer, copy the
       // result back to the host.
-      gather(s, comm, IndexMap::block(s.n, s.nprow), ne, s.nprow);
+      gather(s, comm, IndexMap::block(s.n, s.nprow), ne, s.nprow,
+             comm.col_topo);
       t.add_flops(FlopClass::kPanel,
                   4.0 * sz.z1 * double(s.n) * double(ne) * double(ne));
       lms_roundtrip(t, std::size_t(s.n) * std::size_t(ne) *
@@ -267,8 +326,8 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
           // allreduce, then CholeskyQR2.
           comm.all_reduce(std::size_t(ne) * std::size_t(ne + 1) / 2 *
                               std::size_t(s.scalar_bytes),
-                          s.nprow);
-          comm.all_reduce(std::size_t(s.real_bytes), s.nprow);
+                          s.nprow, comm.col_topo);
+          comm.all_reduce(std::size_t(s.real_bytes), s.nprow, comm.col_topo);
           t.add_flops(FlopClass::kFactor, 2.0 * sz.z1 * double(sz.mloc) *
                                               double(ne) * double(ne));
           t.add_flops(FlopClass::kSmall,
@@ -292,7 +351,7 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
           if (s.nprow > 1) {
             comm.all_gather(std::size_t(ne) * std::size_t(ne) *
                                 std::size_t(s.scalar_bytes),
-                            s.nprow);
+                            s.nprow, comm.col_topo);
           }
           break;
         }
@@ -306,7 +365,8 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
     const Region prev = t.set_region(Region::kRayleighRitz);
     if (s.scheme == Scheme::kLms) {
       hemm_apply(s, sz, comm, t, act, /*c2b=*/true);
-      gather(s, comm, IndexMap::block(s.n, s.npcol), act, s.npcol);
+      gather(s, comm, IndexMap::block(s.n, s.npcol), act, s.npcol,
+             comm.row_topo);
       // Redundant full-height products (A = C^H W and the back-transform),
       // executed on a single device per rank in v1.2: panel-rated.
       t.add_flops(FlopClass::kPanel,
@@ -322,7 +382,7 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
                   sz.z2 * double(sz.bloc) * double(act) * double(act));
       comm.all_reduce(std::size_t(act) * std::size_t(act) *
                           std::size_t(s.scalar_bytes),
-                      s.npcol);
+                      s.npcol, comm.row_topo);
       t.add_flops(FlopClass::kSmall,
                   sz.z1 * 9.0 * double(act) * double(act) * double(act));
       t.add_flops(FlopClass::kGemm,
@@ -336,7 +396,8 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
     const Region prev = t.set_region(Region::kResidual);
     if (s.scheme == Scheme::kLms) {
       hemm_apply(s, sz, comm, t, act, /*c2b=*/true);
-      gather(s, comm, IndexMap::block(s.n, s.npcol), act, s.npcol);
+      gather(s, comm, IndexMap::block(s.n, s.npcol), act, s.npcol,
+             comm.row_topo);
       lms_roundtrip(t, std::size_t(s.n) * std::size_t(act) *
                            std::size_t(s.scalar_bytes));
       t.add_mem_bytes(3.0 * double(s.n) * double(act) *
@@ -346,7 +407,8 @@ void replay_iteration(const ChaseModelSetup& s, const IterationShape& it,
       hemm_apply(s, sz, comm, t, act, /*c2b=*/true);
       t.add_mem_bytes(3.0 * double(sz.bloc) * double(act) *
                       double(s.scalar_bytes));
-      comm.all_reduce(std::size_t(act) * std::size_t(s.real_bytes), s.npcol);
+      comm.all_reduce(std::size_t(act) * std::size_t(s.real_bytes), s.npcol,
+                      comm.row_topo);
     }
     t.set_region(prev);
   }

@@ -49,6 +49,13 @@ struct ChaseModelSetup {
   /// ChASE(LMS) runs 1 rank per node with 4 GPUs; the extra GPUs accelerate
   /// only the GEMM-class work of that rank (Section 4, configuration note).
   int gpus_per_rank = 1;
+  /// Ranks per node of the modeled cluster (row-major grid order, matching
+  /// comm::Grid2d and the CHASE_TOPO assignment). <= 1 models a flat layout;
+  /// larger values give the row/column communicators the same grouped
+  /// TopoInfo the runtime derives, so the replay routes collectives through
+  /// coll::select and emits hierarchical per-phase events exactly when the
+  /// real dispatcher would.
+  int ranks_per_node = 0;
 
   Index subspace() const { return nev + nex; }
 };

@@ -74,10 +74,107 @@ double coll_algo_seconds(const MachineModel& m, Backend backend, CollKind kind,
     case CollAlgo::kBruck:
       // log2(P) doubling rounds moving N(P-1)/P total.
       return log2p * L + N * (P - 1) / P / B;
+    case CollAlgo::kHierAlgo:
+      // On a flat (single-group) communicator the hierarchy degenerates to
+      // the ordered chain plus the group bookkeeping it cannot amortize;
+      // price it as slightly worse than the ring so auto never prefers it
+      // without a grouped topology.
+      return 1.05 * coll_algo_seconds(m, backend, kind, CollAlgo::kRingAlgo,
+                                      bytes, nranks, chunk_bytes);
     case CollAlgo::kBinomial:
     default:
       // Chunk-pipelined binomial tree: depth ceil(log2 P), k chunks deep.
       return (log2p + k - 1) * (L + C / B);
+  }
+}
+
+double coll_algo_seconds(const MachineModel& m, Backend backend, CollKind kind,
+                         CollAlgo algo, std::size_t bytes, int nranks,
+                         std::size_t chunk_bytes, const TopoInfo& topo) {
+  if (nranks <= 1) return 0;
+  if (!topo.grouped()) {
+    return coll_algo_seconds(m, backend, kind, algo, bytes, nranks,
+                             chunk_bytes);
+  }
+  const double N = double(bytes);
+  const double P = double(nranks);
+  const double M = double(topo.nodes);
+  const double per = double(std::max(1, topo.max_per_node));
+  const bool nccl = backend == Backend::kNcclGpu;
+  // Link classes: alpha-beta per hop. Intra hops run at the fast-group
+  // rate; inter hops at the cross-group rate (the emulated values when the
+  // topology carries them, else the machine's calibrated link class).
+  const double La = nccl ? m.nccl_latency : m.mpi_latency;
+  const double Ba = nccl ? m.intra_bw : m.mpi_bw;
+  const double Li = topo.inter_latency > 0 ? topo.inter_latency
+                                           : m.inter_latency;
+  const double Bi = topo.inter_bw > 0 ? topo.inter_bw : m.inter_bw;
+  const double G = m.reduce_bw;
+  const double C =
+      std::max(1.0, std::min(N, double(std::max<std::size_t>(1, chunk_bytes))));
+  const double k = std::max(1.0, std::ceil(N / C));
+  const double log2p = std::ceil(std::log2(P));
+  const double log2m = std::ceil(std::log2(M));
+  const double log2per = std::ceil(std::log2(per));
+  switch (algo) {
+    case CollAlgo::kNaiveAlgo: {
+      // Every rank reads all P published buffers; P-per of them live across
+      // the slow links.
+      const double reads = per * N / Ba + (P - per) * N / Bi;
+      switch (kind) {
+        case CollKind::kAllReduce:
+          return 2 * P * La + reads + (P - 1) * N / G;
+        case CollKind::kAllGather:
+        case CollKind::kBroadcast:
+        default:
+          return 2 * P * La + N * per / P / Ba + N * (P - per) / P / Bi;
+      }
+    }
+    case CollAlgo::kRingAlgo:
+      if (kind == CollKind::kAllReduce) {
+        // The flat chain's distribute pass walks every link again, so the
+        // last rank of each node forwards each chunk across the slow link
+        // twice (once reducing, once distributing) — 2k serialized inter
+        // sends at the busiest boundary on top of the intra pipeline.
+        return (2 * (P - 1) + k - 1) * (La + C / Ba + C / (2 * G)) +
+               2 * k * (Li + C / Bi);
+      }
+      // Ring allgather: each of the P-1 steps forwards one rank's share
+      // through the boundary sender's slow link.
+      return (P - 1) * (Li + N / P / Bi);
+    case CollAlgo::kRabenseifner:
+      // Pairwise exchange: a (P-per)/P fraction of the 2N(P-1)/P volume
+      // crosses groups.
+      return 2 * (P - 1) * Li + 2 * N * (P - per) / P / Bi +
+             2 * N * (per - 1) / P / Ba + N * (P - 1) / P / G;
+    case CollAlgo::kBruck:
+      // Doubling rounds: the large late rounds all cross groups.
+      return log2p * Li + N * (P - 1) / P / Bi;
+    case CollAlgo::kBinomial:
+      // The root's fanout crosses groups up to ceil(log2 M) times per chunk.
+      return (log2p + k - 1) * (La + C / Ba) + k * log2m * (Li + C / Bi);
+    case CollAlgo::kHierAlgo:
+    default:
+      switch (kind) {
+        case CollKind::kAllReduce:
+          // Ordered chain reduce (bitwise-identical fold) + leader-chain
+          // distribute + intra binomial fanout: every boundary sender moves
+          // each chunk across the slow link exactly once — half the flat
+          // ring's inter traffic at the bottleneck.
+          return (2 * (P - 1) + k - 1) * (La + C / Ba + C / (2 * G)) +
+                 (k + M - 2) * (Li + C / Bi);
+        case CollKind::kAllGather:
+          // Intra allgather of node blocks, leader ring of the M blocks,
+          // intra broadcast of the foreign span.
+          return (per - 1) * (La + N / P / Ba) +
+                 (M - 1) * (Li + N / M / Bi) + log2per * La +
+                 N * (M - 1) / M / Ba;
+        case CollKind::kBroadcast:
+        default:
+          // Leader tree across groups, binomial fanout within each group.
+          return (log2m + k - 1) * (Li + C / Bi) +
+                 (log2per + k - 1) * (La + C / Ba);
+      }
   }
 }
 

@@ -48,6 +48,24 @@ enum class CollAlgo : int {
   kRabenseifner,    // reduce-scatter + allgather, 2N(P-1)/P bytes per rank
   kBruck,           // log-round allgather
   kBinomial,        // binomial tree broadcast, chunk-pipelined
+  kHierAlgo,        // two-level: fast-group phase + leader exchange + fanout
+};
+
+/// Two-level shape of a communicator: how its ranks group into nodes and
+/// what the cross-node link class costs. The comm layer derives one per
+/// communicator from the CHASE_TOPO assignment (src/comm/topology.hpp);
+/// a default-constructed TopoInfo is the flat single-node shape and prices
+/// exactly like the pre-topology model.
+struct TopoInfo {
+  int nodes = 1;          // node groups spanned by this communicator
+  int max_per_node = 1;   // ranks in the largest group
+  bool contiguous = true; // groups are contiguous rank ranges (hier-capable)
+  double inter_bw = 0;    // emulated cross-group bytes/s (0: MachineModel's)
+  double inter_latency = 0;  // emulated cross-group hop seconds (0: model's)
+
+  /// True when hierarchical routing is meaningful: more than one group,
+  /// each group a contiguous rank range.
+  bool grouped() const { return nodes > 1 && contiguous; }
 };
 
 /// Seconds for one collective executed with `algo` and chunk-size
@@ -57,6 +75,18 @@ enum class CollAlgo : int {
 double coll_algo_seconds(const MachineModel& m, Backend backend, CollKind kind,
                          CollAlgo algo, std::size_t bytes, int nranks,
                          std::size_t chunk_bytes);
+
+/// Topology-aware variant: prices each hop by its link class. Flat
+/// `topo` (default TopoInfo) reproduces the overload above exactly; a
+/// grouped topology charges the hops that cross node groups at the
+/// inter-node alpha-beta terms (topo's emulated values when set, else the
+/// MachineModel's inter_bw/inter_latency) — in particular the flat ring
+/// allreduce pays for squeezing 2x the payload through its busiest
+/// cross-group sender, which is precisely what the hierarchical algorithm
+/// avoids.
+double coll_algo_seconds(const MachineModel& m, Backend backend, CollKind kind,
+                         CollAlgo algo, std::size_t bytes, int nranks,
+                         std::size_t chunk_bytes, const TopoInfo& topo);
 
 /// Modeled compute seconds for a RegionCosts record (flops by class plus
 /// memory-bound bytes).

@@ -41,6 +41,15 @@ void MachineModel::calibrate_factor(const Tracker& t, double min_seconds) {
   if (flops > 0 && seconds >= min_seconds) factor_flops = flops / seconds;
 }
 
+void MachineModel::calibrate_links(double intra_bytes_per_s,
+                                   double inter_bytes_per_s,
+                                   double intra_lat_s, double inter_lat_s) {
+  if (intra_bytes_per_s > 0) intra_bw = intra_bytes_per_s;
+  if (inter_bytes_per_s > 0) inter_bw = inter_bytes_per_s;
+  if (intra_lat_s > 0) intra_latency = intra_lat_s;
+  if (inter_lat_s > 0) inter_latency = inter_lat_s;
+}
+
 void MachineModel::calibrate_single(const Tracker& t, double min_seconds) {
   const double flops = t.counter("la.gemm32.flops");
   const double seconds = t.counter("la.gemm32.seconds");

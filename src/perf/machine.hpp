@@ -58,6 +58,24 @@ struct MachineModel {
     return nranks <= 4 ? nccl_bw_intra : nccl_bw_inter;
   }
 
+  // --- per-link-class alpha-beta terms for the two-level topology model ---
+  // When a communicator carries a grouped topology (perf::TopoInfo), the
+  // cost model prices each hop by the class of the link it crosses: fast
+  // links inside a node group (NVLink / shared memory) vs the slow
+  // inter-node class (HDR IB). These default to the NCCL ring rates above
+  // and are replaced by calibrate_links() (or by a CHASE_TOPO emulation
+  // spec, which overrides them per TopoInfo).
+  double intra_bw = 200.0e9;      // bytes/s across a fast intra-group link
+  double inter_bw = 22.0e9;       // bytes/s across a slow cross-group link
+  double intra_latency = 18e-6;   // per hop inside the fast group
+  double inter_latency = 25e-6;   // per hop crossing groups
+
+  /// Replace the per-link-class rates with measured values (e.g. from the
+  /// --topo sweep of bench/micro_collectives). Non-positive arguments leave
+  /// the corresponding rate untouched.
+  void calibrate_links(double intra_bytes_per_s, double inter_bytes_per_s,
+                       double intra_lat_s = 0, double inter_lat_s = 0);
+
   /// Host-staged copy of `bytes` across PCIe.
   double memcpy_seconds(std::size_t bytes) const;
 

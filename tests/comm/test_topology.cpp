@@ -1,0 +1,197 @@
+// CHASE_TOPO spec parsing, node assignment, and the collapsed TopoInfo the
+// collective selector consumes — plus the runtime side: a Team picking up
+// the process topology and split() children inheriting their members' node
+// assignments.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/topology.hpp"
+#include "common/env.hpp"
+
+namespace chase::comm {
+namespace {
+
+using la::Index;
+
+TEST(ParseTopology, FlatForms) {
+  EXPECT_TRUE(parse_topology("CHASE_TOPO", "flat").flat());
+  EXPECT_TRUE(parse_topology("CHASE_TOPO", "  flat  ").flat());
+  // Grid form is never "flat", even with a single node group.
+  EXPECT_FALSE(parse_topology("CHASE_TOPO", "1x4").flat());
+}
+
+TEST(ParseTopology, GridForm) {
+  const Topology t = parse_topology("CHASE_TOPO", "2x4");
+  EXPECT_FALSE(t.flat());
+  EXPECT_EQ(t.grid_nodes, 2);
+  EXPECT_EQ(t.grid_per_node, 4);
+  EXPECT_TRUE(t.node_of.empty());
+  EXPECT_EQ(t.inter_bw, 0.0);
+  EXPECT_EQ(t.inter_latency, 0.0);
+}
+
+TEST(ParseTopology, ExplicitList) {
+  const Topology t = parse_topology("CHASE_TOPO", "0,0,0,1,1,1,1,1");
+  EXPECT_FALSE(t.flat());
+  EXPECT_EQ(t.grid_nodes, 0);
+  ASSERT_EQ(t.node_of.size(), 8u);
+  EXPECT_EQ(t.node_of[2], 0);
+  EXPECT_EQ(t.node_of[3], 1);
+}
+
+TEST(ParseTopology, Qualifiers) {
+  const Topology t =
+      parse_topology("CHASE_TOPO", "2x4@inter_mbps=800@inter_us=30");
+  EXPECT_EQ(t.grid_nodes, 2);
+  EXPECT_DOUBLE_EQ(t.inter_bw, 800.0e6);
+  EXPECT_DOUBLE_EQ(t.inter_latency, 30.0e-6);
+  // inter_mbps=0 disables the delay emulation but keeps the grouping.
+  const Topology nodelay = parse_topology("CHASE_TOPO", "2x4@inter_mbps=0");
+  EXPECT_EQ(nodelay.grid_nodes, 2);
+  EXPECT_EQ(nodelay.inter_bw, 0.0);
+}
+
+TEST(ParseTopology, MalformedSpecsThrowConfigError) {
+  for (const char* bad :
+       {"", "2x", "x4", "2x4x8", "banana", "0x4", "2x0", "-2x4", "0,,1",
+        "0,-1", "2x4@inter_mbps", "2x4@inter_mbps=fast", "2x4@warp=9",
+        "2x4@inter_us=-3", "1,2,three"}) {
+    EXPECT_THROW(parse_topology("CHASE_TOPO", bad), env::ConfigError)
+        << "spec: \"" << bad << "\"";
+  }
+}
+
+TEST(ParseTopology, ErrorNamesVariableAndSpec) {
+  try {
+    parse_topology("CHASE_TOPO", "2x4@warp=9");
+    FAIL() << "expected ConfigError";
+  } catch (const env::ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CHASE_TOPO"), std::string::npos) << what;
+    EXPECT_NE(what.find("warp"), std::string::npos) << what;
+  }
+}
+
+TEST(NodeAssignment, GridExpandsOnExactSizeOnly) {
+  const Topology t = parse_topology("CHASE_TOPO", "2x4");
+  const std::vector<int> want = {0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_EQ(node_assignment(t, 8), want);
+  // Any other team size runs flat — a 2x4 spec says nothing about it.
+  EXPECT_TRUE(node_assignment(t, 4).empty());
+  EXPECT_TRUE(node_assignment(t, 12).empty());
+}
+
+TEST(NodeAssignment, ListAppliesOnExactSizeOnly) {
+  const Topology t = parse_topology("CHASE_TOPO", "0,0,1,1");
+  EXPECT_EQ(node_assignment(t, 4), t.node_of);
+  EXPECT_TRUE(node_assignment(t, 3).empty());
+  EXPECT_TRUE(node_assignment(t, 8).empty());
+}
+
+TEST(NodeAssignment, FlatIsAlwaysEmpty) {
+  const Topology t = parse_topology("CHASE_TOPO", "flat");
+  EXPECT_TRUE(node_assignment(t, 8).empty());
+}
+
+TEST(TopoInfoOf, FlatShape) {
+  const perf::TopoInfo info = topo_info_of({}, 0.0, 0.0);
+  EXPECT_EQ(info.nodes, 1);
+  EXPECT_EQ(info.max_per_node, 1);
+  EXPECT_FALSE(info.grouped());
+}
+
+TEST(TopoInfoOf, GroupedShapes) {
+  const perf::TopoInfo even = topo_info_of({0, 0, 1, 1}, 5.0e8, 1.0e-5);
+  EXPECT_EQ(even.nodes, 2);
+  EXPECT_EQ(even.max_per_node, 2);
+  EXPECT_TRUE(even.contiguous);
+  EXPECT_TRUE(even.grouped());
+  EXPECT_DOUBLE_EQ(even.inter_bw, 5.0e8);
+  EXPECT_DOUBLE_EQ(even.inter_latency, 1.0e-5);
+
+  const perf::TopoInfo uneven = topo_info_of({0, 0, 0, 1, 1, 1, 1, 1}, 0, 0);
+  EXPECT_EQ(uneven.nodes, 2);
+  EXPECT_EQ(uneven.max_per_node, 5);
+  EXPECT_TRUE(uneven.grouped());
+
+  const perf::TopoInfo single = topo_info_of({0, 0, 0, 0}, 0, 0);
+  EXPECT_EQ(single.nodes, 1);
+  EXPECT_EQ(single.max_per_node, 4);
+  EXPECT_FALSE(single.grouped());
+}
+
+TEST(TopoInfoOf, InterleavedIsNotHierCapable) {
+  // A node id recurring after its run ended breaks contiguity; the selector
+  // must not route two-level algorithms over it.
+  const perf::TopoInfo info = topo_info_of({0, 1, 0, 1}, 0, 0);
+  EXPECT_EQ(info.nodes, 2);
+  EXPECT_FALSE(info.contiguous);
+  EXPECT_FALSE(info.grouped());
+}
+
+TEST(ScopedTopologyOverride, AppliesAndRestores) {
+  const Topology before = current_topology();
+  {
+    ScopedTopology topo(parse_topology("CHASE_TOPO", "2x2"));
+    EXPECT_EQ(current_topology().grid_nodes, 2);
+    EXPECT_EQ(current_topology().grid_per_node, 2);
+  }
+  EXPECT_EQ(current_topology().grid_nodes, before.grid_nodes);
+  EXPECT_EQ(current_topology().node_of, before.node_of);
+}
+
+TEST(TeamTopology, WorldPicksUpProcessTopology) {
+  ScopedTopology topo(parse_topology("CHASE_TOPO", "2x2@inter_us=5"));
+  Team team(4);
+  team.run([](Communicator& comm) {
+    const auto& info = comm.topo_info();
+    EXPECT_TRUE(info.grouped());
+    EXPECT_EQ(info.nodes, 2);
+    EXPECT_EQ(info.max_per_node, 2);
+    EXPECT_DOUBLE_EQ(info.inter_latency, 5.0e-6);
+    ASSERT_EQ(comm.node_ids().size(), 4u);
+    EXPECT_EQ(comm.node_ids()[std::size_t(comm.rank())], comm.rank() / 2);
+  });
+}
+
+TEST(TeamTopology, MismatchedTeamSizeRunsFlat) {
+  ScopedTopology topo(parse_topology("CHASE_TOPO", "2x4"));
+  Team team(3);
+  team.run([](Communicator& comm) {
+    EXPECT_FALSE(comm.topo_info().grouped());
+    EXPECT_TRUE(comm.node_ids().empty());
+  });
+}
+
+TEST(TeamTopology, SplitChildrenInheritNodeAssignments) {
+  ScopedTopology topo(parse_topology("CHASE_TOPO", "2x4"));
+  Team team(8);
+  team.run([](Communicator& comm) {
+    const int r = comm.rank();
+    // Grid2d's column communicators under a 2x4 grid over 2x4 nodes: column
+    // comms span both nodes ({c, c+4}), row comms stay inside one node.
+    Grid2d grid(comm, 2, 4);
+    const auto& col = grid.col_comm().topo_info();
+    EXPECT_TRUE(col.grouped());
+    EXPECT_EQ(col.nodes, 2);
+    EXPECT_EQ(col.max_per_node, 1);
+    const auto& row = grid.row_comm().topo_info();
+    EXPECT_FALSE(row.grouped());
+    EXPECT_EQ(row.nodes, 1);
+    // Every-other-rank children keep a grouped shape: the members' node ids
+    // still form contiguous runs ({0,2,4,6} -> nodes {0,0,1,1}).
+    Communicator stripes = comm.split(r % 2, r);
+    const auto& info = stripes.topo_info();
+    EXPECT_EQ(info.nodes, 2);
+    EXPECT_TRUE(info.grouped());
+    Communicator pairs = comm.split(r % 4, r);  // {0,4},{1,5},... cross-node
+    EXPECT_EQ(pairs.topo_info().nodes, 2);
+    EXPECT_EQ(pairs.topo_info().max_per_node, 1);
+  });
+}
+
+}  // namespace
+}  // namespace chase::comm

@@ -79,5 +79,71 @@ TEST(PositiveEnv, SetGarbageThrows) {
   ::unsetenv("CHASE_TEST_ENV_KNOB");
 }
 
+TEST(TextEnv, UnsetEmptyAndWhitespaceAreNullopt) {
+  ::unsetenv("CHASE_TEST_ENV_TEXT");
+  EXPECT_FALSE(text_env("CHASE_TEST_ENV_TEXT").has_value());
+  ::setenv("CHASE_TEST_ENV_TEXT", "", 1);
+  EXPECT_FALSE(text_env("CHASE_TEST_ENV_TEXT").has_value());
+  ::setenv("CHASE_TEST_ENV_TEXT", "   ", 1);
+  EXPECT_FALSE(text_env("CHASE_TEST_ENV_TEXT").has_value());
+  ::unsetenv("CHASE_TEST_ENV_TEXT");
+}
+
+TEST(TextEnv, TrimsSurroundingWhitespace) {
+  ::setenv("CHASE_TEST_ENV_TEXT", "  2x4@inter_us=30 ", 1);
+  auto v = text_env("CHASE_TEST_ENV_TEXT");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "2x4@inter_us=30");
+  ::unsetenv("CHASE_TEST_ENV_TEXT");
+}
+
+TEST(SplitList, SplitsAndTrimsTokens) {
+  const auto toks = split_list(" a , b,c ", ',');
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "a");
+  EXPECT_EQ(toks[1], "b");
+  EXPECT_EQ(toks[2], "c");
+}
+
+TEST(SplitList, PreservesEmptyTokens) {
+  // ",," must yield three empties so spec parsers can reject the malformed
+  // entry by name instead of silently skipping it.
+  const auto toks = split_list(",,");
+  ASSERT_EQ(toks.size(), 3u);
+  for (const auto& t : toks) EXPECT_TRUE(t.empty());
+}
+
+TEST(SplitList, AlternateSeparator) {
+  const auto toks = split_list("2x4@inter_mbps=800@inter_us=30", '@');
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "2x4");
+  EXPECT_EQ(toks[2], "inter_us=30");
+}
+
+TEST(RangedInt, AcceptsBoundsInclusive) {
+  EXPECT_EQ(ranged_int("X", "0", 0, 8), 0);
+  EXPECT_EQ(ranged_int("X", "8", 0, 8), 8);
+  EXPECT_EQ(ranged_int("X", "-4", -8, 8), -4);
+}
+
+TEST(RangedInt, RejectsOutOfRangeAndGarbage) {
+  EXPECT_THROW(ranged_int("X", "9", 0, 8), ConfigError);
+  EXPECT_THROW(ranged_int("X", "-1", 0, 8), ConfigError);
+  EXPECT_THROW(ranged_int("X", "", 0, 8), ConfigError);
+  EXPECT_THROW(ranged_int("X", "2x", 0, 8), ConfigError);
+  EXPECT_THROW(ranged_int("X", "fast", 0, 8), ConfigError);
+}
+
+TEST(RangedInt, ErrorNamesVariableTokenAndRange) {
+  try {
+    ranged_int("CHASE_TOPO", "4097", 0, 4096);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CHASE_TOPO"), std::string::npos) << what;
+    EXPECT_NE(what.find("4097"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace chase::env

@@ -8,6 +8,8 @@
 #include <complex>
 #include <map>
 
+#include "coll/engine.hpp"
+#include "comm/topology.hpp"
 #include "core/legacy_lms.hpp"
 #include "core/sequential.hpp"
 #include "gen/spectrum.hpp"
@@ -128,6 +130,32 @@ INSTANTIATE_TEST_SUITE_P(Schemes, ModelFidelity,
                                   std::to_string(std::get<0>(info.param)) +
                                   (std::get<1>(info.param) ? "_lms" : "_new");
                          });
+
+TEST(ModelFidelity, HierarchicalTopologyEventStreamMatches) {
+  // Under a grouped CHASE_TOPO the real dispatcher routes the column-
+  // communicator collectives through the two-level routines, which emit a
+  // per-phase event decomposition instead of one flat event. The replay,
+  // handed the same ranks_per_node, must reproduce that stream exactly: the
+  // 4x4 grid over 2 nodes x 8 ranks gives rank 0's column communicator the
+  // grouped shape {0,0,1,1} (two members per node, two nodes) while its row
+  // communicator stays inside one node (flat).
+  using T = std::complex<double>;
+  const la::Index n = 64, nev = 8, nex = 6;
+  const int p = 4, degree = 10;
+  const Backend backend = Backend::kNcclGpu;
+  comm::ScopedTopology topo(comm::parse_topology("CHASE_TOPO", "2x8"));
+  coll::ScopedAlgorithm policy(coll::Algorithm::kHier);
+
+  auto real =
+      real_iteration_tracker<T>(n, nev, nex, p, degree, backend, false);
+
+  auto s = setup_for(n, nev, nex, p, backend, Scheme::kNew);
+  s.ranks_per_node = 8;
+  Tracker modeled;
+  replay_iteration(s, uniform_iteration(nev + nex, degree), modeled);
+  modeled.flush();
+  EXPECT_EQ(collective_summary(real), collective_summary(modeled));
+}
 
 TEST(ModelFidelity, TsqrVariantEventStreamMatches) {
   // The TSQR replay path must match a real force_tsqr run.
