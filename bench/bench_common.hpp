@@ -12,8 +12,16 @@
 #include "core/legacy_lms.hpp"
 #include "gen/suite.hpp"
 #include "perf/cost_model.hpp"
+#include "tune/measure.hpp"
 
 namespace chase::bench {
+
+// The warmup+repeat timing discipline every bench uses lives in
+// tune::measure (shared with the autotuner, so bench rates and profile
+// rates are directly comparable); re-exported here for bench writers.
+using tune::measure;
+using tune::Measurement;
+using tune::measured_rate;
 
 using core::ChaseConfig;
 using core::ChaseResult;

@@ -30,6 +30,7 @@
 #include "comm/topology.hpp"
 #include "perf/cost_model.hpp"
 #include "perf/machine.hpp"
+#include "tune/measure.hpp"
 
 namespace {
 
@@ -49,24 +50,19 @@ struct Point {
 
 double time_allreduce(int p, std::size_t bytes, int iters) {
   const Index count = Index(bytes / sizeof(double));
-  double elapsed = 0;
+  double per_op = 0;
   Team team(p);
   team.run([&](Communicator& comm) {
     std::vector<double> x(std::size_t(count), double(comm.rank() + 1));
-    comm.all_reduce(x.data(), count);  // warmup
+    // Shared warmup+repeat harness (tune::measure): 1 untimed warmup, then
+    // `iters` timed ops; every rank runs the same op sequence and rank 0
+    // reads the mean per-op time.
+    const chase::tune::Measurement m = chase::tune::measure(
+        /*warmup=*/1, iters, [&] { comm.all_reduce(x.data(), count); });
     comm.barrier();
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int it = 0; it < iters; ++it) {
-      comm.all_reduce(x.data(), count);
-    }
-    comm.barrier();
-    if (comm.rank() == 0) {
-      elapsed = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-    }
+    if (comm.rank() == 0) per_op = m.mean;
   });
-  return elapsed / iters;
+  return per_op;
 }
 
 }  // namespace

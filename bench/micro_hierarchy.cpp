@@ -30,6 +30,7 @@
 #include "comm/topology.hpp"
 #include "perf/cost_model.hpp"
 #include "perf/machine.hpp"
+#include "tune/measure.hpp"
 
 namespace {
 
@@ -55,28 +56,25 @@ double seeded(int rank, Index i) {
 double time_allreduce(std::size_t bytes, int iters) {
   constexpr int kPasses = 3;
   const Index count = Index(bytes / sizeof(double));
-  double elapsed = std::numeric_limits<double>::infinity();
+  double per_op = 0;
   Team team(kRanks);
   team.run([&](Communicator& comm) {
     std::vector<double> x(static_cast<std::size_t>(count));
     for (Index i = 0; i < count; ++i) x[std::size_t(i)] = seeded(comm.rank(), i);
-    comm.all_reduce(x.data(), count, Reduction::kMin);  // warmup
-    for (int pass = 0; pass < kPasses; ++pass) {
-      comm.barrier();
-      const auto t0 = std::chrono::steady_clock::now();
-      for (int it = 0; it < iters; ++it) {
-        comm.all_reduce(x.data(), count, Reduction::kMin);
-      }
-      comm.barrier();
-      if (comm.rank() == 0) {
-        elapsed = std::min(elapsed,
-                           std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count());
-      }
-    }
+    // One barrier-bracketed pass of `iters` ops is the measured unit; the
+    // shared tune::measure harness keeps the best of kPasses (one warmup op
+    // folded into the warmup run).
+    const chase::tune::Measurement m =
+        chase::tune::measure(/*warmup=*/1, kPasses, [&] {
+          comm.barrier();
+          for (int it = 0; it < iters; ++it) {
+            comm.all_reduce(x.data(), count, Reduction::kMin);
+          }
+          comm.barrier();
+        });
+    if (comm.rank() == 0) per_op = m.best;
   });
-  return elapsed / iters;
+  return per_op / iters;
 }
 
 /// Per-call dispatch vs plan replay of one filter-iteration's collective
@@ -106,31 +104,28 @@ std::pair<double, double> time_plan_replay(std::size_t bytes, int iters) {
     comm.all_reduce(x.data(), count, Reduction::kMin);  // warmup
     comm.broadcast(b.data(), count, /*root=*/0);        // warmup
     plan.execute();                                     // warmup
+    // The two approaches alternate pass by pass (scheduler noise hits both
+    // sides equally); each keeps its fastest barrier-bracketed pass via the
+    // shared tune::measure harness.
     for (int pass = 0; pass < kPasses; ++pass) {
-      comm.barrier();
-      auto t0 = std::chrono::steady_clock::now();
-      for (int it = 0; it < iters; ++it) {
-        comm.all_reduce(x.data(), count, Reduction::kMin);
-        comm.broadcast(b.data(), count, /*root=*/0);
-      }
-      comm.barrier();
-      if (comm.rank() == 0) {
-        percall = std::min(percall,
-                           std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count());
-      }
+      const chase::tune::Measurement mp =
+          chase::tune::measure(/*warmup=*/0, 1, [&] {
+            comm.barrier();
+            for (int it = 0; it < iters; ++it) {
+              comm.all_reduce(x.data(), count, Reduction::kMin);
+              comm.broadcast(b.data(), count, /*root=*/0);
+            }
+            comm.barrier();
+          });
+      if (comm.rank() == 0) percall = std::min(percall, mp.best);
 
-      comm.barrier();
-      t0 = std::chrono::steady_clock::now();
-      for (int it = 0; it < iters; ++it) plan.execute();
-      comm.barrier();
-      if (comm.rank() == 0) {
-        replay = std::min(replay,
-                          std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count());
-      }
+      const chase::tune::Measurement mr =
+          chase::tune::measure(/*warmup=*/0, 1, [&] {
+            comm.barrier();
+            for (int it = 0; it < iters; ++it) plan.execute();
+            comm.barrier();
+          });
+      if (comm.rank() == 0) replay = std::min(replay, mr.best);
     }
   });
   return {percall / iters, replay / iters};

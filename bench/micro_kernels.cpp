@@ -28,6 +28,7 @@
 #include "la/qr.hpp"
 #include "la/svd.hpp"
 #include "la/trsm.hpp"
+#include "tune/measure.hpp"
 
 namespace {
 
@@ -150,18 +151,15 @@ double now_seconds() {
       .count();
 }
 
-/// Best-of-`reps` Gflop/s of one thunk (noise on a shared host is one-sided —
-/// interference only ever slows a run down — so the max is the estimator
-/// closest to the kernel's true rate).
+/// Best-of-`reps` Gflop/s of one thunk through the shared tune::measure
+/// harness (noise on a shared host is one-sided — interference only ever
+/// slows a run down — so the best repeat is the estimator closest to the
+/// kernel's true rate, the same convention the autotuner records).
 template <typename F>
 double best_gflops(double flops, int reps, F&& run) {
-  double best = 0;
-  for (int r = 0; r < reps; ++r) {
-    const double t0 = now_seconds();
-    run();
-    best = std::max(best, flops / (now_seconds() - t0) / 1e9);
-  }
-  return best;
+  return chase::tune::measured_rate(flops, /*warmup=*/0, reps,
+                                    static_cast<F&&>(run)) /
+         1e9;
 }
 
 struct GemmRow {

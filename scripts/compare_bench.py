@@ -75,6 +75,17 @@ Hierarchy invariants (results/bench_hierarchy.json, hard failures):
   * CHASE_COLL_ALGO=auto disagreeing with the per-link cost model about
     when the hierarchy wins.
 
+Autotuner invariants (results/bench_tune.json, hard failures):
+  * the tuned end-to-end solve above 1.05x the best fixed single-policy
+    configuration — per-class dispatch tables must not tax the hot path;
+  * the worst fixed configuration below 1.3x the tuned solve — the tuner
+    must actually protect the solve from a bad global policy choice;
+  * replay not deterministic — derive_selections over the persisted
+    measurement log must reproduce the persisted tables bit-for-bit.
+
+`--schema <profile.json>` instead validates a persisted machine profile
+(schema tag, version, fingerprint and table shapes) without benchmarking.
+
 Informational: the hemm-vs-gemm median ratios, staged-vs-seed ratios below
 parity (the staged engine being faster is fine), and the wall-clock cost of
 arming the ABFT checksummed collectives.
@@ -295,13 +306,98 @@ def check_hierarchy(data: dict, failures: list) -> None:
             "about when the hierarchy wins")
 
 
+def check_tune(data: dict, failures: list) -> None:
+    t = data["tune"]
+    print(f"tune n={t['n']} nev={t['nev']} nex={t['nex']} "
+          f"(best of {t['reps']}, {t['measurements']} probe measurements)")
+    for c in t["configs"]:
+        print(f"  fixed gemm={c['gemm']:8s} factor={c['factor']:8s} "
+              f"{c['seconds']:10.4f} s")
+    print(f"  tuned {t['tuned_seconds']:.4f}s  "
+          f"best fixed {t['best_fixed_seconds']:.4f}s  "
+          f"worst fixed {t['worst_fixed_seconds']:.4f}s")
+    print(f"  tuned/best {t['tuned_vs_best']:.3f}  "
+          f"worst/tuned {t['worst_vs_tuned']:.2f}x  "
+          f"replay deterministic: {t['replay_deterministic']}")
+    if t["tuned_vs_best"] > 1.05:
+        failures.append(
+            f"tuned solve is {t['tuned_vs_best']:.3f}x the best fixed "
+            "policy (budget is 1.05x — dispatch tables must not tax the "
+            "hot path)")
+    if t["worst_vs_tuned"] < 1.3:
+        failures.append(
+            f"worst fixed policy only {t['worst_vs_tuned']:.2f}x the tuned "
+            "solve (need >= 1.3x — tuning must beat a bad global policy)")
+    if not t["replay_deterministic"]:
+        failures.append(
+            "profile replay is not deterministic — derive_selections over "
+            "the persisted measurement log diverged from the stored tables")
+
+
+PROFILE_SCHEMA = "chase.machine_profile"
+PROFILE_VERSION = 1
+
+
+def check_profile_schema(path: str) -> int:
+    """Validate a persisted machine profile; returns a process exit code."""
+    problems = []
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: unreadable or not JSON: {e}")
+        return 1
+    if data.get("schema") != PROFILE_SCHEMA:
+        problems.append(f"schema tag is {data.get('schema')!r}, "
+                        f"expected {PROFILE_SCHEMA!r}")
+    if data.get("version") != PROFILE_VERSION:
+        problems.append(f"version is {data.get('version')!r}, "
+                        f"expected {PROFILE_VERSION}")
+    fp = data.get("fingerprint")
+    if not isinstance(fp, dict) or not fp.get("host") or \
+            not isinstance(fp.get("threads"), int) or fp["threads"] <= 0:
+        problems.append("fingerprint must carry a host and a positive "
+                        "thread count")
+    ms = data.get("measurements")
+    if not isinstance(ms, list):
+        problems.append("measurements must be an array")
+    else:
+        for i, m in enumerate(ms):
+            if not isinstance(m, dict) or not m.get("name") or \
+                    not isinstance(m.get("value"), (int, float)):
+                problems.append(f"measurement #{i} lacks a name/value")
+                break
+    tables = data.get("tables")
+    if not isinstance(tables, dict):
+        problems.append("tables must be an object")
+    else:
+        for key in ("gemm_kernel", "factor_kernel", "coll_algo"):
+            if not isinstance(tables.get(key), list):
+                problems.append(f"tables.{key} must be an array")
+        chunk = tables.get("chunk_bytes")
+        if not isinstance(chunk, (int, float)) or chunk < 0:
+            problems.append("tables.chunk_bytes must be a non-negative "
+                            "number")
+        if not isinstance(tables.get("rates"), dict):
+            problems.append("tables.rates must be an object")
+    if problems:
+        print(f"{path}: invalid machine profile:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"{path}: valid {PROFILE_SCHEMA} v{PROFILE_VERSION} profile "
+          f"({len(ms)} measurements)")
+    return 0
+
+
 DEFAULT_RESULTS = ("results/bench_kernels.json",
                    "results/bench_engine.json",
                    "results/bench_factor.json",
                    "results/bench_checkpoint.json",
                    "results/bench_service.json",
                    "results/bench_mixed.json",
-                   "results/bench_hierarchy.json")
+                   "results/bench_hierarchy.json",
+                   "results/bench_tune.json")
 
 
 def check_mixed(data: dict, failures: list) -> None:
@@ -343,6 +439,11 @@ def main() -> int:
     only = None
     i = 0
     while i < len(args):
+        if args[i] == "--schema":
+            if i + 1 >= len(args):
+                print("--schema requires a machine-profile JSON path")
+                return 1
+            return check_profile_schema(args[i + 1])
         if args[i] == "--only":
             if i + 1 >= len(args):
                 print("--only requires a bench name or result path")
@@ -384,6 +485,8 @@ def main() -> int:
             check_mixed(data, failures)
         elif "hierarchy_speedup" in data:
             check_hierarchy(data, failures)
+        elif "tune" in data:
+            check_tune(data, failures)
         else:
             failures.append(f"{path}: unrecognized result shape")
         print()

@@ -12,6 +12,7 @@
 #include "core/precision.hpp"
 #include "core/sequential.hpp"
 #include "svc/service.hpp"
+#include "tune/profile.hpp"
 
 namespace {
 
@@ -277,6 +278,17 @@ int chase_set_precision(const char* name) {
 const char* chase_get_precision(void) {
   return chase::core::precision_name(chase::core::precision()).data();
 }
+
+int chase_profile_load(const char* path) {
+  if (path == nullptr || path[0] == '\0') return CHASE_INVALID_ARGUMENT;
+  const auto profile = tune::load_profile(path);
+  if (!profile || !tune::install_profile(*profile)) {
+    return CHASE_PROFILE_REJECTED;
+  }
+  return CHASE_SUCCESS;
+}
+
+void chase_profile_unload(void) { tune::uninstall_profile(); }
 
 void chase_service_default_params(chase_service_params* p) {
   p->workers = 2;

@@ -45,6 +45,8 @@ enum {
   CHASE_SHUTDOWN = -5,        /* service no longer accepting work */
   CHASE_NOT_CANCELLABLE = -6, /* job already dispatched or finished */
   CHASE_SOLVE_FAILED = -7,    /* solver raised an internal error */
+  CHASE_PROFILE_REJECTED = -8, /* autotuner profile unreadable, corrupt,
+                                  wrong version, or wrong machine */
 };
 
 /* Lowest eigenpairs of a complex Hermitian matrix.
@@ -91,6 +93,24 @@ int chase_set_precision(const char* name);
 /* Name of the currently active precision policy ("double" or "mixed");
  * static storage, do not free. */
 const char* chase_get_precision(void);
+
+/* ---- Runtime autotuner profiles (src/tune) ----
+ *
+ * chase_profile_load reads a `chase_tune` machine profile (versioned JSON)
+ * from `path`, schema- and fingerprint-checks it, and installs its dispatch
+ * tables process-wide: subsequent solves draw GEMM/factorization kernels,
+ * collective algorithms and the pipelining chunk size from the tuned
+ * per-class tables. Explicit CHASE_* env overrides still beat the profile
+ * (env > profile > built-in default). Equivalent to exporting
+ * CHASE_PROFILE=path before the first solve.
+ * Returns CHASE_SUCCESS, CHASE_INVALID_ARGUMENT for a NULL/empty path, or
+ * CHASE_PROFILE_REJECTED when the file is unreadable, fails schema/version
+ * validation, or was measured on a different machine. */
+int chase_profile_load(const char* path);
+
+/* Remove any installed profile; subsequent solves fall back to the
+ * built-in default policies. */
+void chase_profile_unload(void);
 
 /* ---- Batched multi-tenant solver service (src/svc) ----
  *

@@ -9,6 +9,7 @@
 #include "common/env.hpp"
 #include "perf/cost_model.hpp"
 #include "perf/machine.hpp"
+#include "perf/tuned.hpp"
 
 // Build-time default policy, plumbed through the CMake cache variable
 // CHASE_DEFAULT_COLL_ALGO (CMakePresets.json).
@@ -21,31 +22,39 @@ namespace chase::coll {
 namespace {
 
 constexpr std::size_t kDefaultChunkBytes = std::size_t(64) << 10;
+constexpr int kNoOverride = -1;
 
+Algorithm build_default_algorithm() {
+  return parse_algorithm(CHASE_COLL_DEFAULT_ALGO).value_or(Algorithm::kNaive);
+}
+
+// Explicit override slot: kNoOverride until the CHASE_COLL_ALGO env var
+// (read once, at first use) or set_algorithm() pins a policy.
 std::atomic<int>& algo_slot() {
   static std::atomic<int> slot = [] {
-    Algorithm a = parse_algorithm(CHASE_COLL_DEFAULT_ALGO)
-                      .value_or(Algorithm::kNaive);
+    int raw = kNoOverride;
     if (const auto env = env::text_env("CHASE_COLL_ALGO")) {
       const auto parsed = parse_algorithm(*env);
       if (!parsed) {
         env::reject("CHASE_COLL_ALGO", *env, "unknown policy",
                     "naive | ring | tree | hier | auto");
       }
-      a = *parsed;
+      raw = int(*parsed);
     }
-    return std::atomic<int>(int(a));
+    return std::atomic<int>(raw);
   }();
   return slot;
 }
 
-std::atomic<std::size_t>& chunk_slot() {
-  static std::atomic<std::size_t> slot = [] {
-    std::size_t bytes = kDefaultChunkBytes;
+// Explicit chunk-size override (-1 = none): CHASE_COLL_CHUNK_BYTES or
+// set_chunk_bytes().
+std::atomic<long long>& chunk_slot() {
+  static std::atomic<long long> slot = [] {
+    long long raw = kNoOverride;
     if (auto v = env::positive_env("CHASE_COLL_CHUNK_BYTES")) {
-      bytes = std::size_t(*v);
+      raw = *v;
     }
-    return std::atomic<std::size_t>(bytes);
+    return std::atomic<long long>(raw);
   }();
   return slot;
 }
@@ -75,7 +84,9 @@ perf::CollAlgo routine_algo(Routine r) {
 Routine cheapest(perf::CollKind kind, std::size_t bytes, int nranks,
                  perf::Backend backend, const perf::TopoInfo& topo,
                  std::initializer_list<Routine> candidates) {
-  static const perf::MachineModel model;
+  // Priced with the process-global selection model so a loaded machine
+  // profile (tune::install_profile) recalibrates the auto policy too.
+  const perf::MachineModel model = perf::selection_model();
   const std::size_t chunk = chunk_bytes();
   Routine best = Routine::kNaive;
   double best_cost = std::numeric_limits<double>::infinity();
@@ -160,19 +171,56 @@ bool is_hierarchical(Routine r) {
 }
 
 Algorithm algorithm() {
-  return Algorithm(algo_slot().load(std::memory_order_relaxed));
+  const int raw = algo_slot().load(std::memory_order_relaxed);
+  return raw == kNoOverride ? build_default_algorithm() : Algorithm(raw);
 }
 
 void set_algorithm(Algorithm a) {
   algo_slot().store(int(a), std::memory_order_relaxed);
 }
 
+bool algorithm_overridden() {
+  return algo_slot().load(std::memory_order_relaxed) != kNoOverride;
+}
+
+int raw_algorithm_override() {
+  return algo_slot().load(std::memory_order_relaxed);
+}
+
+void set_raw_algorithm_override(int raw) {
+  algo_slot().store(raw, std::memory_order_relaxed);
+}
+
+Algorithm algorithm_for(perf::CollKind kind, std::size_t bytes) {
+  const int raw = algo_slot().load(std::memory_order_relaxed);
+  if (raw != kNoOverride) return Algorithm(raw);
+  if (const perf::TunedTables* t = perf::tuned_tables()) {
+    const int tuned = t->coll_algo[int(kind)][int(perf::msg_class(bytes))];
+    if (tuned >= 0) return Algorithm(tuned);
+  }
+  return build_default_algorithm();
+}
+
 std::size_t chunk_bytes() {
-  return chunk_slot().load(std::memory_order_relaxed);
+  const long long raw = chunk_slot().load(std::memory_order_relaxed);
+  if (raw > 0) return std::size_t(raw);
+  if (const perf::TunedTables* t = perf::tuned_tables()) {
+    if (t->chunk_bytes > 0) return std::size_t(t->chunk_bytes);
+  }
+  return kDefaultChunkBytes;
 }
 
 void set_chunk_bytes(std::size_t bytes) {
-  chunk_slot().store(bytes == 0 ? 1 : bytes, std::memory_order_relaxed);
+  chunk_slot().store(bytes == 0 ? 1 : (long long)bytes,
+                     std::memory_order_relaxed);
+}
+
+long long raw_chunk_override() {
+  return chunk_slot().load(std::memory_order_relaxed);
+}
+
+void set_raw_chunk_override(long long raw) {
+  chunk_slot().store(raw, std::memory_order_relaxed);
 }
 
 bool overlap_enabled() { return algorithm() == Algorithm::kAuto; }
@@ -186,7 +234,7 @@ Routine select(perf::CollKind kind, std::size_t bytes, int nranks,
                perf::Backend backend, const perf::TopoInfo& topo) {
   if (nranks <= 1) return Routine::kNaive;
   const bool grouped = topo.grouped();
-  switch (algorithm()) {
+  switch (algorithm_for(kind, bytes)) {
     case Algorithm::kNaive:
       return Routine::kNaive;
     case Algorithm::kRing:

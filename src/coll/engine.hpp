@@ -54,15 +54,37 @@ std::optional<Algorithm> parse_algorithm(std::string_view name);
 /// sub-communicators).
 bool is_hierarchical(Routine r);
 
-/// Process-global policy; initialized from CHASE_COLL_ALGO (falling back to
-/// the build-time default) on first use. A set-but-unknown CHASE_COLL_ALGO
-/// throws env::ConfigError instead of silently keeping the default.
+/// Effective process-wide policy: the explicit override when one is set
+/// (CHASE_COLL_ALGO at first use — a set-but-unknown value throws
+/// env::ConfigError — or set_algorithm), else the build-time default.
+/// Size-oblivious; the dispatcher uses algorithm_for().
 Algorithm algorithm();
+
+/// Pin an explicit override. Overrides beat any loaded machine profile
+/// (the autotuner contract, DESIGN.md §15).
 void set_algorithm(Algorithm a);
 
-/// Pipelining granularity in bytes (>= 1); from CHASE_COLL_CHUNK_BYTES.
+/// True when an explicit override (env or set_algorithm) is pinned.
+bool algorithm_overridden();
+
+/// Raw override slot for exact save/restore (-1 = no override).
+int raw_algorithm_override();
+void set_raw_algorithm_override(int raw);
+
+/// Size-aware policy for one collective call: override > per-(kind,
+/// message-size-class) machine-profile entry (perf::tuned_tables()) >
+/// built-in default. `bytes` follows the Tracker convention.
+Algorithm algorithm_for(perf::CollKind kind, std::size_t bytes);
+
+/// Pipelining granularity in bytes (>= 1): explicit override
+/// (CHASE_COLL_CHUNK_BYTES or set_chunk_bytes) > machine-profile
+/// chunk_bytes > built-in 64 KiB default.
 std::size_t chunk_bytes();
 void set_chunk_bytes(std::size_t bytes);
+
+/// Raw chunk override for exact save/restore (-1 = no override).
+long long raw_chunk_override();
+void set_raw_chunk_override(long long raw);
 
 /// True when the nonblocking overlap pipeline (dist_matrix::apply_impl
 /// splitting the HEMM into column blocks and overlapping block k+1's compute
@@ -108,31 +130,32 @@ std::vector<CollPhase> hier_phases(perf::CollKind kind, std::size_t bytes,
 void account_phases(perf::Tracker* t, perf::Backend backend,
                     const std::vector<CollPhase>& phases, bool bracketed);
 
-/// RAII policy override for tests and benches.
+/// RAII policy override for tests and benches. Restores the previous raw
+/// override state (including "none") on exit.
 class ScopedAlgorithm {
  public:
-  explicit ScopedAlgorithm(Algorithm a) : prev_(algorithm()) {
+  explicit ScopedAlgorithm(Algorithm a) : prev_(raw_algorithm_override()) {
     set_algorithm(a);
   }
-  ~ScopedAlgorithm() { set_algorithm(prev_); }
+  ~ScopedAlgorithm() { set_raw_algorithm_override(prev_); }
   ScopedAlgorithm(const ScopedAlgorithm&) = delete;
   ScopedAlgorithm& operator=(const ScopedAlgorithm&) = delete;
 
  private:
-  Algorithm prev_;
+  int prev_;
 };
 
 class ScopedChunkBytes {
  public:
-  explicit ScopedChunkBytes(std::size_t bytes) : prev_(chunk_bytes()) {
+  explicit ScopedChunkBytes(std::size_t bytes) : prev_(raw_chunk_override()) {
     set_chunk_bytes(bytes);
   }
-  ~ScopedChunkBytes() { set_chunk_bytes(prev_); }
+  ~ScopedChunkBytes() { set_raw_chunk_override(prev_); }
   ScopedChunkBytes(const ScopedChunkBytes&) = delete;
   ScopedChunkBytes& operator=(const ScopedChunkBytes&) = delete;
 
  private:
-  std::size_t prev_;
+  long long prev_;
 };
 
 }  // namespace chase::coll

@@ -43,6 +43,7 @@
 #include "la/stedc.hpp"
 #include "qr/condest.hpp"
 #include "qr/qr_selector.hpp"
+#include "tune/runtime.hpp"
 
 namespace chase::core {
 
@@ -77,6 +78,10 @@ ChaseResult<T> solve(HOp& h, const ChaseConfig& cfg,
   const Index ne = cfg.subspace();
   CHASE_CHECK_MSG(cfg.nev > 0 && ne <= h.global_size(), "invalid nev/nex");
   CHASE_CHECK_MSG(cfg.initial_degree >= 2, "invalid initial degree");
+
+  // Resolve the autotuning profile (CHASE_PROFILE / CHASE_TUNE_REPLAY, once
+  // per process) and record per-domain policy provenance for this solve.
+  tune::resolve_at_solve_start();
 
   // Backend selection: the CHASE_PRECISION policy swaps in the
   // mixed-precision backend (fp32 filtering, fp64 everything else) when the

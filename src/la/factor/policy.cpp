@@ -13,14 +13,22 @@ namespace chase::la {
 
 namespace {
 
-std::atomic<int>& kernel_slot() {
+constexpr int kNoOverride = -1;
+
+FactorKernel build_default_kernel() {
+  return parse_factor_kernel(CHASE_FACTOR_DEFAULT_KERNEL)
+      .value_or(FactorKernel::kBlocked);
+}
+
+// Explicit override slot: kNoOverride until the CHASE_FACTOR_KERNEL env var
+// (read once, at first use) or set_factor_kernel() pins a kernel.
+std::atomic<int>& override_slot() {
   static std::atomic<int> slot = [] {
-    FactorKernel k = parse_factor_kernel(CHASE_FACTOR_DEFAULT_KERNEL)
-                         .value_or(FactorKernel::kBlocked);
+    int raw = kNoOverride;
     if (const char* env = std::getenv("CHASE_FACTOR_KERNEL")) {
-      if (auto parsed = parse_factor_kernel(env)) k = *parsed;
+      if (auto parsed = parse_factor_kernel(env)) raw = int(*parsed);
     }
-    return std::atomic<int>(int(k));
+    return std::atomic<int>(raw);
   }();
   return slot;
 }
@@ -54,11 +62,34 @@ std::optional<FactorKernel> parse_factor_kernel(std::string_view name) {
 }
 
 FactorKernel factor_kernel() {
-  return FactorKernel(kernel_slot().load(std::memory_order_relaxed));
+  const int raw = override_slot().load(std::memory_order_relaxed);
+  return raw == kNoOverride ? build_default_kernel() : FactorKernel(raw);
 }
 
 void set_factor_kernel(FactorKernel k) {
-  kernel_slot().store(int(k), std::memory_order_relaxed);
+  override_slot().store(int(k), std::memory_order_relaxed);
+}
+
+bool factor_kernel_overridden() {
+  return override_slot().load(std::memory_order_relaxed) != kNoOverride;
+}
+
+int raw_factor_kernel_override() {
+  return override_slot().load(std::memory_order_relaxed);
+}
+
+void set_raw_factor_kernel_override(int raw) {
+  override_slot().store(raw, std::memory_order_relaxed);
+}
+
+FactorKernel factor_kernel_for(Index n) {
+  const int raw = override_slot().load(std::memory_order_relaxed);
+  if (raw != kNoOverride) return FactorKernel(raw);
+  if (const perf::TunedTables* t = perf::tuned_tables()) {
+    const int tuned = t->factor_kernel[int(perf::factor_n_class(n))];
+    if (tuned >= 0) return FactorKernel(tuned);
+  }
+  return build_default_kernel();
 }
 
 }  // namespace chase::la

@@ -20,6 +20,13 @@
 //             CholeskyQR and the Rayleigh-Ritz HEEVD from cache-hostile
 //             scalar loops into micro-kernel flops.
 //
+// Resolution order per call (the autotuner contract, DESIGN.md §15):
+//   1. explicit override — the CHASE_FACTOR_KERNEL env var or a
+//      set_factor_kernel()/ScopedFactorKernel guard;
+//   2. loaded machine profile — the per-triangular-size-class winner from
+//      perf::tuned_tables() (installed by tune::install_profile);
+//   3. built-in default — the build-time CHASE_DEFAULT_FACTOR_KERNEL.
+//
 // The policy is process-global and cheap to read (one relaxed atomic load);
 // ScopedFactorKernel lets benches and tests flip it per section.
 #pragma once
@@ -28,6 +35,7 @@
 #include <string_view>
 
 #include "la/matrix.hpp"
+#include "perf/tuned.hpp"
 
 namespace chase::la {
 
@@ -46,23 +54,40 @@ std::optional<FactorKernel> parse_factor_kernel(std::string_view name);
 /// Per-call Tracker counter name for a kernel ("la.factor.<name>.calls").
 std::string_view factor_kernel_counter(FactorKernel k);
 
-/// Process-global policy; initialized from CHASE_FACTOR_KERNEL (falling back
-/// to the build-time default) on first use.
+/// Effective process-wide policy: the explicit override when one is set
+/// (CHASE_FACTOR_KERNEL at first use, or set_factor_kernel), else the
+/// build-time default. Shape-oblivious — the dispatchers use
+/// factor_kernel_for().
 FactorKernel factor_kernel();
+
+/// Pin an explicit override. Overrides beat any loaded profile.
 void set_factor_kernel(FactorKernel k);
 
-/// RAII policy override for benches and tests.
+/// True when an explicit override (env or set_factor_kernel) is pinned.
+bool factor_kernel_overridden();
+
+/// Raw override slot for exact save/restore (-1 = no override).
+int raw_factor_kernel_override();
+void set_raw_factor_kernel_override(int raw);
+
+/// Shape-aware kernel choice for one factorization over an n x n triangle:
+/// override > profile table entry > built-in default.
+FactorKernel factor_kernel_for(Index n);
+
+/// RAII policy override for benches and tests. Restores the previous raw
+/// override state (including "none") on exit.
 class ScopedFactorKernel {
  public:
-  explicit ScopedFactorKernel(FactorKernel k) : prev_(factor_kernel()) {
+  explicit ScopedFactorKernel(FactorKernel k)
+      : prev_(raw_factor_kernel_override()) {
     set_factor_kernel(k);
   }
-  ~ScopedFactorKernel() { set_factor_kernel(prev_); }
+  ~ScopedFactorKernel() { set_raw_factor_kernel_override(prev_); }
   ScopedFactorKernel(const ScopedFactorKernel&) = delete;
   ScopedFactorKernel& operator=(const ScopedFactorKernel&) = delete;
 
  private:
-  FactorKernel prev_;
+  int prev_;
 };
 
 }  // namespace chase::la

@@ -197,7 +197,7 @@ void gemm(T alpha, Op opa, ConstMatrixView<T> a, Op opb, ConstMatrixView<T> b,
     return;
   }
 
-  const GemmKernel kernel = gemm_kernel();
+  const GemmKernel kernel = gemm_kernel_for(scalar_tag<T>(), m, n, k);
   const bool tracked = perf::thread_tracker() != nullptr;
   WallTimer timer;
   switch (kernel) {
@@ -250,7 +250,7 @@ template <typename T>
 void herk_upper(T alpha, ConstMatrixView<T> x, T beta, MatrixView<T> c) {
   const Index n = x.cols();
   CHASE_CHECK(c.rows() == n && c.cols() == n);
-  const FactorKernel kernel = factor_kernel();
+  const FactorKernel kernel = factor_kernel_for(n);
   const bool tracked = perf::thread_tracker() != nullptr;
   WallTimer timer;
   if (kernel == FactorKernel::kBlocked) {

@@ -13,14 +13,22 @@ namespace chase::la {
 
 namespace {
 
-std::atomic<int>& kernel_slot() {
+constexpr int kNoOverride = -1;
+
+GemmKernel build_default_kernel() {
+  return parse_gemm_kernel(CHASE_GEMM_DEFAULT_KERNEL)
+      .value_or(GemmKernel::kMicro);
+}
+
+// Explicit override slot: kNoOverride until the CHASE_GEMM_KERNEL env var
+// (read once, at first use) or set_gemm_kernel() pins a kernel.
+std::atomic<int>& override_slot() {
   static std::atomic<int> slot = [] {
-    GemmKernel k = parse_gemm_kernel(CHASE_GEMM_DEFAULT_KERNEL)
-                       .value_or(GemmKernel::kMicro);
+    int raw = kNoOverride;
     if (const char* env = std::getenv("CHASE_GEMM_KERNEL")) {
-      if (auto parsed = parse_gemm_kernel(env)) k = *parsed;
+      if (auto parsed = parse_gemm_kernel(env)) raw = int(*parsed);
     }
-    return std::atomic<int>(int(k));
+    return std::atomic<int>(raw);
   }();
   return slot;
 }
@@ -59,11 +67,36 @@ std::optional<GemmKernel> parse_gemm_kernel(std::string_view name) {
 }
 
 GemmKernel gemm_kernel() {
-  return GemmKernel(kernel_slot().load(std::memory_order_relaxed));
+  const int raw = override_slot().load(std::memory_order_relaxed);
+  return raw == kNoOverride ? build_default_kernel() : GemmKernel(raw);
 }
 
 void set_gemm_kernel(GemmKernel k) {
-  kernel_slot().store(int(k), std::memory_order_relaxed);
+  override_slot().store(int(k), std::memory_order_relaxed);
+}
+
+bool gemm_kernel_overridden() {
+  return override_slot().load(std::memory_order_relaxed) != kNoOverride;
+}
+
+int raw_gemm_kernel_override() {
+  return override_slot().load(std::memory_order_relaxed);
+}
+
+void set_raw_gemm_kernel_override(int raw) {
+  override_slot().store(raw, std::memory_order_relaxed);
+}
+
+GemmKernel gemm_kernel_for(perf::ScalarTag tag, Index m, Index n, Index k) {
+  const int raw = override_slot().load(std::memory_order_relaxed);
+  if (raw != kNoOverride) return GemmKernel(raw);
+  if (const perf::TunedTables* t = perf::tuned_tables()) {
+    const perf::NClass cls =
+        perf::gemm_n_class(double(m), double(n), double(k));
+    const int tuned = t->gemm_kernel[int(tag)][int(cls)];
+    if (tuned >= 0) return GemmKernel(tuned);
+  }
+  return build_default_kernel();
 }
 
 }  // namespace chase::la

@@ -17,12 +17,25 @@
 //             (src/la/gemm_micro.hpp). This is the only policy that engages
 //             the Hermitian-aware hemm() engine.
 //
+// Resolution order per call (the autotuner contract, DESIGN.md §15):
+//   1. explicit override — the CHASE_GEMM_KERNEL env var or a
+//      set_gemm_kernel()/ScopedGemmKernel guard pins one kernel process-wide;
+//   2. loaded machine profile — the per-(scalar type, shape class) winner
+//      from perf::tuned_tables() (installed by tune::install_profile);
+//   3. built-in default — the build-time CHASE_DEFAULT_GEMM_KERNEL.
+// A process with no override and no profile behaves exactly as before the
+// autotuner existed.
+//
 // The policy is process-global and cheap to read (one relaxed atomic load);
 // ScopedGemmKernel lets benches and tests flip it per section.
 #pragma once
 
 #include <optional>
 #include <string_view>
+
+#include "common/scalar.hpp"
+#include "la/matrix.hpp"
+#include "perf/tuned.hpp"
 
 namespace chase::la {
 
@@ -34,23 +47,52 @@ std::optional<GemmKernel> parse_gemm_kernel(std::string_view name);
 /// Per-call Tracker counter name for a kernel ("la.kernel.<name>.calls").
 std::string_view gemm_kernel_counter(GemmKernel k);
 
-/// Process-global policy; initialized from CHASE_GEMM_KERNEL (falling back
-/// to the build-time default) on first use.
+/// perf::ScalarTag of a kernel instantiation (the tuned-table row key).
+template <typename T>
+constexpr perf::ScalarTag scalar_tag() {
+  if constexpr (kIsComplex<T>) {
+    return sizeof(RealType<T>) == 4 ? perf::ScalarTag::kC32
+                                    : perf::ScalarTag::kC64;
+  } else {
+    return sizeof(T) == 4 ? perf::ScalarTag::kF32 : perf::ScalarTag::kF64;
+  }
+}
+
+/// Effective process-wide policy: the explicit override when one is set
+/// (env or set_gemm_kernel), else the build-time default. Shape-oblivious —
+/// the dispatchers use gemm_kernel_for().
 GemmKernel gemm_kernel();
+
+/// Pin an explicit override (what the CHASE_GEMM_KERNEL env var does at
+/// first use). Overrides beat any loaded profile.
 void set_gemm_kernel(GemmKernel k);
 
-/// RAII policy override for benches and tests.
+/// True when an explicit override (env or set_gemm_kernel) is pinned.
+bool gemm_kernel_overridden();
+
+/// Raw override slot for exact save/restore (-1 = no override). Scoped
+/// guards use these so that unwinding restores "no override" instead of
+/// freezing the default as an override.
+int raw_gemm_kernel_override();
+void set_raw_gemm_kernel_override(int raw);
+
+/// Shape-aware kernel choice for one m x n x k product of scalar class
+/// `tag`: override > profile table entry > built-in default.
+GemmKernel gemm_kernel_for(perf::ScalarTag tag, Index m, Index n, Index k);
+
+/// RAII policy override for benches and tests. Restores the previous raw
+/// override state (including "none") on exit.
 class ScopedGemmKernel {
  public:
-  explicit ScopedGemmKernel(GemmKernel k) : prev_(gemm_kernel()) {
+  explicit ScopedGemmKernel(GemmKernel k) : prev_(raw_gemm_kernel_override()) {
     set_gemm_kernel(k);
   }
-  ~ScopedGemmKernel() { set_gemm_kernel(prev_); }
+  ~ScopedGemmKernel() { set_raw_gemm_kernel_override(prev_); }
   ScopedGemmKernel(const ScopedGemmKernel&) = delete;
   ScopedGemmKernel& operator=(const ScopedGemmKernel&) = delete;
 
  private:
-  GemmKernel prev_;
+  int prev_;
 };
 
 }  // namespace chase::la

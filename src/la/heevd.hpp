@@ -47,7 +47,7 @@ void hetrd_lower(MatrixView<T> a, std::vector<RealType<T>>& d,
   }
 
   std::vector<T> taus(std::size_t(n - 1), T(0));
-  const FactorKernel kernel = factor_kernel();
+  const FactorKernel kernel = factor_kernel_for(n);
   const bool tracked = perf::thread_tracker() != nullptr;
   WallTimer timer;
   // Like the other blocked kernels, subspace-sized problems (a single panel

@@ -192,8 +192,10 @@ void hemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
     detail::scale_tile(beta, n, c.cols(), c.data(), c.ld());
     return;
   }
-  if (gemm_kernel() != GemmKernel::kMicro) {
-    // Reference policies read the full storage through the plain engine.
+  if (gemm_kernel_for(scalar_tag<T>(), n, c.cols(), n) != GemmKernel::kMicro) {
+    // Non-micro effective policies read the full storage through the plain
+    // engine (shape-aware, so a tuned profile routes small products the same
+    // way an explicit override would).
     gemm(alpha, Op::kNoTrans, a, Op::kNoTrans, b, beta, c);
     return;
   }

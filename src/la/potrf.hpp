@@ -33,7 +33,7 @@ template <typename T>
 int potrf_upper(MatrixView<T> a, RealType<T> rel_pivot_tol = RealType<T>(0)) {
   const Index n = a.rows();
   CHASE_CHECK(a.cols() == n);
-  const FactorKernel kernel = factor_kernel();
+  const FactorKernel kernel = factor_kernel_for(n);
   const bool tracked = perf::thread_tracker() != nullptr;
   WallTimer timer;
   const int info = kernel == FactorKernel::kBlocked

@@ -29,7 +29,7 @@ void larft(ConstMatrixView<T> v, const std::vector<T>& tau,
   CHASE_CHECK(t_out.rows() == k && t_out.cols() == k);
   set_zero(t_out);
   if (k == 0) return;
-  const bool blocked = factor_kernel() == FactorKernel::kBlocked;
+  const bool blocked = factor_kernel_for(k) == FactorKernel::kBlocked;
   Matrix<T> s;
   if (blocked) {
     s.resize(k, k);

@@ -48,7 +48,7 @@ template <typename T>
 void trsm_right_upper(ConstMatrixView<T> r, MatrixView<T> x) {
   const Index n = r.rows();
   CHASE_CHECK(r.cols() == n && x.cols() == n);
-  const FactorKernel kernel = factor_kernel();
+  const FactorKernel kernel = factor_kernel_for(n);
   const bool tracked = perf::thread_tracker() != nullptr;
   WallTimer timer;
   if (kernel == FactorKernel::kBlocked) {
@@ -68,7 +68,7 @@ template <typename T>
 void trsm_left_lower(ConstMatrixView<T> l, MatrixView<T> x) {
   const Index n = l.rows();
   CHASE_CHECK(l.cols() == n && x.rows() == n);
-  const FactorKernel kernel = factor_kernel();
+  const FactorKernel kernel = factor_kernel_for(n);
   const bool tracked = perf::thread_tracker() != nullptr;
   WallTimer timer;
   if (kernel == FactorKernel::kBlocked) {
@@ -89,7 +89,7 @@ template <typename T>
 void trsm_left_upper_conj(ConstMatrixView<T> r, MatrixView<T> x) {
   const Index n = r.rows();
   CHASE_CHECK(r.cols() == n && x.rows() == n);
-  const FactorKernel kernel = factor_kernel();
+  const FactorKernel kernel = factor_kernel_for(n);
   const bool tracked = perf::thread_tracker() != nullptr;
   WallTimer timer;
   if (kernel == FactorKernel::kBlocked) {
@@ -110,7 +110,7 @@ template <typename T>
 void trmm_right_upper(ConstMatrixView<T> r, MatrixView<T> x) {
   const Index n = r.rows();
   CHASE_CHECK(r.cols() == n && x.cols() == n);
-  const FactorKernel kernel = factor_kernel();
+  const FactorKernel kernel = factor_kernel_for(n);
   const bool tracked = perf::thread_tracker() != nullptr;
   WallTimer timer;
   if (kernel == FactorKernel::kBlocked) {
@@ -132,7 +132,7 @@ template <typename T>
 void trmm_left_upper(ConstMatrixView<T> u, MatrixView<T> w) {
   const Index k = u.rows();
   CHASE_CHECK(u.cols() == k && w.rows() == k);
-  const FactorKernel kernel = factor_kernel();
+  const FactorKernel kernel = factor_kernel_for(k);
   const bool tracked = perf::thread_tracker() != nullptr;
   WallTimer timer;
   if (kernel == FactorKernel::kBlocked) {
@@ -152,7 +152,7 @@ template <typename T>
 void trmm_left_upper_conj(ConstMatrixView<T> u, MatrixView<T> w) {
   const Index k = u.rows();
   CHASE_CHECK(u.cols() == k && w.rows() == k);
-  const FactorKernel kernel = factor_kernel();
+  const FactorKernel kernel = factor_kernel_for(k);
   const bool tracked = perf::thread_tracker() != nullptr;
   WallTimer timer;
   if (kernel == FactorKernel::kBlocked) {

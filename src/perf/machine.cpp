@@ -2,12 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "perf/tracker.hpp"
+#include "perf/tuned.hpp"
 
 namespace chase::perf {
 
 namespace {
+
+// The selection model is read per collective-select call from rank threads
+// and replaced rarely (profile load / recalibration); published through an
+// atomic pointer with retired old copies, like the tuned tables.
+struct SelectionSlot {
+  std::atomic<const MachineModel*> current{nullptr};
+  std::mutex mu;
+  std::vector<std::unique_ptr<const MachineModel>> retired;
+};
+
+SelectionSlot& selection_slot() {
+  static SelectionSlot s;
+  return s;
+}
 
 int ceil_log2(int p) {
   int r = 0;
@@ -56,6 +74,34 @@ void MachineModel::calibrate_single(const Tracker& t, double min_seconds) {
   if (flops > 0 && seconds >= min_seconds && gemm_flops > 0) {
     single_speedup = std::max(1.0, (flops / seconds) / gemm_flops);
   }
+}
+
+void MachineModel::calibrate_from_tables(const TunedTables& t) {
+  if (t.gemm_flops > 0) gemm_flops = t.gemm_flops;
+  if (t.factor_flops > 0) factor_flops = t.factor_flops;
+  if (t.single_speedup > 0) single_speedup = std::max(1.0, t.single_speedup);
+}
+
+MachineModel selection_model() {
+  if (const MachineModel* m =
+          selection_slot().current.load(std::memory_order_acquire)) {
+    return *m;
+  }
+  return MachineModel{};
+}
+
+void set_selection_model(const MachineModel& m) {
+  auto& s = selection_slot();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto fresh = std::make_unique<const MachineModel>(m);
+  s.current.store(fresh.get(), std::memory_order_release);
+  s.retired.push_back(std::move(fresh));
+}
+
+void reset_selection_model() {
+  auto& s = selection_slot();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.current.store(nullptr, std::memory_order_release);
 }
 
 double MachineModel::memcpy_seconds(std::size_t bytes) const {

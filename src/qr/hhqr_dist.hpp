@@ -39,7 +39,7 @@ void hhqr_dist(la::MatrixView<T> x, const IndexMap& map,
     // Single-rank fallback path: under the blocked factorization policy use
     // the compact-WY blocked QR (panel + larft/larfb GEMM updates) instead
     // of the per-reflector unblocked kernel.
-    if (la::factor_kernel() == la::FactorKernel::kBlocked) {
+    if (la::factor_kernel_for(x.cols()) == la::FactorKernel::kBlocked) {
       la::householder_orthonormalize_blocked(x);
     } else {
       la::householder_orthonormalize(x);

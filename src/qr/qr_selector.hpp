@@ -54,8 +54,9 @@ struct QrReport {
   bool hhqr_fallback = false;                // POTRF failed, reverted to HHQR
   int potrf_failures = 0;                    // breakdowns along the ladder
   double est_cond = 0;  // the Algorithm 5 estimate the selection was based on
-  double modeled_seconds = 0;  // analytic cost of `selected` when
-                               // QrOptions::machine is set (0 otherwise)
+  double modeled_seconds = 0;  // analytic cost of `selected`, priced with
+                               // QrOptions::machine when set, else the
+                               // process-global perf::selection_model()
 };
 
 struct QrOptions {
@@ -169,11 +170,14 @@ QrReport caqr_1d(la::MatrixView<T> x, const dist::IndexMap& map,
   const Communicator* reduce = comm.size() > 1 ? &comm : nullptr;
   const double shift_threshold = 1.0 / std::sqrt(double(unit_roundoff<T>()));
   const auto price_selected = [&](QrVariant v) {
-    if (opts.machine != nullptr) {
-      report.modeled_seconds =
-          modeled_qr_seconds(*opts.machine, v, map.global_size(), x.cols(),
-                             comm.size(), kIsComplex<T>, sizeof(T));
-    }
+    // Explicit QrOptions::machine wins; otherwise price with the
+    // process-global selection model, which a loaded machine profile
+    // recalibrates (tune::install_profile).
+    const perf::MachineModel model =
+        opts.machine != nullptr ? *opts.machine : perf::selection_model();
+    report.modeled_seconds =
+        modeled_qr_seconds(model, v, map.global_size(), x.cols(),
+                           comm.size(), kIsComplex<T>, sizeof(T));
   };
 
   if (opts.force_householder) {

@@ -1,0 +1,282 @@
+// Minimal JSON reader/writer for machine profiles.
+//
+// The repo writes its bench artifacts with fprintf and reads them from
+// Python (scripts/compare_bench.py); the machine profile is the first JSON
+// the C++ side must read back, so this header carries a small
+// recursive-descent parser — objects, arrays, strings (with the standard
+// escapes), doubles, bools, null — and an escaping string writer. It is not
+// a general-purpose JSON library: numbers parse through strtod, duplicate
+// object keys keep the last value, and depth is bounded to keep corrupt
+// inputs from recursing the stack away.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chase::tune::json {
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+struct Value {
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::shared_ptr<Array> array;    // shared_ptr keeps Value copyable while
+  std::shared_ptr<Object> object;  // the element types are still incomplete
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; null for non-objects and missing keys.
+  const Value* get(const std::string& key) const {
+    if (kind != Kind::kObject || !object) return nullptr;
+    auto it = object->find(key);
+    return it == object->end() ? nullptr : &it->second;
+  }
+  /// get() restricted to strings / numbers, as optionals.
+  std::optional<std::string> get_string(const std::string& key) const {
+    const Value* v = get(key);
+    if (v == nullptr || v->kind != Kind::kString) return std::nullopt;
+    return v->text;
+  }
+  std::optional<double> get_number(const std::string& key) const {
+    const Value* v = get(key);
+    if (v == nullptr || v->kind != Kind::kNumber) return std::nullopt;
+    return v->number;
+  }
+};
+
+namespace detail {
+
+inline constexpr int kMaxDepth = 32;
+
+struct Parser {
+  std::string_view in;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < in.size()) {
+      const char c = in[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos < in.size() && in[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (in.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    Value v;
+    if (!ok || depth > kMaxDepth) {
+      ok = false;
+      return v;
+    }
+    skip_ws();
+    if (pos >= in.size()) {
+      ok = false;
+      return v;
+    }
+    const char c = in[pos];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return parse_string();
+    if (c == 't') {
+      ok = literal("true");
+      v.kind = Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      ok = literal("false");
+      v.kind = Kind::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      ok = literal("null");
+      return v;
+    }
+    return parse_number();
+  }
+
+  Value parse_object(int depth) {
+    Value v;
+    v.kind = Kind::kObject;
+    v.object = std::make_shared<Object>();
+    ++pos;  // '{'
+    if (consume('}')) return v;
+    while (ok) {
+      skip_ws();
+      if (pos >= in.size() || in[pos] != '"') {
+        ok = false;
+        break;
+      }
+      Value key = parse_string();
+      if (!ok || !consume(':')) {
+        ok = false;
+        break;
+      }
+      (*v.object)[key.text] = parse_value(depth + 1);
+      if (consume(',')) continue;
+      ok = ok && consume('}');
+      break;
+    }
+    return v;
+  }
+
+  Value parse_array(int depth) {
+    Value v;
+    v.kind = Kind::kArray;
+    v.array = std::make_shared<Array>();
+    ++pos;  // '['
+    if (consume(']')) return v;
+    while (ok) {
+      v.array->push_back(parse_value(depth + 1));
+      if (consume(',')) continue;
+      ok = ok && consume(']');
+      break;
+    }
+    return v;
+  }
+
+  Value parse_string() {
+    Value v;
+    v.kind = Kind::kString;
+    ++pos;  // '"'
+    while (pos < in.size()) {
+      const char c = in[pos++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.text.push_back(c);
+        continue;
+      }
+      if (pos >= in.size()) break;
+      const char e = in[pos++];
+      switch (e) {
+        case '"': v.text.push_back('"'); break;
+        case '\\': v.text.push_back('\\'); break;
+        case '/': v.text.push_back('/'); break;
+        case 'b': v.text.push_back('\b'); break;
+        case 'f': v.text.push_back('\f'); break;
+        case 'n': v.text.push_back('\n'); break;
+        case 'r': v.text.push_back('\r'); break;
+        case 't': v.text.push_back('\t'); break;
+        case 'u': {
+          // Profiles are ASCII; decode the BMP escape to one byte when it
+          // fits and reject anything wider.
+          if (pos + 4 > in.size()) {
+            ok = false;
+            return v;
+          }
+          char buf[5] = {in[pos], in[pos + 1], in[pos + 2], in[pos + 3], 0};
+          char* end = nullptr;
+          const long code = std::strtol(buf, &end, 16);
+          if (end != buf + 4 || code > 0x7f) {
+            ok = false;
+            return v;
+          }
+          v.text.push_back(char(code));
+          pos += 4;
+          break;
+        }
+        default:
+          ok = false;
+          return v;
+      }
+    }
+    ok = false;  // unterminated string
+    return v;
+  }
+
+  Value parse_number() {
+    Value v;
+    const std::size_t start = pos;
+    if (pos < in.size() && (in[pos] == '-' || in[pos] == '+')) ++pos;
+    bool digits = false;
+    while (pos < in.size()) {
+      const char c = in[pos];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        digits = digits || (c >= '0' && c <= '9');
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (!digits) {
+      ok = false;
+      return v;
+    }
+    const std::string tok(in.substr(start, pos - start));
+    char* end = nullptr;
+    v.number = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      ok = false;
+      return v;
+    }
+    v.kind = Kind::kNumber;
+    return v;
+  }
+};
+
+}  // namespace detail
+
+/// Parse one JSON document; nullopt on any syntax error or trailing junk.
+inline std::optional<Value> parse(std::string_view text) {
+  detail::Parser p{text};
+  Value v = p.parse_value(0);
+  p.skip_ws();
+  if (!p.ok || p.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+/// Escape `s` as a JSON string literal (quotes included).
+inline std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace chase::tune::json
